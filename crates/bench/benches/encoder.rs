@@ -1,0 +1,59 @@
+//! Ablation bench: ladder pooling vs a plain deep GCN stack
+//! (DESIGN.md §5 / paper's CPGAN-noH claim that the ladder is cheaper and
+//! more effective than stacking depth).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpgan::config::{CpGanConfig, Variant};
+use cpgan::encoder::{AdjInput, LadderEncoder};
+use cpgan_data::sweep;
+use cpgan_graph::spectral;
+use cpgan_nn::{Csr, Matrix, ParamStore, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench_encoder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encoder_forward");
+    group.sample_size(20);
+    for &n in &[200usize, 800] {
+        let pg = sweep::sweep_graph(n, 1);
+        let adj = Arc::new(Csr::normalized_adjacency(&pg.graph));
+        let spec = spectral::spectral_embedding(&pg.graph, 4, 7);
+        let feats = Matrix::from_fn(n, 5, |r, c| {
+            if c < 4 {
+                spec[r * 4 + c]
+            } else {
+                (pg.graph.degree(r as u32) as f32 + 1.0).ln()
+            }
+        });
+        for (label, variant, levels) in [
+            ("ladder-2", Variant::Full, 2),
+            ("ladder-3", Variant::Full, 3),
+            ("flat", Variant::NoHierarchy, 1),
+        ] {
+            let cfg = CpGanConfig {
+                variant,
+                levels,
+                sample_size: n,
+                hidden_dim: 16,
+                spectral_dim: 4,
+                ..CpGanConfig::tiny()
+            };
+            let mut store = ParamStore::new();
+            let mut rng = StdRng::seed_from_u64(1);
+            let enc = LadderEncoder::new(&mut store, &mut rng, &cfg);
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let tape = Tape::new();
+                    let x = tape.constant(feats.clone());
+                    let out = enc.encode(&tape, &AdjInput::Sparse(Arc::clone(&adj)), &x);
+                    std::hint::black_box(out.readout_flat.value())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoder);
+criterion_main!(benches);

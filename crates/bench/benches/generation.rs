@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks for graph *generation* (Table VII companion).
+//!
+//! Run with `cargo bench -p bench --bench generation`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpgan_data::sweep;
+use cpgan_eval::registry::{fit_model, ModelKind};
+use cpgan_eval::EvalConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_generation(c: &mut Criterion) {
+    let cfg = EvalConfig {
+        deep_epochs: 20,
+        cpgan_epochs: 10,
+        ..EvalConfig::fast()
+    };
+    let mut group = c.benchmark_group("generation");
+    group.sample_size(10);
+    for &n in &[100usize, 1_000] {
+        let pg = sweep::sweep_graph(n, 1);
+        for kind in [
+            ModelKind::Er,
+            ModelKind::Bter,
+            ModelKind::Sbm,
+            ModelKind::Kronecker,
+            ModelKind::Vgae,
+            ModelKind::CpGan(cpgan::Variant::Full),
+        ] {
+            let model = fit_model(kind, &pg.graph, &cfg, 3);
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), n),
+                &n,
+                |b, _| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    b.iter(|| std::hint::black_box(model.generate(&mut rng)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

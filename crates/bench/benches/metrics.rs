@@ -1,0 +1,43 @@
+//! Benchmarks for the evaluation metrics themselves (Louvain, NMI/ARI, MMD,
+//! graph statistics) — these dominate the harness cost on large graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpgan_community::{louvain, metrics};
+use cpgan_data::sweep;
+use cpgan_graph::{mmd, stats};
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let pg = sweep::sweep_graph(n, 1);
+        let pg2 = sweep::sweep_graph(n, 2);
+        group.bench_with_input(BenchmarkId::new("louvain", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(louvain::louvain(&pg.graph, 0)));
+        });
+        let part1 = louvain::louvain(&pg.graph, 0);
+        let part2 = louvain::louvain(&pg2.graph, 0);
+        group.bench_with_input(BenchmarkId::new("nmi+ari", n), &n, |b, _| {
+            b.iter(|| {
+                let nmi = metrics::nmi(part1.labels(), part2.labels());
+                let ari = metrics::adjusted_rand_index(part1.labels(), part2.labels());
+                std::hint::black_box((nmi, ari))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("degree_mmd", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(mmd::degree_mmd(&pg.graph, &pg2.graph)));
+        });
+        group.bench_with_input(BenchmarkId::new("clustering", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(stats::clustering::mean_clustering(&pg.graph)));
+        });
+        group.bench_with_input(BenchmarkId::new("cpl_64_sources", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(stats::path::characteristic_path_length(&pg.graph, 64))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Ablation bench: degree-proportional vs uniform subgraph sampling
+//! (paper §III-E; DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpgan::sampling;
+use cpgan_data::sweep;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subgraph_sampling");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let pg = sweep::sweep_graph(n, 1);
+        group.bench_with_input(BenchmarkId::new("degree_proportional", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| std::hint::black_box(sampling::sample_subgraph(&pg.graph, 200, &mut rng)));
+        });
+        group.bench_with_input(BenchmarkId::new("uniform", n), &n, |b, _| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                let nodes = sampling::sample_nodes_uniform(&pg.graph, 200, &mut rng);
+                std::hint::black_box(pg.graph.induced_subgraph(&nodes))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benchmarks for *training* throughput (Table VIII companion).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpgan_data::sweep;
+use cpgan_eval::registry::{fit_model, ModelKind};
+use cpgan_eval::EvalConfig;
+
+fn bench_training(c: &mut Criterion) {
+    // A couple of epochs per fit; criterion reports per-fit time, which is
+    // proportional to per-epoch cost.
+    let cfg = EvalConfig {
+        deep_epochs: 2,
+        cpgan_epochs: 2,
+        ..EvalConfig::fast()
+    };
+    let mut group = c.benchmark_group("training_2_epochs");
+    group.sample_size(10);
+    for &n in &[100usize, 400] {
+        let pg = sweep::sweep_graph(n, 1);
+        for kind in [
+            ModelKind::Vgae,
+            ModelKind::Graphite,
+            ModelKind::Sbmgnn,
+            ModelKind::NetGan,
+            ModelKind::CpGan(cpgan::Variant::Full),
+        ] {
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                b.iter(|| std::hint::black_box(fit_model(kind, &pg.graph, &cfg, 3)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Regenerates paper Table IV (generative distribution distance).
+//!
+//! Usage: `cargo run --release -p bench --bin table4 [--fast] [--scale S]`
+
+use cpgan_eval::{pipelines::quality, EvalConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = EvalConfig::from_args(&args);
+    eprintln!("running Table IV at scale 1/{}...", cfg.scale);
+    let table = quality::run(&cfg, &[]);
+    println!("{}", table.render());
+    cpgan_eval::report::maybe_write_json(&args, &table);
+}

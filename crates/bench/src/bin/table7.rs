@@ -1,0 +1,15 @@
+//! Regenerates paper Table VII (time per graph generation).
+//!
+//! Usage: `cargo run --release -p bench --bin table7 [--fast] [--max-size N]`
+
+use cpgan_eval::{pipelines::efficiency, sweep_sizes_from_args, EvalConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = EvalConfig::from_args(&args);
+    let sizes = sweep_sizes_from_args(&args);
+    eprintln!("running Table VII over sizes {sizes:?}...");
+    let tables = efficiency::run(&cfg, &sizes);
+    println!("{}", tables.generation.render());
+}
+

@@ -1,0 +1,84 @@
+//! Minimal `--key value` argument parsing (no external dependency).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` pairs.
+#[derive(Debug, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses alternating `--key value` tokens; rejects stray positionals
+    /// and flags without values.
+    pub fn parse(tokens: &[String]) -> Result<Args, String> {
+        let mut values = HashMap::new();
+        let mut it = tokens.iter();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("unexpected argument '{tok}'"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?;
+            values.insert(key.to_string(), value.clone());
+        }
+        Ok(Args { values })
+    }
+
+    /// A required string flag.
+    pub fn require(&self, key: &str) -> Result<String, String> {
+        self.values
+            .get(key)
+            .cloned()
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// An optional usize flag.
+    pub fn get_usize(&self, key: &str) -> Result<Option<usize>, String> {
+        self.values
+            .get(key)
+            .map(|v| {
+                v.parse()
+                    .map_err(|e| format!("flag --{key}: invalid number '{v}' ({e})"))
+            })
+            .transpose()
+    }
+
+    /// An optional u64 flag.
+    pub fn get_u64(&self, key: &str) -> Result<Option<u64>, String> {
+        self.values
+            .get(key)
+            .map(|v| {
+                v.parse()
+                    .map_err(|e| format!("flag --{key}: invalid number '{v}' ({e})"))
+            })
+            .transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let a = Args::parse(&toks(&["--input", "g.txt", "--epochs", "10"])).unwrap();
+        assert_eq!(a.require("input").unwrap(), "g.txt");
+        assert_eq!(a.get_usize("epochs").unwrap(), Some(10));
+        assert_eq!(a.get_usize("absent").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(Args::parse(&toks(&["positional"])).is_err());
+        assert!(Args::parse(&toks(&["--flag"])).is_err());
+        let a = Args::parse(&toks(&["--epochs", "abc"])).unwrap();
+        assert!(a.get_usize("epochs").is_err());
+        assert!(a.require("missing").is_err());
+    }
+}

@@ -1,0 +1,157 @@
+//! `cpgan` — command-line interface to the CPGAN graph generator.
+//!
+//! ```text
+//! cpgan fit      --input graph.txt --model model.json [--epochs N] [--seed S]
+//! cpgan generate --model model.json --output out.txt [--seed S]
+//! cpgan stats    --input graph.txt
+//! cpgan eval     --observed graph.txt --generated out.txt
+//! ```
+//!
+//! Graphs are whitespace edge lists (`# nodes: N` header optional), the
+//! format `cpgan_graph::io` reads and writes.
+
+use cpgan::{CpGan, CpGanConfig};
+use cpgan_community::{louvain, metrics};
+use cpgan_graph::{io, mmd, stats, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+mod args;
+
+use args::Args;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  \
+     cpgan fit      --input <edge-list> --model <model.json> [--epochs N] [--sample-size N] [--seed S]\n  \
+     cpgan generate --model <model.json> --output <edge-list> [--nodes N] [--edges M] [--seed S]\n  \
+     cpgan stats    --input <edge-list>\n  \
+     cpgan eval     --observed <edge-list> --generated <edge-list>"
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "fit" => fit(&args),
+        "generate" => generate(&args),
+        "stats" => show_stats(&args),
+        "eval" => eval(&args),
+        other => Err(format!("unknown subcommand '{other}'")),
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    io::load(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn fit(args: &Args) -> Result<(), String> {
+    let input = args.require("input")?;
+    let model_path = args.require("model")?;
+    let g = load_graph(&input)?;
+    eprintln!("observed graph: {} nodes, {} edges", g.n(), g.m());
+    let cfg = CpGanConfig {
+        epochs: args.get_usize("epochs")?.unwrap_or(400),
+        sample_size: args.get_usize("sample-size")?.unwrap_or(200),
+        seed: args.get_u64("seed")?.unwrap_or(42),
+        ..CpGanConfig::default()
+    };
+    let mut model = CpGan::new(cfg);
+    let stats = model.fit(&g);
+    let last = stats.last().ok_or("training produced no epochs")?;
+    eprintln!(
+        "trained {} epochs: d_loss {:.3}, g_loss {:.3}, recon {:.3}",
+        stats.epochs.len(),
+        last.d_loss,
+        last.g_loss,
+        last.recon_loss
+    );
+    model
+        .save(&model_path)
+        .map_err(|e| format!("cannot write {model_path}: {e}"))?;
+    eprintln!("model saved to {model_path}");
+    Ok(())
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let model_path = args.require("model")?;
+    let output = args.require("output")?;
+    let model =
+        CpGan::load(&model_path).map_err(|e| format!("cannot load {model_path}: {e}"))?;
+    // Default to the trained graph's size when not overridden.
+    let (def_n, def_m) = model
+        .trained_shape()
+        .ok_or("model is untrained; pass --nodes and --edges")
+        .or_else(|e| {
+            match (args.get_usize("nodes"), args.get_usize("edges")) {
+                (Ok(Some(n)), Ok(Some(m))) => Ok((n, m)),
+                _ => Err(e.to_string()),
+            }
+        })?;
+    let n = args.get_usize("nodes")?.unwrap_or(def_n);
+    let m = args.get_usize("edges")?.unwrap_or(def_m);
+    let mut rng = StdRng::seed_from_u64(args.get_u64("seed")?.unwrap_or(7));
+    let out = model.generate(n, m, &mut rng);
+    io::save(&out, &output).map_err(|e| format!("cannot write {output}: {e}"))?;
+    eprintln!("generated {} nodes / {} edges -> {output}", out.n(), out.m());
+    Ok(())
+}
+
+fn show_stats(args: &Args) -> Result<(), String> {
+    let input = args.require("input")?;
+    let g = load_graph(&input)?;
+    let s = stats::GraphStats::compute(&g, 128);
+    let part = louvain::louvain(&g, 0);
+    println!("nodes:            {}", s.n);
+    println!("edges:            {}", s.m);
+    println!("mean degree:      {:.4}", s.mean_degree);
+    println!("CPL (≤128 seeds): {:.4}", s.cpl);
+    println!("gini:             {:.4}", s.gini);
+    println!("power-law exp:    {:.4}", s.pwe);
+    println!("mean clustering:  {:.4}", s.mean_clustering);
+    println!("louvain comms:    {}", part.community_count());
+    Ok(())
+}
+
+fn eval(args: &Args) -> Result<(), String> {
+    let observed = load_graph(&args.require("observed")?)?;
+    let generated = load_graph(&args.require("generated")?)?;
+    if observed.n() != generated.n() {
+        return Err(format!(
+            "node counts differ ({} vs {}); NMI/ARI need node-aligned graphs",
+            observed.n(),
+            generated.n()
+        ));
+    }
+    let y = louvain::louvain(&observed, 0);
+    let x = louvain::louvain(&generated, 0);
+    println!("NMI:        {:.4}", metrics::nmi(x.labels(), y.labels()));
+    println!(
+        "ARI:        {:.4}",
+        metrics::adjusted_rand_index(x.labels(), y.labels())
+    );
+    println!("deg MMD:    {:.5}", mmd::degree_mmd(&observed, &generated));
+    println!(
+        "clus MMD:   {:.5}",
+        mmd::clustering_mmd(&observed, &generated)
+    );
+    let so = stats::GraphStats::compute(&observed, 128);
+    let sg = stats::GraphStats::compute(&generated, 128);
+    println!("CPL diff:   {:.4}", (so.cpl - sg.cpl).abs());
+    println!("gini diff:  {:.4}", (so.gini - sg.gini).abs());
+    println!("PWE diff:   {:.4}", (so.pwe - sg.pwe).abs());
+    Ok(())
+}

@@ -1,0 +1,111 @@
+//! Contingency tables between two partitions (paper Fig. 2).
+
+/// The contingency table of two labellings over the same node set:
+/// `counts[i][j]` = number of nodes in community `i` of the first labelling
+/// and community `j` of the second (paper's `n_ij`), with row sums `a_i` and
+/// column sums `b_j`.
+#[derive(Debug, Clone)]
+pub struct Contingency {
+    /// `n_ij` counts, `rows x cols`.
+    pub counts: Vec<Vec<usize>>,
+    /// Row sums `a_i`.
+    pub row_sums: Vec<usize>,
+    /// Column sums `b_j`.
+    pub col_sums: Vec<usize>,
+    /// Total number of nodes `N`.
+    pub n: usize,
+}
+
+impl Contingency {
+    /// Builds the table from two label vectors (must be equal length).
+    /// Labels need not be compact; they are renumbered internally.
+    pub fn new(x: &[usize], y: &[usize]) -> Self {
+        assert_eq!(x.len(), y.len(), "labellings must cover the same nodes");
+        let compact = |v: &[usize]| -> (Vec<usize>, usize) {
+            let mut map = std::collections::HashMap::new();
+            let out = v
+                .iter()
+                .map(|&l| {
+                    let next = map.len();
+                    *map.entry(l).or_insert(next)
+                })
+                .collect();
+            (out, map.len())
+        };
+        let (xs, r) = compact(x);
+        let (ys, c) = compact(y);
+        let mut counts = vec![vec![0usize; c]; r];
+        for (&i, &j) in xs.iter().zip(&ys) {
+            counts[i][j] += 1;
+        }
+        let row_sums: Vec<usize> = counts.iter().map(|row| row.iter().sum()).collect();
+        let mut col_sums = vec![0usize; c];
+        for row in &counts {
+            for (j, &v) in row.iter().enumerate() {
+                col_sums[j] += v;
+            }
+        }
+        Contingency {
+            counts,
+            row_sums,
+            col_sums,
+            n: x.len(),
+        }
+    }
+
+    /// Sum over cells of `C(n_ij, 2)` — the "agreeing pairs" term in ARI.
+    pub fn pair_sum_cells(&self) -> f64 {
+        self.counts
+            .iter()
+            .flatten()
+            .map(|&v| choose2(v))
+            .sum()
+    }
+
+    /// Sum over rows of `C(a_i, 2)`.
+    pub fn pair_sum_rows(&self) -> f64 {
+        self.row_sums.iter().map(|&v| choose2(v)).sum()
+    }
+
+    /// Sum over columns of `C(b_j, 2)`.
+    pub fn pair_sum_cols(&self) -> f64 {
+        self.col_sums.iter().map(|&v| choose2(v)).sum()
+    }
+}
+
+/// `C(n, 2)` as f64.
+pub fn choose2(n: usize) -> f64 {
+    n as f64 * (n as f64 - 1.0) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_counts() {
+        let x = [0, 0, 1, 1];
+        let y = [0, 1, 1, 1];
+        let t = Contingency::new(&x, &y);
+        assert_eq!(t.counts, vec![vec![1, 1], vec![0, 2]]);
+        assert_eq!(t.row_sums, vec![2, 2]);
+        assert_eq!(t.col_sums, vec![1, 3]);
+        assert_eq!(t.n, 4);
+    }
+
+    #[test]
+    fn pair_sums() {
+        let x = [0, 0, 0, 1];
+        let t = Contingency::new(&x, &x);
+        assert_eq!(t.pair_sum_cells(), 3.0); // C(3,2) + C(1,2)
+        assert_eq!(t.pair_sum_rows(), 3.0);
+        assert_eq!(t.pair_sum_cols(), 3.0);
+    }
+
+    #[test]
+    fn non_compact_labels_ok() {
+        let t = Contingency::new(&[5, 5, 9], &[2, 7, 7]);
+        assert_eq!(t.counts.len(), 2);
+        assert_eq!(t.counts[0].len(), 2);
+    }
+}

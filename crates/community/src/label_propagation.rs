@@ -1,0 +1,161 @@
+//! Label propagation community detection (Raghavan et al. 2007).
+//!
+//! A second, independent detector used to cross-check Louvain results in the
+//! evaluation: each node repeatedly adopts the most frequent label among its
+//! neighbors until no label changes. Near-linear time, no resolution
+//! parameter.
+
+use crate::Partition;
+use cpgan_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Runs synchronous-free (sequential, shuffled-order) label propagation.
+/// Deterministic for a given `(g, seed)`; ties break toward the smallest
+/// label for stability.
+pub fn label_propagation(g: &Graph, seed: u64) -> Partition {
+    let n = g.n();
+    let mut labels: Vec<usize> = (0..n).collect();
+    if n == 0 {
+        return Partition::from_labels(&labels);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    // Bounded sweeps; label propagation almost always converges in < 10.
+    for _ in 0..32 {
+        order.shuffle(&mut rng);
+        let mut changed = false;
+        for &v in &order {
+            let neigh = g.neighbors(v);
+            if neigh.is_empty() {
+                continue;
+            }
+            counts.clear();
+            for &w in neigh {
+                *counts.entry(labels[w as usize]).or_insert(0) += 1;
+            }
+            // Most frequent neighbor label; smallest label on ties.
+            let best = counts
+                .iter()
+                .map(|(&l, &c)| (c, std::cmp::Reverse(l)))
+                .max()
+                .map(|(_, std::cmp::Reverse(l))| l)
+                .expect("nonempty");
+            if best != labels[v as usize] {
+                labels[v as usize] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Partition::from_labels(&labels)
+}
+
+/// Conductance of one community: cut edges / min(vol, 2m - vol). Lower is
+/// better-separated. Returns `None` for empty or whole-graph communities.
+pub fn conductance(g: &Graph, labels: &[usize], community: usize) -> Option<f64> {
+    assert_eq!(labels.len(), g.n());
+    let mut cut = 0usize;
+    let mut vol = 0usize;
+    for v in 0..g.n() {
+        if labels[v] != community {
+            continue;
+        }
+        vol += g.degree(v as NodeId);
+        for &w in g.neighbors(v as NodeId) {
+            if labels[w as usize] != community {
+                cut += 1;
+            }
+        }
+    }
+    let total = 2 * g.m();
+    if vol == 0 || vol == total {
+        return None;
+    }
+    Some(cut as f64 / vol.min(total - vol) as f64)
+}
+
+/// Mean conductance over all communities that have one (lower = crisper
+/// community structure).
+pub fn mean_conductance(g: &Graph, labels: &[usize]) -> f64 {
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let values: Vec<f64> = (0..k)
+        .filter_map(|c| conductance(g, labels, c))
+        .collect();
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics;
+
+    fn two_cliques_bridge() -> (Graph, Vec<usize>) {
+        let mut edges = Vec::new();
+        for u in 0..8u32 {
+            for v in (u + 1)..8 {
+                edges.push((u, v));
+                edges.push((u + 8, v + 8));
+            }
+        }
+        edges.push((0, 8));
+        (
+            Graph::from_edges(16, edges).unwrap(),
+            (0..16).map(|v| (v >= 8) as usize).collect(),
+        )
+    }
+
+    #[test]
+    fn detects_planted_cliques() {
+        let (g, truth) = two_cliques_bridge();
+        let p = label_propagation(&g, 1);
+        let nmi = metrics::nmi(p.labels(), &truth);
+        assert!(nmi > 0.9, "nmi {nmi}");
+    }
+
+    #[test]
+    fn agrees_with_louvain_on_clear_structure() {
+        let (g, _) = two_cliques_bridge();
+        let lp = label_propagation(&g, 2);
+        let lv = crate::louvain::louvain(&g, 2);
+        let nmi = metrics::nmi(lp.labels(), lv.labels());
+        assert!(nmi > 0.9, "detectors disagree: nmi {nmi}");
+    }
+
+    #[test]
+    fn conductance_of_cliques_low() {
+        let (g, truth) = two_cliques_bridge();
+        let c = conductance(&g, &truth, 0).unwrap();
+        // One cut edge over volume 57.
+        assert!(c < 0.05, "conductance {c}");
+        let mc = mean_conductance(&g, &truth);
+        assert!(mc < 0.05);
+    }
+
+    #[test]
+    fn conductance_of_random_split_high() {
+        let (g, _) = two_cliques_bridge();
+        let alternating: Vec<usize> = (0..16).map(|v| v % 2).collect();
+        assert!(mean_conductance(&g, &alternating) > 0.5);
+    }
+
+    #[test]
+    fn whole_graph_community_has_no_conductance() {
+        let (g, _) = two_cliques_bridge();
+        assert!(conductance(&g, &[0; 16], 0).is_none());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []).unwrap();
+        assert_eq!(label_propagation(&g, 0).len(), 0);
+    }
+}

@@ -1,0 +1,290 @@
+//! Louvain community detection (Blondel et al. 2008).
+//!
+//! The paper uses Louvain to obtain hierarchical ground-truth community
+//! partitions for the clustering-consistency loss (§III-F2) and as the
+//! community detector underlying the NMI/ARI evaluation (§IV-A). Louvain
+//! alternates a local-moving phase that greedily maximizes modularity with a
+//! graph-aggregation phase, producing one partition per hierarchy level in
+//! `O(m + n)` per pass.
+
+use crate::modularity::modularity;
+use crate::Partition;
+use cpgan_graph::Graph;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Weighted multigraph used between aggregation rounds.
+struct LevelGraph {
+    n: usize,
+    /// Adjacency: for each node, (neighbor, weight) with no self entries.
+    adj: Vec<Vec<(usize, f64)>>,
+    /// Self-loop weight per node (full loop weight, counted once).
+    self_w: Vec<f64>,
+    /// Total edge weight `W` (each undirected edge once, self-loops once).
+    total_w: f64,
+}
+
+impl LevelGraph {
+    fn from_graph(g: &Graph) -> Self {
+        let mut adj = vec![Vec::new(); g.n()];
+        for &(u, v) in g.edges() {
+            adj[u as usize].push((v as usize, 1.0));
+            adj[v as usize].push((u as usize, 1.0));
+        }
+        LevelGraph {
+            n: g.n(),
+            adj,
+            self_w: vec![0.0; g.n()],
+            total_w: g.m() as f64,
+        }
+    }
+
+    /// Weighted degree of node `i` (self-loops count twice, as in modularity).
+    fn degree(&self, i: usize) -> f64 {
+        self.adj[i].iter().map(|&(_, w)| w).sum::<f64>() + 2.0 * self.self_w[i]
+    }
+}
+
+/// One local-moving phase. Returns the node->community assignment (compact)
+/// and whether any node moved.
+fn local_moving(lg: &LevelGraph, rng: &mut StdRng) -> (Vec<usize>, bool) {
+    let n = lg.n;
+    let two_w = 2.0 * lg.total_w;
+    let mut comm: Vec<usize> = (0..n).collect();
+    let mut sum_tot: Vec<f64> = (0..n).map(|i| lg.degree(i)).collect();
+    let k: Vec<f64> = sum_tot.clone();
+
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+
+    let mut improved_ever = false;
+    // weights_to[c] = total edge weight from the current node into community c.
+    let mut weights_to: Vec<f64> = vec![0.0; n];
+    let mut touched: Vec<usize> = Vec::new();
+    loop {
+        let mut moved = false;
+        for &i in &order {
+            let ci = comm[i];
+            // Collect neighbor-community weights.
+            for &(j, w) in &lg.adj[i] {
+                let cj = comm[j];
+                if weights_to[cj] == 0.0 {
+                    touched.push(cj);
+                }
+                weights_to[cj] += w;
+            }
+            // Remove i from its community.
+            sum_tot[ci] -= k[i];
+            let base_gain = weights_to[ci] - k[i] * sum_tot[ci] / two_w;
+            let mut best_c = ci;
+            let mut best_gain = base_gain;
+            for &c in &touched {
+                if c == ci {
+                    continue;
+                }
+                let gain = weights_to[c] - k[i] * sum_tot[c] / two_w;
+                if gain > best_gain + 1e-12 {
+                    best_gain = gain;
+                    best_c = c;
+                }
+            }
+            sum_tot[best_c] += k[i];
+            if best_c != ci {
+                comm[i] = best_c;
+                moved = true;
+                improved_ever = true;
+            }
+            for &c in &touched {
+                weights_to[c] = 0.0;
+            }
+            touched.clear();
+        }
+        if !moved {
+            break;
+        }
+    }
+    (comm, improved_ever)
+}
+
+/// Aggregates `lg` by the assignment, producing the coarser graph.
+fn aggregate(lg: &LevelGraph, comm: &[usize], k: usize) -> LevelGraph {
+    let mut self_w = vec![0.0f64; k];
+    let mut maps: Vec<std::collections::HashMap<usize, f64>> =
+        vec![std::collections::HashMap::new(); k];
+    for i in 0..lg.n {
+        let ci = comm[i];
+        self_w[ci] += lg.self_w[i];
+        for &(j, w) in &lg.adj[i] {
+            let cj = comm[j];
+            if ci == cj {
+                // Each intra edge visited from both endpoints: half each.
+                self_w[ci] += w / 2.0;
+            } else {
+                *maps[ci].entry(cj).or_insert(0.0) += w;
+            }
+        }
+    }
+    let adj: Vec<Vec<(usize, f64)>> = maps
+        .into_iter()
+        .map(|m| m.into_iter().collect())
+        .collect();
+    let total_w = self_w.iter().sum::<f64>()
+        + adj
+            .iter()
+            .flat_map(|v| v.iter().map(|&(_, w)| w))
+            .sum::<f64>()
+            / 2.0;
+    LevelGraph {
+        n: k,
+        adj,
+        self_w,
+        total_w,
+    }
+}
+
+/// Runs Louvain and returns **all hierarchy levels**, finest first, each
+/// expressed over the original nodes. The last entry is the final (highest
+/// modularity) partition. Deterministic for a given `(g, seed)`.
+pub fn louvain_hierarchy(g: &Graph, seed: u64) -> Vec<Partition> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut levels: Vec<Partition> = Vec::new();
+    if g.n() == 0 {
+        return levels;
+    }
+    if g.m() == 0 {
+        return vec![Partition::singletons(g.n())];
+    }
+    let mut lg = LevelGraph::from_graph(g);
+    let mut current = Partition::singletons(g.n());
+    loop {
+        let (comm, improved) = local_moving(&lg, &mut rng);
+        let level = Partition::from_labels(&comm);
+        let composed = current.compose(level.labels());
+        if !improved {
+            if levels.is_empty() {
+                levels.push(composed);
+            }
+            break;
+        }
+        levels.push(composed.clone());
+        let k = level.community_count();
+        if k == lg.n {
+            break;
+        }
+        lg = aggregate(&lg, level.labels(), k);
+        current = composed;
+    }
+    levels
+}
+
+/// Runs Louvain and returns the final partition (coarsest level).
+pub fn louvain(g: &Graph, seed: u64) -> Partition {
+    louvain_hierarchy(g, seed)
+        .pop()
+        .unwrap_or_else(|| Partition::singletons(g.n()))
+}
+
+/// Convenience: final partition plus its modularity.
+pub fn louvain_with_modularity(g: &Graph, seed: u64) -> (Partition, f64) {
+    let p = louvain(g, seed);
+    let q = modularity(g, p.labels());
+    (p, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planted(k: usize, size: usize, p_in_deg: usize) -> Graph {
+        // Deterministic "cliquey" planted graph: k cliques of `size`, ring of
+        // bridges between consecutive cliques.
+        let n = k * size;
+        let mut edges = Vec::new();
+        for c in 0..k {
+            let base = (c * size) as u32;
+            for a in 0..size as u32 {
+                for b in (a + 1)..size as u32 {
+                    if ((a + b) as usize % size) < p_in_deg {
+                        edges.push((base + a, base + b));
+                    }
+                }
+            }
+            let next = ((c + 1) % k * size) as u32;
+            edges.push((base, next));
+        }
+        Graph::from_edges(n, edges).unwrap()
+    }
+
+    #[test]
+    fn two_triangles_detected() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+            .unwrap();
+        let p = louvain(&g, 1);
+        assert_eq!(p.community_count(), 2);
+        assert_eq!(p.labels()[0], p.labels()[1]);
+        assert_eq!(p.labels()[1], p.labels()[2]);
+        assert_eq!(p.labels()[3], p.labels()[4]);
+        assert_ne!(p.labels()[0], p.labels()[3]);
+    }
+
+    #[test]
+    fn planted_cliques_recovered() {
+        let g = planted(4, 8, 8);
+        let p = louvain(&g, 7);
+        assert_eq!(p.community_count(), 4);
+        // Every clique is one community.
+        for c in 0..4 {
+            let l = p.labels()[c * 8];
+            for v in 0..8 {
+                assert_eq!(p.labels()[c * 8 + v], l);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = planted(3, 6, 6);
+        assert_eq!(louvain(&g, 9).labels(), louvain(&g, 9).labels());
+    }
+
+    #[test]
+    fn modularity_nonnegative_on_structured_graph() {
+        let g = planted(4, 8, 8);
+        let (_, q) = louvain_with_modularity(&g, 3);
+        assert!(q > 0.4, "modularity {q}");
+    }
+
+    #[test]
+    fn hierarchy_is_nested_coarsening() {
+        let g = planted(6, 6, 6);
+        let levels = louvain_hierarchy(&g, 5);
+        assert!(!levels.is_empty());
+        for w in levels.windows(2) {
+            assert!(w[0].community_count() >= w[1].community_count());
+            // Coarser level must refine-respect the finer: nodes together at
+            // a finer level stay together later.
+            let fine = w[0].labels();
+            let coarse = w[1].labels();
+            let mut map = std::collections::HashMap::new();
+            for i in 0..fine.len() {
+                let entry = map.entry(fine[i]).or_insert(coarse[i]);
+                assert_eq!(*entry, coarse[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_singletons() {
+        let g = Graph::from_edges(4, []).unwrap();
+        let p = louvain(&g, 0);
+        assert_eq!(p.community_count(), 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []).unwrap();
+        assert!(louvain_hierarchy(&g, 0).is_empty());
+        assert_eq!(louvain(&g, 0).len(), 0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Partition-similarity metrics: RI (Eq. 1), ARI (Eq. 2), MI (Eq. 3), NMI.
+
+use crate::contingency::{choose2, Contingency};
+
+/// Rand Index (paper Eq. 1): fraction of node pairs on which the two
+/// labellings agree (same-same or different-different).
+pub fn rand_index(x: &[usize], y: &[usize]) -> f64 {
+    let t = Contingency::new(x, y);
+    let total = choose2(t.n);
+    if total == 0.0 {
+        return 1.0;
+    }
+    let tp = t.pair_sum_cells();
+    let fp = t.pair_sum_rows() - tp;
+    let fn_ = t.pair_sum_cols() - tp;
+    let tn = total - tp - fp - fn_;
+    (tp + tn) / total
+}
+
+/// Adjusted Rand Index (paper Eq. 2): the Rand Index corrected for chance.
+/// 1 for identical partitions, ~0 for independent ones; can be negative.
+pub fn adjusted_rand_index(x: &[usize], y: &[usize]) -> f64 {
+    let t = Contingency::new(x, y);
+    let total = choose2(t.n);
+    if total == 0.0 {
+        return 1.0;
+    }
+    let sum_cells = t.pair_sum_cells();
+    let sum_rows = t.pair_sum_rows();
+    let sum_cols = t.pair_sum_cols();
+    let expected = sum_rows * sum_cols / total;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-12 {
+        // Both partitions trivial (all-one-cluster or all-singletons):
+        // define ARI = 1 iff identical agreement, matching scikit-learn.
+        return if (sum_cells - expected).abs() < 1e-12 {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+/// Mutual information in nats (paper Eq. 3).
+pub fn mutual_information(x: &[usize], y: &[usize]) -> f64 {
+    let t = Contingency::new(x, y);
+    let n = t.n as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mut mi = 0.0;
+    for (i, row) in t.counts.iter().enumerate() {
+        for (j, &nij) in row.iter().enumerate() {
+            if nij == 0 {
+                continue;
+            }
+            let nij = nij as f64;
+            mi += nij / n * ((n * nij) / (t.row_sums[i] as f64 * t.col_sums[j] as f64)).ln();
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Shannon entropy (nats) of a labelling.
+pub fn entropy(x: &[usize]) -> f64 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let mut counts = std::collections::HashMap::new();
+    for &l in x {
+        *counts.entry(l).or_insert(0usize) += 1;
+    }
+    let n = x.len() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Normalized Mutual Information with arithmetic-mean normalization
+/// (scikit-learn's default, which the paper's evaluation scripts use):
+/// `NMI = 2 MI / (H(x) + H(y))`. Two trivial partitions score 1 if
+/// identical, 0 otherwise.
+pub fn nmi(x: &[usize], y: &[usize]) -> f64 {
+    let hx = entropy(x);
+    let hy = entropy(y);
+    if hx == 0.0 && hy == 0.0 {
+        return if x == y || same_partition(x, y) { 1.0 } else { 0.0 };
+    }
+    if hx == 0.0 || hy == 0.0 {
+        return 0.0;
+    }
+    (2.0 * mutual_information(x, y) / (hx + hy)).clamp(0.0, 1.0)
+}
+
+/// Whether two labellings induce the same partition (up to label renaming).
+pub fn same_partition(x: &[usize], y: &[usize]) -> bool {
+    if x.len() != y.len() {
+        return false;
+    }
+    let t = Contingency::new(x, y);
+    // Same partition iff every row and column of the table has exactly one
+    // nonzero cell.
+    t.counts
+        .iter()
+        .all(|row| row.iter().filter(|&&v| v > 0).count() == 1)
+        && t.col_sums.iter().all(|&c| c > 0)
+        && t.counts.len() == t.col_sums.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_score_one() {
+        let x = [0, 0, 1, 1, 2, 2];
+        assert!((rand_index(&x, &x) - 1.0).abs() < 1e-12);
+        assert!((adjusted_rand_index(&x, &x) - 1.0).abs() < 1e-12);
+        assert!((nmi(&x, &x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabelled_partitions_score_one() {
+        let x = [0, 0, 1, 1];
+        let y = [5, 5, 3, 3];
+        assert!((adjusted_rand_index(&x, &y) - 1.0).abs() < 1e-12);
+        assert!((nmi(&x, &y) - 1.0).abs() < 1e-12);
+        assert!(same_partition(&x, &y));
+    }
+
+    #[test]
+    fn sklearn_reference_values() {
+        // Values derived by hand from Eq. 2-3 and cross-checked against
+        // scikit-learn's adjusted_rand_score / normalized_mutual_info_score
+        // (arithmetic mean): ARI = 4/7, NMI = 2*ln2 / (ln2 + 1.5*ln2... ) = 0.8.
+        let x = [0, 0, 1, 1];
+        let y = [0, 0, 1, 2];
+        assert!((adjusted_rand_index(&x, &y) - 0.5714285714285715).abs() < 1e-9);
+        assert!((nmi(&x, &y) - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_partitions_near_zero_ari() {
+        // Perfectly crossed partitions.
+        let x = [0, 0, 1, 1];
+        let y = [0, 1, 0, 1];
+        let ari = adjusted_rand_index(&x, &y);
+        assert!(ari <= 0.0 + 1e-9, "ari {ari}");
+    }
+
+    #[test]
+    fn mi_of_independent_is_zero() {
+        let x = [0, 0, 1, 1];
+        let y = [0, 1, 0, 1];
+        assert!(mutual_information(&x, &y) < 1e-12);
+        assert!(nmi(&x, &y) < 1e-12);
+    }
+
+    #[test]
+    fn rand_index_manual_case() {
+        // x = {01}{23}, y = {012}{3}: pairs (6 total):
+        // (0,1): same/same agree; (2,3): same/diff disagree;
+        // (0,2),(1,2): diff/same disagree; (0,3),(1,3): diff/diff agree.
+        let x = [0, 0, 1, 1];
+        let y = [0, 0, 0, 1];
+        assert!((rand_index(&x, &y) - 3.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_partitions() {
+        let ones = [0, 0, 0];
+        let singles = [0, 1, 2];
+        assert!((nmi(&ones, &ones) - 1.0).abs() < 1e-12);
+        assert_eq!(nmi(&ones, &singles), 0.0);
+        assert!((adjusted_rand_index(&ones, &ones) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_values() {
+        assert!(entropy(&[]).abs() < 1e-12);
+        assert!(entropy(&[1, 1, 1]).abs() < 1e-12);
+        assert!((entropy(&[0, 1]) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Node partitions (community assignments).
+
+/// A partition of `n` nodes into communities, stored as a label per node.
+///
+/// Labels are kept *compact*: they form a contiguous range `0..k` where `k`
+/// is the community count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    labels: Vec<usize>,
+    k: usize,
+}
+
+impl Partition {
+    /// Builds a partition from raw labels, renumbering them to `0..k` in
+    /// order of first appearance.
+    pub fn from_labels(raw: &[usize]) -> Self {
+        let mut map = std::collections::HashMap::new();
+        let mut labels = Vec::with_capacity(raw.len());
+        for &l in raw {
+            let next = map.len();
+            let id = *map.entry(l).or_insert(next);
+            labels.push(id);
+        }
+        Partition {
+            labels,
+            k: map.len(),
+        }
+    }
+
+    /// The trivial partition placing every node in its own community.
+    pub fn singletons(n: usize) -> Self {
+        Partition {
+            labels: (0..n).collect(),
+            k: n,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the partition covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Community label of each node.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of communities.
+    pub fn community_count(&self) -> usize {
+        self.k
+    }
+
+    /// Size of each community, indexed by label.
+    pub fn community_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &l in &self.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Members of each community, indexed by label.
+    pub fn communities(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.k];
+        for (v, &l) in self.labels.iter().enumerate() {
+            out[l].push(v as u32);
+        }
+        out
+    }
+
+    /// Composes this partition with a coarser one defined *on its
+    /// communities*: node `v` gets label `coarser[self.labels[v]]`.
+    pub fn compose(&self, coarser: &[usize]) -> Partition {
+        assert_eq!(
+            coarser.len(),
+            self.k,
+            "coarser partition must label every community"
+        );
+        let raw: Vec<usize> = self.labels.iter().map(|&l| coarser[l]).collect();
+        Partition::from_labels(&raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renumbers_compactly() {
+        let p = Partition::from_labels(&[7, 7, 3, 9, 3]);
+        assert_eq!(p.labels(), &[0, 0, 1, 2, 1]);
+        assert_eq!(p.community_count(), 3);
+        assert_eq!(p.community_sizes(), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn communities_listed() {
+        let p = Partition::from_labels(&[0, 1, 0]);
+        assert_eq!(p.communities(), vec![vec![0, 2], vec![1]]);
+    }
+
+    #[test]
+    fn compose_coarsens() {
+        let fine = Partition::from_labels(&[0, 0, 1, 1, 2, 2]);
+        let coarse = fine.compose(&[0, 0, 1]);
+        assert_eq!(coarse.labels(), &[0, 0, 0, 0, 1, 1]);
+        assert_eq!(coarse.community_count(), 2);
+    }
+
+    #[test]
+    fn singletons_partition() {
+        let p = Partition::singletons(3);
+        assert_eq!(p.community_count(), 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.len(), 3);
+    }
+}

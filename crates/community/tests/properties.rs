@@ -1,0 +1,100 @@
+//! Property-based tests for community detection and partition metrics.
+
+use cpgan_community::{louvain, metrics, modularity, Partition};
+use cpgan_graph::Graph;
+use proptest::prelude::*;
+
+fn arb_labels(n: usize, k: usize) -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0..k, n)
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (3usize..30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 1..80)
+            .prop_map(move |edges| Graph::from_edges(n, edges).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn ari_symmetric(x in arb_labels(12, 4), y in arb_labels(12, 4)) {
+        let a = metrics::adjusted_rand_index(&x, &y);
+        let b = metrics::adjusted_rand_index(&y, &x);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nmi_symmetric_and_bounded(x in arb_labels(12, 4), y in arb_labels(12, 4)) {
+        let a = metrics::nmi(&x, &y);
+        let b = metrics::nmi(&y, &x);
+        prop_assert!((a - b).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn self_similarity_is_one(x in arb_labels(15, 5)) {
+        prop_assert!((metrics::adjusted_rand_index(&x, &x) - 1.0).abs() < 1e-9);
+        prop_assert!((metrics::nmi(&x, &x) - 1.0).abs() < 1e-9);
+        prop_assert!((metrics::rand_index(&x, &x) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relabelling_invariance(x in arb_labels(15, 4)) {
+        // Apply a fixed permutation to the label alphabet.
+        let relabel: Vec<usize> = x.iter().map(|&l| [3, 0, 2, 1][l]).collect();
+        prop_assert!((metrics::adjusted_rand_index(&x, &relabel) - 1.0).abs() < 1e-9);
+        prop_assert!((metrics::nmi(&x, &relabel) - 1.0).abs() < 1e-9);
+        prop_assert!(metrics::same_partition(&x, &relabel));
+    }
+
+    #[test]
+    fn rand_index_in_unit_interval(x in arb_labels(10, 3), y in arb_labels(10, 3)) {
+        let r = metrics::rand_index(&x, &y);
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn mutual_information_bounded_by_entropies(x in arb_labels(14, 4), y in arb_labels(14, 4)) {
+        let mi = metrics::mutual_information(&x, &y);
+        prop_assert!(mi <= metrics::entropy(&x) + 1e-9);
+        prop_assert!(mi <= metrics::entropy(&y) + 1e-9);
+    }
+
+    #[test]
+    fn louvain_labels_cover_all_nodes(g in arb_graph()) {
+        let p = louvain::louvain(&g, 11);
+        prop_assert_eq!(p.len(), g.n());
+        prop_assert!(p.community_count() >= 1);
+        prop_assert!(p.community_count() <= g.n());
+    }
+
+    #[test]
+    fn louvain_never_beaten_by_trivial_partition(g in arb_graph()) {
+        let p = louvain::louvain(&g, 5);
+        let q = modularity::modularity(&g, p.labels());
+        let all_one = modularity::modularity(&g, &vec![0; g.n()]);
+        prop_assert!(q >= all_one - 1e-9, "louvain {q} < trivial {all_one}");
+    }
+
+    #[test]
+    fn louvain_hierarchy_composes(g in arb_graph()) {
+        let levels = louvain::louvain_hierarchy(&g, 3);
+        // Modularity should be non-decreasing through the hierarchy.
+        let qs: Vec<f64> = levels
+            .iter()
+            .map(|p| modularity::modularity(&g, p.labels()))
+            .collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-9, "hierarchy modularity decreased: {qs:?}");
+        }
+    }
+
+    #[test]
+    fn partition_roundtrip(x in arb_labels(10, 6)) {
+        let p = Partition::from_labels(&x);
+        prop_assert!((metrics::nmi(p.labels(), &x) - 1.0).abs() < 1e-9);
+        let sizes = p.community_sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), x.len());
+        prop_assert!(sizes.iter().all(|&s| s > 0));
+    }
+}

@@ -1,0 +1,190 @@
+//! CPGAN configuration (paper §IV-A parameter settings, scaled for CPU).
+
+use serde::{Deserialize, Serialize};
+
+/// Ablation variants evaluated in Table VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Variant {
+    /// The full model.
+    Full,
+    /// "CPGAN-C": replace the GRU node decoding with a concatenation + MLP.
+    ConcatDecoder,
+    /// "CPGAN-noV": skip the variational inference module.
+    NoVariational,
+    /// "CPGAN-noH": no hierarchical pooling (single-level encoder).
+    NoHierarchy,
+}
+
+impl Variant {
+    /// Row label used in the ablation table.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Full => "CPGAN",
+            Variant::ConcatDecoder => "CPGAN-C",
+            Variant::NoVariational => "CPGAN-noV",
+            Variant::NoHierarchy => "CPGAN-noH",
+        }
+    }
+}
+
+/// Hyper-parameters of CPGAN.
+///
+/// Paper defaults: conv kernel 128, pooling size 256, lr 0.001 with decay
+/// 0.3 / 400 epochs, spectral input dimension 4, two hierarchy levels
+/// (Figure 5). The CPU defaults here shrink widths but keep every ratio.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CpGanConfig {
+    /// Ablation variant.
+    pub variant: Variant,
+    /// Spectral-embedding input dimension (Figure 5 sweeps this; the paper
+    /// settles on 4 with a 128-wide encoder — our narrower CPU encoder
+    /// benefits from 16, see EXPERIMENTS.md).
+    pub spectral_dim: usize,
+    /// GCN kernel width (paper: 128).
+    pub hidden_dim: usize,
+    /// Latent dimension `d'` of the variational module.
+    pub latent_dim: usize,
+    /// Number of hierarchy levels `k` (Figure 5 sweeps this; best 2).
+    pub levels: usize,
+    /// Graph-convolution blocks stacked per level before pooling (the
+    /// paper's "stacked convolution and pooling layers", §III-C).
+    pub convs_per_level: usize,
+    /// Nodes per coarsened level, as a fraction of the previous level
+    /// (paper uses a fixed pooling size 256 on large graphs; a ratio keeps
+    /// small CPU graphs meaningful).
+    pub pool_ratio: f64,
+    /// Hard cap on any pooled level's size (the paper's 256).
+    pub max_pool_size: usize,
+    /// Subgraph sample size `n_s` used during training and assembly.
+    pub sample_size: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Initial learning rate (paper: 0.001).
+    pub learning_rate: f32,
+    /// Learning-rate decay factor (paper: 0.3).
+    pub lr_decay: f32,
+    /// Epochs between decays (paper: 400).
+    pub lr_decay_every: usize,
+    /// PairNorm scale.
+    pub pairnorm_scale: f32,
+    /// Weight of the clustering-consistency loss `L_clus`.
+    pub clus_weight: f32,
+    /// Weight of the mapping-consistency loss `L_rec`.
+    pub rec_weight: f32,
+    /// Weight of the KL prior loss.
+    pub kl_weight: f32,
+    /// Weight of the adversarial terms in the generator objective.
+    pub adv_weight: f32,
+    /// Weight of the adjacency reconstruction likelihood (Eq. 14's
+    /// `p(A_rec | Z_vae)` term of the hierarchical VAE generator).
+    pub recon_weight: f32,
+    /// RNG seed for initialization, sampling and Louvain ground truth.
+    pub seed: u64,
+}
+
+impl Default for CpGanConfig {
+    fn default() -> Self {
+        CpGanConfig {
+            variant: Variant::Full,
+            spectral_dim: 16,
+            hidden_dim: 32,
+            latent_dim: 16,
+            levels: 2,
+            convs_per_level: 2,
+            pool_ratio: 0.25,
+            max_pool_size: 256,
+            sample_size: 200,
+            epochs: 400,
+            learning_rate: 1e-3,
+            lr_decay: 0.3,
+            lr_decay_every: 400,
+            pairnorm_scale: 1.0,
+            clus_weight: 1.0,
+            rec_weight: 0.1,
+            kl_weight: 0.01,
+            adv_weight: 0.05,
+            recon_weight: 2.0,
+            seed: 42,
+        }
+    }
+}
+
+impl CpGanConfig {
+    /// A lighter configuration for unit tests and doctests.
+    pub fn tiny() -> Self {
+        CpGanConfig {
+            hidden_dim: 16,
+            latent_dim: 8,
+            sample_size: 60,
+            epochs: 20,
+            ..Default::default()
+        }
+    }
+
+    /// Effective number of levels after applying the ablation variant.
+    pub fn effective_levels(&self) -> usize {
+        match self.variant {
+            Variant::NoHierarchy => 1,
+            _ => self.levels.max(1),
+        }
+    }
+
+    /// Pooled sizes for a graph of `n` nodes: level l has
+    /// `min(max_pool_size, ceil(n * ratio^l))` nodes, min 2.
+    pub fn pool_sizes(&self, n: usize) -> Vec<usize> {
+        let levels = self.effective_levels();
+        let mut sizes = Vec::with_capacity(levels.saturating_sub(1));
+        let mut current = n as f64;
+        for _ in 1..levels {
+            current *= self.pool_ratio;
+            let size = (current.ceil() as usize).clamp(2, self.max_pool_size);
+            sizes.push(size);
+        }
+        sizes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_sizes_shrink() {
+        let cfg = CpGanConfig {
+            levels: 3,
+            pool_ratio: 0.25,
+            ..Default::default()
+        };
+        assert_eq!(cfg.pool_sizes(400), vec![100, 25]);
+    }
+
+    #[test]
+    fn pool_sizes_capped() {
+        let cfg = CpGanConfig {
+            levels: 2,
+            pool_ratio: 0.5,
+            max_pool_size: 64,
+            ..Default::default()
+        };
+        assert_eq!(cfg.pool_sizes(10_000), vec![64]);
+    }
+
+    #[test]
+    fn no_hierarchy_means_one_level() {
+        let cfg = CpGanConfig {
+            variant: Variant::NoHierarchy,
+            levels: 3,
+            ..Default::default()
+        };
+        assert_eq!(cfg.effective_levels(), 1);
+        assert!(cfg.pool_sizes(100).is_empty());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Variant::Full.label(), "CPGAN");
+        assert_eq!(Variant::ConcatDecoder.label(), "CPGAN-C");
+        assert_eq!(Variant::NoVariational.label(), "CPGAN-noV");
+        assert_eq!(Variant::NoHierarchy.label(), "CPGAN-noH");
+    }
+}

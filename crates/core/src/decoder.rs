@@ -1,0 +1,191 @@
+//! Graph decoder (paper §III-E, Eq. 13–14).
+//!
+//! First decodes the hierarchical latent sequence with a GRU (one step per
+//! hierarchy level), then predicts links with a two-layer MLP followed by a
+//! scaled dot product. The `CPGAN-C` ablation replaces the GRU with a plain
+//! concatenation + MLP.
+
+use crate::config::{CpGanConfig, Variant};
+use cpgan_nn::layers::{Activation, GruCell, Mlp};
+use cpgan_nn::{Matrix, ParamStore, Tape, Var};
+use rand::Rng;
+
+/// The hierarchical decoder.
+#[derive(Debug, Clone)]
+pub struct GraphDecoder {
+    gru: Option<GruCell>,
+    /// Used instead of the GRU by `CPGAN-C`.
+    concat_proj: Option<Mlp>,
+    /// `g_theta`: the two-layer link-prediction head (Eq. 14).
+    link_head: Mlp,
+    hidden: usize,
+    levels: usize,
+    latent: usize,
+}
+
+impl GraphDecoder {
+    /// Builds the decoder for the given config.
+    pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, cfg: &CpGanConfig) -> Self {
+        let levels = cfg.effective_levels();
+        let hidden = cfg.hidden_dim;
+        let (gru, concat_proj) = match cfg.variant {
+            Variant::ConcatDecoder => (
+                None,
+                Some(Mlp::new(
+                    store,
+                    rng,
+                    &[levels * cfg.latent_dim, hidden, hidden],
+                    Activation::Relu,
+                )),
+            ),
+            _ => (Some(GruCell::new(store, rng, cfg.latent_dim, hidden)), None),
+        };
+        let link_head = Mlp::new(store, rng, &[hidden, hidden, hidden], Activation::Relu);
+        GraphDecoder {
+            gru,
+            concat_proj,
+            link_head,
+            hidden,
+            levels,
+            latent: cfg.latent_dim,
+        }
+    }
+
+    /// Decodes per-level latent blocks into node features `h_k`
+    /// (`n x hidden`), Eq. 13.
+    pub fn decode_nodes(&self, tape: &Tape, z_levels: &[Var]) -> Var {
+        assert_eq!(z_levels.len(), self.levels, "level count mismatch");
+        if let Some(proj) = &self.concat_proj {
+            // CPGAN-C: concatenate all levels and project.
+            let cat = Var::concat_cols(z_levels);
+            return proj.forward(tape, &cat).relu();
+        }
+        let gru = self.gru.as_ref().expect("GRU decoder");
+        let n = z_levels[0].shape().0;
+        let mut h = tape.constant(Matrix::zeros(n, self.hidden));
+        for z in z_levels {
+            h = gru.forward(tape, z, &h);
+        }
+        h
+    }
+
+    /// Link-prediction logits `g(h) g(h)^T` (`n x n`), Eq. 14 before the
+    /// sigmoid. Training losses consume logits (stable BCE); apply
+    /// `sigmoid` for probabilities.
+    pub fn link_logits(&self, tape: &Tape, h: &Var) -> Var {
+        let e = self.link_head.forward(tape, h);
+        // Scale by 1/sqrt(d) to keep logits in a trainable range.
+        let scale = 1.0 / (self.hidden as f32).sqrt();
+        e.matmul(&e.transpose()).scale(scale)
+    }
+
+    /// Convenience: probabilities `sigma(logits)`.
+    pub fn link_probabilities(&self, tape: &Tape, h: &Var) -> Var {
+        self.link_logits(tape, h).sigmoid()
+    }
+
+    /// Latent width expected per level.
+    pub fn latent_dim(&self) -> usize {
+        self.latent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> CpGanConfig {
+        CpGanConfig {
+            hidden_dim: 8,
+            latent_dim: 4,
+            levels: 2,
+            sample_size: 10,
+            ..CpGanConfig::tiny()
+        }
+    }
+
+    fn blocks(tape: &Tape, n: usize, d: usize, k: usize) -> Vec<Var> {
+        (0..k)
+            .map(|l| {
+                tape.constant(Matrix::from_fn(n, d, |r, c| {
+                    ((r * d + c + l * 31) as f32 * 0.13).sin()
+                }))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn gru_decoder_shapes() {
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let dec = GraphDecoder::new(&mut store, &mut rng, &cfg);
+        let tape = Tape::new();
+        let h = dec.decode_nodes(&tape, &blocks(&tape, 6, 4, 2));
+        assert_eq!(h.shape(), (6, 8));
+        let logits = dec.link_logits(&tape, &h);
+        assert_eq!(logits.shape(), (6, 6));
+    }
+
+    #[test]
+    fn logits_symmetric() {
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let dec = GraphDecoder::new(&mut store, &mut rng, &cfg);
+        let tape = Tape::new();
+        let h = dec.decode_nodes(&tape, &blocks(&tape, 5, 4, 2));
+        let logits = dec.link_logits(&tape, &h).value();
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((logits.get(i, j) - logits.get(j, i)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn concat_variant_has_no_gru() {
+        let cfg = CpGanConfig {
+            variant: Variant::ConcatDecoder,
+            ..cfg()
+        };
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let dec = GraphDecoder::new(&mut store, &mut rng, &cfg);
+        assert!(dec.gru.is_none());
+        let tape = Tape::new();
+        let h = dec.decode_nodes(&tape, &blocks(&tape, 4, 4, 2));
+        assert_eq!(h.shape(), (4, 8));
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let dec = GraphDecoder::new(&mut store, &mut rng, &cfg);
+        let tape = Tape::new();
+        let h = dec.decode_nodes(&tape, &blocks(&tape, 7, 4, 2));
+        let p = dec.link_probabilities(&tape, &h).value();
+        assert!(p.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn gradients_flow_to_decoder_params() {
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        let dec = GraphDecoder::new(&mut store, &mut rng, &cfg);
+        let tape = Tape::new();
+        let h = dec.decode_nodes(&tape, &blocks(&tape, 6, 4, 2));
+        dec.link_logits(&tape, &h).square().sum_all().backward();
+        let live = store
+            .params()
+            .iter()
+            .filter(|p| p.lock().grad.frobenius_norm() > 0.0)
+            .count();
+        assert!(live > store.params().len() / 2, "{live} params with grad");
+    }
+}

@@ -1,0 +1,68 @@
+//! Graph discriminator (paper §III-F1, Eq. 15).
+//!
+//! A two-layer MLP over the flattened encoder readout. Outputs a logit;
+//! training losses use the numerically stable BCE-with-logits form of the
+//! minimax objective (Eq. 16).
+
+use crate::config::CpGanConfig;
+use cpgan_nn::layers::{Activation, Mlp};
+use cpgan_nn::{ParamStore, Tape, Var};
+use rand::Rng;
+
+/// The discriminator head `D_phi`.
+#[derive(Debug, Clone)]
+pub struct Discriminator {
+    mlp: Mlp,
+}
+
+impl Discriminator {
+    /// Builds the head; input width is `levels * hidden` (the flattened
+    /// readout).
+    pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, cfg: &CpGanConfig) -> Self {
+        let in_dim = cfg.effective_levels() * cfg.hidden_dim;
+        Discriminator {
+            mlp: Mlp::new(store, rng, &[in_dim, cfg.hidden_dim, 1], Activation::Relu),
+        }
+    }
+
+    /// Real/fake logit from a flattened readout (`1 x (k*hidden)`).
+    pub fn logit(&self, tape: &Tape, readout_flat: &Var) -> Var {
+        self.mlp.forward(tape, readout_flat)
+    }
+
+    /// Probability the input is a real graph.
+    pub fn probability(&self, tape: &Tape, readout_flat: &Var) -> Var {
+        self.logit(tape, readout_flat).sigmoid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpgan_nn::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn logit_scalar_and_trainable() {
+        let cfg = CpGanConfig {
+            hidden_dim: 8,
+            levels: 2,
+            ..CpGanConfig::tiny()
+        };
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = Discriminator::new(&mut store, &mut rng, &cfg);
+        let tape = Tape::new();
+        let readout = tape.constant(Matrix::from_fn(1, 16, |_, c| (c as f32 * 0.2).sin()));
+        let logit = d.logit(&tape, &readout);
+        assert_eq!(logit.shape(), (1, 1));
+        let p = d.probability(&tape, &readout).item();
+        assert!((0.0..=1.0).contains(&p));
+        logit.backward();
+        assert!(store
+            .params()
+            .iter()
+            .any(|p| p.lock().grad.frobenius_norm() > 0.0));
+    }
+}

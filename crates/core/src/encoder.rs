@@ -1,0 +1,354 @@
+//! Ladder message-transmission encoder (paper §III-C).
+//!
+//! Stacks graph convolutions (Eq. 6) with DiffPool-style differentiable
+//! pooling (Eq. 7–8), PairNorm after every convolution, graph readout
+//! (Eq. 9) and transposed pooling for hierarchical message distribution
+//! (Eq. 10–11).
+
+use crate::config::CpGanConfig;
+use cpgan_nn::layers::{GcnConv, PairNorm};
+use cpgan_nn::{Csr, ParamStore, Tape, Var};
+use rand::Rng;
+use std::sync::Arc;
+
+/// The adjacency operator fed to the encoder: sparse for observed graphs,
+/// dense (and differentiable) for generated probability matrices.
+#[derive(Clone)]
+pub enum AdjInput {
+    /// Constant normalized adjacency of an observed graph.
+    Sparse(Arc<Csr>),
+    /// A dense, possibly gradient-carrying operator (reconstructed graphs
+    /// feeding the discriminator).
+    Dense(Var),
+}
+
+/// Everything the rest of CPGAN needs from one encoder pass.
+pub struct EncoderOutput {
+    /// Per-level node representations `Z^(l)` (`n_l x hidden`).
+    pub z_levels: Vec<Var>,
+    /// Per-level representations distributed back to the original nodes
+    /// (`n x hidden` each) — Eq. 11's `Z_rec` stack.
+    pub z_rec: Vec<Var>,
+    /// Assignment matrices `S^(l)` (`n_l x n_{l+1}`), softmaxed.
+    pub assignments: Vec<Var>,
+    /// Assignments composed down to original nodes (`n x n_{l+1}`), used by
+    /// the clustering-consistency loss.
+    pub assignments_composed: Vec<Var>,
+    /// Graph readout `s` (`k x hidden`), one row per level (Eq. 9).
+    pub readout: Var,
+    /// Readout flattened to `1 x (k * hidden)` for the discriminator MLP.
+    pub readout_flat: Var,
+}
+
+/// The ladder encoder.
+#[derive(Debug, Clone)]
+pub struct LadderEncoder {
+    /// `convs_per_level` stacked embedding convolutions per level.
+    convs_embed: Vec<Vec<GcnConv>>,
+    convs_pool: Vec<GcnConv>,
+    convs_depool: Vec<GcnConv>,
+    pairnorm: PairNorm,
+    levels: usize,
+    hidden: usize,
+}
+
+impl LadderEncoder {
+    /// Builds the encoder; pooled level widths are fixed from
+    /// `cfg.pool_sizes(cfg.sample_size)` so the same parameters serve any
+    /// input graph size.
+    pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, cfg: &CpGanConfig) -> Self {
+        let levels = cfg.effective_levels();
+        let pool_sizes = cfg.pool_sizes(cfg.sample_size);
+        let mut convs_embed = Vec::with_capacity(levels);
+        let mut convs_pool = Vec::with_capacity(levels.saturating_sub(1));
+        let mut convs_depool = Vec::with_capacity(levels.saturating_sub(1));
+        // +1: the degree feature column appended by the model.
+        let mut in_dim = cfg.spectral_dim + 1;
+        let depth = cfg.convs_per_level.max(1);
+        for l in 0..levels {
+            let mut stack = Vec::with_capacity(depth);
+            let mut d = in_dim;
+            for _ in 0..depth {
+                stack.push(GcnConv::new(store, rng, d, cfg.hidden_dim));
+                d = cfg.hidden_dim;
+            }
+            convs_embed.push(stack);
+            if let Some(&out_nodes) = pool_sizes.get(l) {
+                convs_pool.push(GcnConv::new(store, rng, cfg.hidden_dim, out_nodes));
+                convs_depool.push(GcnConv::new(store, rng, cfg.hidden_dim, out_nodes));
+            }
+            in_dim = cfg.hidden_dim;
+        }
+        LadderEncoder {
+            convs_embed,
+            convs_pool,
+            convs_depool,
+            pairnorm: PairNorm::new(cfg.pairnorm_scale),
+            levels,
+            hidden: cfg.hidden_dim,
+        }
+    }
+
+    /// Number of hierarchy levels `k`.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Hidden width per level.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    fn conv(&self, tape: &Tape, conv: &GcnConv, adj: &AdjInput, x: &Var) -> Var {
+        match adj {
+            AdjInput::Sparse(csr) => conv.forward_sparse(tape, csr, x),
+            AdjInput::Dense(a) => conv.forward_dense(tape, a, x),
+        }
+    }
+
+    /// Full encoder pass (Eq. 6–11).
+    pub fn encode(&self, tape: &Tape, adj: &AdjInput, features: &Var) -> EncoderOutput {
+        let mut z_levels = Vec::with_capacity(self.levels);
+        let mut z_rec = Vec::with_capacity(self.levels);
+        let mut assignments = Vec::with_capacity(self.levels.saturating_sub(1));
+        let mut assignments_composed = Vec::with_capacity(self.levels.saturating_sub(1));
+
+        let mut cur_adj = adj.clone();
+        let mut cur_x = features.clone();
+        // Running product of transposed depool assignments mapping level-l
+        // space back to original nodes (Eq. 11).
+        let mut distribute: Option<Var> = None;
+        // Running product of pooling assignments mapping original nodes to
+        // the current level (for L_clus supervision).
+        let mut compose: Option<Var> = None;
+
+        for l in 0..self.levels {
+            // Z^(l) = PairNorm(ReLU(GCN_embed(...))) stacked convs_per_level
+            // deep (PairNorm after every block prevents over-smoothing,
+            // §III-C2).
+            let mut z = cur_x.clone();
+            for conv in &self.convs_embed[l] {
+                z = self
+                    .pairnorm
+                    .forward(tape, &self.conv(tape, conv, &cur_adj, &z).relu());
+            }
+            z_levels.push(z.clone());
+
+            // Distribute to original nodes.
+            let rec = match &distribute {
+                None => z.clone(),
+                Some(d) => d.matmul(&z),
+            };
+            z_rec.push(rec);
+
+            if l + 1 < self.levels {
+                // S^(l) = softmax(GCN_pool(Z, A)) (Eq. 7).
+                let s = self
+                    .conv(tape, &self.convs_pool[l], &cur_adj, &z)
+                    .softmax_rows();
+                assignments.push(s.clone());
+                let composed = match &compose {
+                    None => s.clone(),
+                    Some(c) => c.matmul(&s),
+                };
+                assignments_composed.push(composed.clone());
+                compose = Some(composed);
+
+                // S_depool^(l) = softmax(GCN_depool(Z, A)^T) (Eq. 10); its
+                // transpose maps coarse rows back to fine rows.
+                let s_dep_t = self
+                    .conv(tape, &self.convs_depool[l], &cur_adj, &z)
+                    .transpose()
+                    .softmax_rows()
+                    .transpose();
+                distribute = Some(match &distribute {
+                    None => s_dep_t.clone(),
+                    Some(d) => d.matmul(&s_dep_t),
+                });
+
+                // Coarsen: A' = S^T A S, X' = S^T Z (Eq. 8).
+                let a_s = match &cur_adj {
+                    AdjInput::Sparse(csr) => s.spmm(csr),
+                    AdjInput::Dense(a) => a.matmul(&s),
+                };
+                let a_next = s.transpose().matmul(&a_s);
+                let x_next = s.transpose().matmul(&z);
+                cur_adj = AdjInput::Dense(a_next);
+                cur_x = x_next;
+            }
+        }
+
+        // Readout: mean row per level, stacked (Eq. 9).
+        let means: Vec<Var> = z_levels.iter().map(|z| z.mean_rows()).collect();
+        let readout = Var::concat_rows(&means);
+        let readout_flat = Var::concat_cols(&means);
+
+        EncoderOutput {
+            z_levels,
+            z_rec,
+            assignments,
+            assignments_composed,
+            readout,
+            readout_flat,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpgan_graph::{spectral, Graph};
+    use cpgan_nn::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_graph() -> Graph {
+        let mut edges = Vec::new();
+        for u in 0..10u32 {
+            for v in (u + 1)..10 {
+                if (u + v) % 3 != 0 {
+                    edges.push((u, v));
+                    edges.push((u + 10, v + 10));
+                }
+            }
+        }
+        edges.push((0, 10));
+        Graph::from_edges(20, edges).unwrap()
+    }
+
+    fn cfg() -> CpGanConfig {
+        CpGanConfig {
+            sample_size: 20,
+            hidden_dim: 8,
+            spectral_dim: 4,
+            levels: 2,
+            pool_ratio: 0.25,
+            ..CpGanConfig::tiny()
+        }
+    }
+
+    /// Spectral embedding plus a degree column, matching the model's
+    /// feature map (encoder input width is spectral_dim + 1).
+    fn test_features(g: &Graph, d: usize) -> Matrix {
+        let spec = spectral::spectral_embedding(g, d, 7);
+        Matrix::from_fn(g.n(), d + 1, |r, c| {
+            if c < d {
+                spec[r * d + c]
+            } else {
+                (g.degree(r as u32) as f32 + 1.0).ln()
+            }
+        })
+    }
+
+    fn encode_once(cfg: &CpGanConfig, g: &Graph) -> (EncoderOutput, Tape) {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let enc = LadderEncoder::new(&mut store, &mut rng, cfg);
+        let tape = Tape::new();
+        let x = tape.constant(test_features(g, cfg.spectral_dim));
+        let adj = AdjInput::Sparse(Arc::new(Csr::normalized_adjacency(g)));
+        let out = enc.encode(&tape, &adj, &x);
+        (out, tape)
+    }
+
+    #[test]
+    fn shapes_follow_pooling_schedule() {
+        let cfg = cfg();
+        let g = test_graph();
+        let (out, _tape) = encode_once(&cfg, &g);
+        assert_eq!(out.z_levels.len(), 2);
+        assert_eq!(out.z_levels[0].shape(), (20, 8));
+        assert_eq!(out.z_levels[1].shape(), (5, 8)); // 20 * 0.25
+        assert_eq!(out.z_rec[1].shape(), (20, 8));
+        assert_eq!(out.assignments[0].shape(), (20, 5));
+        assert_eq!(out.readout.shape(), (2, 8));
+        assert_eq!(out.readout_flat.shape(), (1, 16));
+    }
+
+    #[test]
+    fn assignments_are_row_stochastic() {
+        let (out, _tape) = encode_once(&cfg(), &test_graph());
+        let s = out.assignments[0].value();
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn readout_is_permutation_invariant() {
+        // Permuting nodes (and permuting features consistently) must leave
+        // the readout unchanged (paper Eq. 5).
+        let cfg = cfg();
+        let g = test_graph();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let enc = LadderEncoder::new(&mut store, &mut rng, &cfg);
+
+        let x_mat = test_features(&g, cfg.spectral_dim);
+
+        let tape1 = Tape::new();
+        let out1 = enc.encode(
+            &tape1,
+            &AdjInput::Sparse(Arc::new(Csr::normalized_adjacency(&g))),
+            &tape1.constant(x_mat.clone()),
+        );
+        let r1 = out1.readout.value();
+
+        // Reverse permutation.
+        let perm: Vec<u32> = (0..g.n() as u32).rev().collect();
+        let pg = g.permute(&perm);
+        let mut px = Matrix::zeros(g.n(), cfg.spectral_dim + 1);
+        for (v, &pv) in perm.iter().enumerate() {
+            px.row_mut(pv as usize).copy_from_slice(x_mat.row(v));
+        }
+        let tape2 = Tape::new();
+        let out2 = enc.encode(
+            &tape2,
+            &AdjInput::Sparse(Arc::new(Csr::normalized_adjacency(&pg))),
+            &tape2.constant(px),
+        );
+        let r2 = out2.readout.value();
+
+        for (a, b) in r1.as_slice().iter().zip(r2.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "readout changed under permutation");
+        }
+    }
+
+    #[test]
+    fn gradients_reach_every_encoder_parameter() {
+        let cfg = cfg();
+        let g = test_graph();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let enc = LadderEncoder::new(&mut store, &mut rng, &cfg);
+        let tape = Tape::new();
+        let x = tape.constant(test_features(&g, cfg.spectral_dim));
+        let adj = AdjInput::Sparse(Arc::new(Csr::normalized_adjacency(&g)));
+        let out = enc.encode(&tape, &adj, &x);
+        // Touch every output head so all parameter paths are exercised.
+        let loss = out
+            .readout_flat
+            .square()
+            .sum_all()
+            .add(&out.z_rec.last().unwrap().square().sum_all())
+            .add(&out.assignments_composed[0].square().sum_all());
+        loss.backward();
+        for (i, p) in store.params().iter().enumerate() {
+            assert!(
+                p.lock().grad.frobenius_norm() > 0.0,
+                "encoder param {i} received no gradient"
+            );
+        }
+    }
+
+    #[test]
+    fn single_level_variant_has_no_pooling() {
+        let mut cfg = cfg();
+        cfg.variant = crate::config::Variant::NoHierarchy;
+        let (out, _tape) = encode_once(&cfg, &test_graph());
+        assert_eq!(out.z_levels.len(), 1);
+        assert!(out.assignments.is_empty());
+        assert_eq!(out.readout.shape(), (1, 8));
+    }
+}

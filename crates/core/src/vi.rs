@@ -1,0 +1,195 @@
+//! Variational inference module (paper §III-D, Eq. 12).
+//!
+//! Maps the reconstructed hierarchical features `Z_rec` (levels stacked
+//! column-wise, `n x (k*hidden)`) to a shared latent Gaussian
+//! `N(mu_bar, diag(sigma_bar^2))` via two MLP heads, then draws per-node
+//! samples with the reparameterization trick. Exposes `mu`/`logvar` for the
+//! KL prior (Eq. 19).
+
+use crate::config::CpGanConfig;
+use cpgan_nn::layers::{Activation, Mlp};
+use cpgan_nn::{init, loss, Matrix, ParamStore, Tape, Var};
+use rand::Rng;
+
+/// Output of one variational pass.
+pub struct ViOutput {
+    /// Per-node latent samples `Z_vae` (`n x (k * latent)`).
+    pub z: Var,
+    /// Per-node posterior means (`n x (k * latent)`).
+    ///
+    /// Eq. 12's literal `mu_bar = mean_i g_mu(...)_i` would erase all
+    /// node-specific community information before decoding, leaving the
+    /// decoder nothing but iid noise; we keep the per-node means (the
+    /// standard VGAE posterior) and apply Eq. 12's averaging only to the
+    /// *variance*, which is what the equation's `1/n^2` scaling actually
+    /// constrains. See DESIGN.md "substitutions".
+    pub mu: Var,
+    /// Shared `sigma_bar^2` (`1 x (k * latent)`), per Eq. 12.
+    pub var: Var,
+    /// KL divergence to the standard normal prior (scalar).
+    pub kl: Var,
+}
+
+/// The inference network: `g(Z_rec, phi) = sigma(Z_rec phi_0) phi_1` heads
+/// for mean and variance.
+#[derive(Debug, Clone)]
+pub struct VariationalInference {
+    g_mu: Mlp,
+    g_sigma: Mlp,
+    out_dim: usize,
+}
+
+impl VariationalInference {
+    /// Builds the module; input width is `levels * hidden`, output width is
+    /// `levels * latent` (one latent block per hierarchy level for the GRU
+    /// decoder to consume).
+    pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, cfg: &CpGanConfig) -> Self {
+        let k = cfg.effective_levels();
+        let in_dim = k * cfg.hidden_dim;
+        let out_dim = k * cfg.latent_dim;
+        VariationalInference {
+            g_mu: Mlp::new(store, rng, &[in_dim, cfg.hidden_dim, out_dim], Activation::Relu),
+            g_sigma: Mlp::new(store, rng, &[in_dim, cfg.hidden_dim, out_dim], Activation::Relu),
+            out_dim,
+        }
+    }
+
+    /// Latent width `k * latent`.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Runs inference on `z_rec` (`n x (k*hidden)`) and samples `n` latent
+    /// rows with externally drawn standard-normal noise.
+    pub fn forward<R: Rng>(&self, tape: &Tape, z_rec: &Var, rng: &mut R) -> ViOutput {
+        let n = z_rec.shape().0;
+        // Per-node posterior means mu_i = g_mu(Z_rec)_i.
+        let mu = self.g_mu.forward(tape, z_rec);
+        // Shared variance, Eq. 12: sigma_bar^2 = 1/n^2 * sum_i g_sigma(...)_i^2
+        //                                      = 1/n * mean_i g_sigma(...)_i^2.
+        let var = self
+            .g_sigma
+            .forward(tape, z_rec)
+            .square()
+            .mean_rows()
+            .scale(1.0 / n as f32);
+        let sigma = var.sqrt();
+
+        // Reparameterization: z_i = mu_i + sigma_bar * eps_i.
+        let eps = tape.constant(init::standard_normal(rng, n, self.out_dim));
+        let z = mu.add(&sigma.broadcast_row(n).mul(&eps));
+
+        // KL(N(mu_i, sigma^2) || N(0, I)) averaged over nodes, with
+        // logvar = ln sigma^2 broadcast across rows.
+        let kl = loss::gaussian_kl(&mu, &var.ln().broadcast_row(n));
+
+        ViOutput { z, mu, var, kl }
+    }
+
+    /// Draws `n` rows straight from the standard-normal prior (generation
+    /// path, Eq. 16's `Z_s`).
+    pub fn sample_prior<R: Rng>(&self, tape: &Tape, n: usize, rng: &mut R) -> Var {
+        tape.constant(init::standard_normal(rng, n, self.out_dim))
+    }
+
+    /// Splits a latent matrix (`n x (k*latent)`) into per-level blocks for
+    /// the hierarchical decoder.
+    pub fn split_levels(&self, tape: &Tape, z: &Var, levels: usize) -> Vec<Var> {
+        let (n, total) = z.shape();
+        assert_eq!(total, self.out_dim);
+        let per = total / levels;
+        // Column slicing via constant selection matrices keeps the op set
+        // small: block l = z * E_l with E_l a (total x per) 0/1 matrix.
+        (0..levels)
+            .map(|l| {
+                let mut sel = Matrix::zeros(total, per);
+                for c in 0..per {
+                    sel.set(l * per + c, c, 1.0);
+                }
+                let e = tape.constant(sel);
+                let block = z.matmul(&e);
+                debug_assert_eq!(block.shape(), (n, per));
+                block
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> CpGanConfig {
+        CpGanConfig {
+            hidden_dim: 8,
+            latent_dim: 4,
+            levels: 2,
+            sample_size: 12,
+            ..CpGanConfig::tiny()
+        }
+    }
+
+    #[test]
+    fn shapes() {
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let vi = VariationalInference::new(&mut store, &mut rng, &cfg);
+        let tape = Tape::new();
+        let z_rec = tape.constant(Matrix::from_fn(12, 16, |r, c| ((r + c) as f32 * 0.1).sin()));
+        let out = vi.forward(&tape, &z_rec, &mut rng);
+        assert_eq!(out.z.shape(), (12, 8));
+        assert_eq!(out.mu.shape(), (12, 8));
+        assert_eq!(out.var.shape(), (1, 8));
+        assert_eq!(out.kl.shape(), (1, 1));
+        assert!(out.var.value().as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn kl_nonnegative_and_differentiable() {
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let vi = VariationalInference::new(&mut store, &mut rng, &cfg);
+        let tape = Tape::new();
+        let z_rec = tape.constant(Matrix::from_fn(10, 16, |r, c| ((r * c) as f32 * 0.07).cos()));
+        let out = vi.forward(&tape, &z_rec, &mut rng);
+        assert!(out.kl.item() > -1e-4, "kl {}", out.kl.item());
+        out.kl.backward();
+        let touched = store
+            .params()
+            .iter()
+            .filter(|p| p.lock().grad.frobenius_norm() > 0.0)
+            .count();
+        assert!(touched > 0, "KL gradient reached no parameters");
+    }
+
+    #[test]
+    fn split_levels_partitions_columns() {
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let vi = VariationalInference::new(&mut store, &mut rng, &cfg);
+        let tape = Tape::new();
+        let z = tape.constant(Matrix::from_fn(3, 8, |r, c| (r * 8 + c) as f32));
+        let blocks = vi.split_levels(&tape, &z, 2);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].shape(), (3, 4));
+        assert_eq!(blocks[0].value().get(0, 0), 0.0);
+        assert_eq!(blocks[1].value().get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn prior_samples_standard_normal() {
+        let cfg = cfg();
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let vi = VariationalInference::new(&mut store, &mut rng, &cfg);
+        let tape = Tape::new();
+        let z = vi.sample_prior(&tape, 500, &mut rng).value();
+        let mean: f32 = z.as_slice().iter().sum::<f32>() / z.len() as f32;
+        assert!(mean.abs() < 0.1, "prior mean {mean}");
+    }
+}

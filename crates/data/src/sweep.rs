@@ -1,0 +1,48 @@
+//! Scale-sweep graphs for the efficiency experiments (Tables VII–IX).
+//!
+//! The paper measures per-model generation time, training time and peak
+//! memory on graphs of 0.1k, 1k, 10k and 100k nodes. These are planted
+//! graphs with fixed per-node density and a community count that grows with
+//! `sqrt(n)`, so every size has comparable structure.
+
+use crate::planted::{self, PlantedConfig, PlantedGraph};
+
+/// The node counts used by Tables VII, VIII and IX.
+pub const SWEEP_SIZES: [usize; 4] = [100, 1_000, 10_000, 100_000];
+
+/// Generates the sweep graph of `n` nodes (mean degree 8, `sqrt(n)`
+/// communities).
+pub fn sweep_graph(n: usize, seed: u64) -> PlantedGraph {
+    planted::generate(&PlantedConfig {
+        n,
+        m: 4 * n,
+        communities: ((n as f64).sqrt() as usize).max(2),
+        mixing: 0.15,
+        hierarchy_factor: 1,
+        pwe: 2.2,
+        size_skew: 0.5,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_sizes_generate() {
+        for &n in &SWEEP_SIZES[..2] {
+            let pg = sweep_graph(n, 1);
+            assert_eq!(pg.graph.n(), n);
+            let ratio = pg.graph.m() as f64 / (4 * n) as f64;
+            assert!((0.8..=1.05).contains(&ratio), "n {n}: m ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn ten_k_generates_quickly() {
+        let pg = sweep_graph(10_000, 2);
+        assert_eq!(pg.graph.n(), 10_000);
+        assert!(pg.graph.m() > 30_000);
+    }
+}

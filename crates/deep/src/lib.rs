@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Learning-based baseline graph generators (paper §II-B2).
+//!
+//! Reimplementations of the six deep baselines the paper compares against,
+//! built on the `cpgan-nn` substrate:
+//!
+//! * [`vgae::Vgae`] — variational graph autoencoder (Kipf & Welling 2016),
+//! * [`graphite::Graphite`] — iterative VAE decoder refinement (Grover 2019),
+//! * [`sbmgnn::SbmGnn`] — overlapping-SBM parameters inferred by a GNN
+//!   (Mehta et al. 2019),
+//! * [`graphrnn::GraphRnnS`] — the simplified sequential GraphRNN variant
+//!   the paper selects (You et al. 2018),
+//! * [`netgan::NetGan`] — random-walk GAN (Bojchevski et al. 2018),
+//! * [`condgen::CondGenR`] — the reduced CondGen variant (Yang et al. 2019).
+//!
+//! Each model exposes `fit(&Graph, &DeepConfig) -> Self` and implements
+//! [`cpgan_generators::GraphGenerator`], so the evaluation harness treats
+//! them interchangeably with the traditional baselines and CPGAN.
+
+pub mod common;
+pub mod condgen;
+pub mod graphite;
+pub mod graphrnn;
+pub mod netgan;
+pub mod sbmgnn;
+pub mod vgae;
+
+pub use common::DeepConfig;

@@ -1,0 +1,85 @@
+//! Property-based tests for the learning-based baselines: every model must
+//! produce well-formed graphs on arbitrary community-structured inputs.
+
+use cpgan_deep::common::{assemble_from_probs, two_block_fixture, DeepConfig};
+use cpgan_deep::{condgen::CondGenR, graphrnn::GraphRnnS, sbmgnn::SbmGnn, vgae::Vgae};
+use cpgan_generators::GraphGenerator;
+use cpgan_nn::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_cfg(epochs: usize) -> DeepConfig {
+    DeepConfig {
+        hidden_dim: 8,
+        latent_dim: 4,
+        epochs,
+        ..DeepConfig::tiny()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn assemble_from_probs_well_formed(
+        seed in 0u64..500,
+        n in 4usize..20,
+        frac in 0.05f32..0.9,
+    ) {
+        let probs = Matrix::from_fn(n, n, |i, j| if i == j { 0.0 } else { frac });
+        let target = (n * (n - 1) / 4).max(1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = assemble_from_probs(&probs, target, &mut rng);
+        prop_assert_eq!(g.n(), n);
+        prop_assert_eq!(g.m(), target.min(n * (n - 1) / 2));
+        for &(u, v) in g.edges() {
+            prop_assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn vgae_generation_node_count_stable(size in 6usize..12, seed in 0u64..50) {
+        let (g, _) = two_block_fixture(size);
+        let model = Vgae::fit(&g, &tiny_cfg(15));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = model.generate(&mut rng);
+        prop_assert_eq!(out.n(), g.n());
+        prop_assert_eq!(out.m(), g.m());
+    }
+
+    #[test]
+    fn graphrnn_output_within_node_range(size in 6usize..12, seed in 0u64..50) {
+        let (g, _) = two_block_fixture(size);
+        let model = GraphRnnS::fit(&g, &tiny_cfg(10));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = model.generate(&mut rng);
+        prop_assert_eq!(out.n(), g.n());
+        for &(u, v) in out.edges() {
+            prop_assert!((v as usize) < g.n());
+            prop_assert!(u != v);
+        }
+    }
+
+    #[test]
+    fn sbmgnn_probabilities_are_probabilities(size in 6usize..12) {
+        let (g, _) = two_block_fixture(size);
+        let model = SbmGnn::fit(&g, &tiny_cfg(15), 3);
+        let p = model.probabilities();
+        prop_assert_eq!(p.shape(), (g.n(), g.n()));
+        prop_assert!(p.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn condgen_decode_symmetric(size in 6usize..12, seed in 0u64..50) {
+        let (g, _) = two_block_fixture(size);
+        let model = CondGenR::fit(&g, &tiny_cfg(10));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = model.decode_probabilities(&mut rng);
+        for i in 0..g.n() {
+            for j in 0..g.n() {
+                prop_assert!((p.get(i, j) - p.get(j, i)).abs() < 1e-5);
+            }
+        }
+    }
+}

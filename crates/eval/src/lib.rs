@@ -1,0 +1,141 @@
+#![warn(missing_docs)]
+
+//! Evaluation harness reproducing every table and figure of the paper's
+//! experimental section (§IV).
+//!
+//! * [`registry`] — a uniform interface over all 15 generators (8
+//!   traditional, 6 learning-based, CPGAN + its ablation variants),
+//! * [`budget`] — the 24 GB GPU memory model that reproduces the paper's
+//!   "OOM" rows at full dataset scale,
+//! * [`pipelines`] — one module per experiment (Tables III–IX, Figures 5–6),
+//! * [`report`] — paper-vs-measured table rendering.
+
+pub mod budget;
+pub mod paper;
+pub mod pipelines;
+pub mod registry;
+pub mod report;
+
+/// Scaling and effort knobs shared by the experiment pipelines.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Divisor applied to the paper's dataset sizes (1 = full scale).
+    pub scale: usize,
+    /// Random repetitions for mean ± std columns.
+    pub seeds: usize,
+    /// Training epochs for the deep baselines.
+    pub deep_epochs: usize,
+    /// Training epochs for CPGAN.
+    pub cpgan_epochs: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Hard cap on nodes for models that materialize dense `n x n` state
+    /// locally (they are skipped above it even when the paper-scale budget
+    /// says they fit — CPU time guard, not a memory guard).
+    pub dense_node_cap: usize,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            scale: 16,
+            seeds: 2,
+            deep_epochs: 200,
+            cpgan_epochs: 300,
+            seed: 20220501,
+            dense_node_cap: 1400,
+        }
+    }
+}
+
+impl EvalConfig {
+    /// A fast smoke configuration for tests and `--fast` runs.
+    pub fn fast() -> Self {
+        EvalConfig {
+            scale: 48,
+            seeds: 1,
+            deep_epochs: 60,
+            cpgan_epochs: 60,
+            dense_node_cap: 600,
+            ..Default::default()
+        }
+    }
+
+    /// Parses `--scale`, `--seeds`, `--fast` style CLI arguments (used by
+    /// every `table*`/`fig*` binary).
+    pub fn from_args(args: &[String]) -> Self {
+        let mut cfg = if args.iter().any(|a| a == "--fast") {
+            EvalConfig::fast()
+        } else {
+            EvalConfig::default()
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut grab = |field: &mut usize| {
+                if let Some(v) = it.next().and_then(|s| s.parse().ok()) {
+                    *field = v;
+                }
+            };
+            match a.as_str() {
+                "--scale" => grab(&mut cfg.scale),
+                "--seeds" => grab(&mut cfg.seeds),
+                "--deep-epochs" => grab(&mut cfg.deep_epochs),
+                "--cpgan-epochs" => grab(&mut cfg.cpgan_epochs),
+                _ => {}
+            }
+        }
+        cfg
+    }
+}
+
+/// Parses the sweep sizes for the efficiency binaries: all of
+/// `cpgan_data::sweep::SWEEP_SIZES` up to `--max-size` (default 100k, or 1k
+/// under `--fast`).
+pub fn sweep_sizes_from_args(args: &[String]) -> Vec<usize> {
+    let max: usize = args
+        .iter()
+        .position(|a| a == "--max-size")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if args.iter().any(|a| a == "--fast") {
+            1_000
+        } else {
+            100_000
+        });
+    cpgan_data::sweep::SWEEP_SIZES
+        .iter()
+        .copied()
+        .filter(|&n| n <= max)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--scale", "32", "--seeds", "3"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let cfg = EvalConfig::from_args(&args);
+        assert_eq!(cfg.scale, 32);
+        assert_eq!(cfg.seeds, 3);
+    }
+
+    #[test]
+    fn fast_flag() {
+        let args = vec!["--fast".to_string()];
+        let cfg = EvalConfig::from_args(&args);
+        assert_eq!(cfg.seeds, 1);
+        assert_eq!(sweep_sizes_from_args(&args), vec![100, 1_000]);
+    }
+
+    #[test]
+    fn sweep_sizes_default_and_capped() {
+        assert_eq!(sweep_sizes_from_args(&[]), vec![100, 1_000, 10_000, 100_000]);
+        let args: Vec<String> = ["--max-size", "10000"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(sweep_sizes_from_args(&args), vec![100, 1_000, 10_000]);
+    }
+}

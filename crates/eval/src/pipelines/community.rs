@@ -1,0 +1,138 @@
+//! Table III: community-structure preservation (NMI / ARI).
+
+use crate::pipelines::community_scores;
+use crate::registry::{fit_model, ModelKind};
+use crate::report::{mean_std, Table};
+use crate::{budget, paper, EvalConfig};
+use cpgan_data::datasets;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One measured cell of Table III.
+#[derive(Debug, Clone)]
+pub enum Cell {
+    /// Mean ± std over seeds, `(nmi_values, ari_values)` in percent.
+    Measured(Vec<f64>, Vec<f64>),
+    /// Exceeds the paper-scale 24 GB budget.
+    Oom,
+    /// Within budget at paper scale but too large for the local CPU cap.
+    SkippedCpu,
+}
+
+/// Runs the Table III experiment for the given dataset names (empty = all
+/// six).
+pub fn run(cfg: &EvalConfig, dataset_filter: &[&str]) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Table III: community preservation, NMI/ARI x100 (scale 1/{}, {} seed(s))",
+            cfg.scale, cfg.seeds
+        ),
+        &["Model"],
+    );
+    let specs: Vec<_> = datasets::PAPER_DATASETS
+        .iter()
+        .filter(|s| dataset_filter.is_empty() || dataset_filter.contains(&s.name))
+        .collect();
+    for spec in &specs {
+        table.headers.push(format!("{} NMI", spec.name));
+        table.headers.push(format!("{} ARI", spec.name));
+    }
+
+    let models = ModelKind::table3();
+    for kind in &models {
+        let mut row = vec![kind.name().to_string()];
+        for spec in &specs {
+            let cell = evaluate_cell(*kind, spec, cfg);
+            let paper_ref = paper::table3_ref(spec.name, kind.name());
+            match cell {
+                Cell::Oom | Cell::SkippedCpu => {
+                    let label = if matches!(cell, Cell::Oom) { "OOM" } else { "skip" };
+                    let agree = if paper_ref.is_none() { " (paper OOM)" } else { "" };
+                    row.push(format!("{label}{agree}"));
+                    row.push(format!("{label}{agree}"));
+                }
+                Cell::Measured(nmis, aris) => {
+                    let fmt = |vals: &[f64], p: Option<f64>| match p {
+                        Some(p) => format!("{} (paper {p:.1})", mean_std(vals)),
+                        None => mean_std(vals),
+                    };
+                    row.push(fmt(&nmis, paper_ref.map(|r| r.0)));
+                    row.push(fmt(&aris, paper_ref.map(|r| r.1)));
+                }
+            }
+        }
+        table.push_row(row);
+    }
+    table.push_note(
+        "OOM = the paper-scale run exceeds the simulated 24 GB GPU budget \
+         (see cpgan_eval::budget); measured values are on the scaled stand-ins.",
+    );
+    table
+}
+
+/// Evaluates one (model, dataset) cell.
+pub fn evaluate_cell(kind: ModelKind, spec: &datasets::DatasetSpec, cfg: &EvalConfig) -> Cell {
+    if budget::would_oom(kind, spec.n) {
+        return Cell::Oom;
+    }
+    let ds = datasets::synthesize(spec, cfg.scale, cfg.seed);
+    if kind.is_dense() && ds.graph.n() > cfg.dense_node_cap {
+        return Cell::SkippedCpu;
+    }
+    let mut nmis = Vec::with_capacity(cfg.seeds);
+    let mut aris = Vec::with_capacity(cfg.seeds);
+    for s in 0..cfg.seeds {
+        let seed = cfg.seed.wrapping_add(s as u64 * 7919);
+        let model = fit_model(kind, &ds.graph, cfg, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9999);
+        let generated = model.generate(&mut rng);
+        let (nmi, ari) = community_scores(&ds.graph, &generated, cfg.seed);
+        nmis.push(100.0 * nmi);
+        aris.push(100.0 * ari);
+    }
+    Cell::Measured(nmis, aris)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oom_cells_match_paper() {
+        let cfg = EvalConfig::fast();
+        let pubmed = datasets::spec_by_name("PubMed").unwrap();
+        assert!(matches!(
+            evaluate_cell(ModelKind::Mmsb, pubmed, &cfg),
+            Cell::Oom
+        ));
+        assert!(matches!(
+            evaluate_cell(ModelKind::NetGan, pubmed, &cfg),
+            Cell::Oom
+        ));
+        let google = datasets::spec_by_name("Google").unwrap();
+        assert!(matches!(
+            evaluate_cell(ModelKind::Vgae, google, &cfg),
+            Cell::Oom
+        ));
+    }
+
+    #[test]
+    fn small_dataset_produces_measurement() {
+        let cfg = EvalConfig {
+            scale: 64,
+            seeds: 1,
+            deep_epochs: 5,
+            cpgan_epochs: 3,
+            ..EvalConfig::fast()
+        };
+        let ppi = datasets::spec_by_name("PPI").unwrap();
+        match evaluate_cell(ModelKind::Sbm, ppi, &cfg) {
+            Cell::Measured(nmis, aris) => {
+                assert_eq!(nmis.len(), 1);
+                assert!((0.0..=100.0).contains(&nmis[0]));
+                assert!((-100.0..=100.0).contains(&aris[0]));
+            }
+            other => panic!("expected measurement, got {other:?}"),
+        }
+    }
+}

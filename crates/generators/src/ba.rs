@@ -1,0 +1,124 @@
+//! Barabási–Albert preferential attachment (paper baseline "B-A").
+
+use crate::GraphGenerator;
+use cpgan_graph::{Graph, GraphBuilder, NodeId};
+use rand::{Rng, RngCore};
+
+/// The B-A model: nodes arrive one at a time and attach `m_per_node` edges
+/// to existing nodes with probability proportional to degree.
+#[derive(Debug, Clone)]
+pub struct BarabasiAlbert {
+    n: usize,
+    m_per_node: usize,
+}
+
+impl BarabasiAlbert {
+    /// Fits `m_per_node` from the observed mean degree (`m/n` rounded,
+    /// at least 1).
+    pub fn fit(g: &Graph) -> Self {
+        let m_per_node = ((g.m() as f64 / g.n().max(1) as f64).round() as usize).max(1);
+        BarabasiAlbert {
+            n: g.n(),
+            m_per_node,
+        }
+    }
+
+    /// Builds the model directly.
+    pub fn new(n: usize, m_per_node: usize) -> Self {
+        BarabasiAlbert {
+            n,
+            m_per_node: m_per_node.max(1),
+        }
+    }
+}
+
+impl GraphGenerator for BarabasiAlbert {
+    fn name(&self) -> &'static str {
+        "B-A"
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore) -> Graph {
+        let n = self.n;
+        let m0 = self.m_per_node;
+        let mut b = GraphBuilder::with_capacity(n, n.saturating_mul(m0));
+        if n < 2 {
+            return b.build();
+        }
+        // `targets` holds one entry per edge endpoint, so sampling uniformly
+        // from it is degree-proportional sampling (the standard trick).
+        let mut endpoint_pool: Vec<NodeId> = Vec::with_capacity(2 * n * m0);
+        // Seed: a small connected core of m0+1 nodes (a star keeps it simple
+        // and connected).
+        let core = (m0 + 1).min(n);
+        for v in 1..core {
+            b.push_edge(0, v as NodeId);
+            endpoint_pool.push(0);
+            endpoint_pool.push(v as NodeId);
+        }
+        for v in core..n {
+            let v = v as NodeId;
+            let mut chosen = std::collections::HashSet::with_capacity(m0);
+            // Degree-proportional sampling without replacement.
+            let mut guard = 0;
+            while chosen.len() < m0.min(v as usize) && guard < 50 * m0 {
+                let t = endpoint_pool[rng.gen_range(0..endpoint_pool.len())];
+                chosen.insert(t);
+                guard += 1;
+            }
+            for &t in &chosen {
+                b.push_edge(v, t);
+                endpoint_pool.push(v);
+                endpoint_pool.push(t);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpgan_graph::stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn node_and_edge_counts() {
+        let model = BarabasiAlbert::new(200, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = model.generate(&mut rng);
+        assert_eq!(g.n(), 200);
+        // Every arrival adds ~3 edges; the seed star adds 3.
+        assert!(g.m() >= 3 * (200 - 4) && g.m() <= 3 * 200, "m = {}", g.m());
+    }
+
+    #[test]
+    fn produces_heavy_tail() {
+        let model = BarabasiAlbert::new(500, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = model.generate(&mut rng);
+        let max_deg = stats::degree::max_degree(&g);
+        // Preferential attachment produces hubs far above the mean degree.
+        assert!(max_deg > 20, "max degree {max_deg}");
+        let gini = stats::gini::gini_coefficient(&g.degrees());
+        assert!(gini > 0.2, "gini {gini}");
+    }
+
+    #[test]
+    fn connected_graph() {
+        let model = BarabasiAlbert::new(100, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = model.generate(&mut rng);
+        assert_eq!(g.largest_component().len(), 100);
+    }
+
+    #[test]
+    fn fit_preserves_mean_degree_roughly() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g1 = BarabasiAlbert::new(300, 4).generate(&mut rng);
+        let model = BarabasiAlbert::fit(&g1);
+        let g2 = model.generate(&mut rng);
+        let ratio = g2.mean_degree() / g1.mean_degree();
+        assert!((0.7..1.3).contains(&ratio), "ratio {ratio}");
+    }
+}

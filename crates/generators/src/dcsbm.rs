@@ -1,0 +1,236 @@
+//! Degree-corrected stochastic block model (paper baseline "DCSBM",
+//! Karrer & Newman 2011).
+
+use crate::GraphGenerator;
+use cpgan_community::louvain;
+use cpgan_graph::{Graph, GraphBuilder, NodeId};
+use rand::{Rng, RngCore};
+use rand_distr::{Distribution, Poisson};
+
+/// A fitted DCSBM: block-pair edge counts plus per-node degree propensities
+/// within each block. Unlike plain SBM, hubs stay hubs inside their
+/// community.
+#[derive(Debug, Clone)]
+pub struct Dcsbm {
+    labels: Vec<usize>,
+    blocks: Vec<Vec<NodeId>>,
+    /// Expected edge count per block pair (`r <= s`).
+    block_edges: Vec<Vec<f64>>,
+    /// Cumulative degree-proportional sampler per block: (prefix sums, members).
+    samplers: Vec<BlockSampler>,
+}
+
+#[derive(Debug, Clone)]
+struct BlockSampler {
+    members: Vec<NodeId>,
+    prefix: Vec<f64>,
+    total: f64,
+}
+
+impl BlockSampler {
+    fn new(members: Vec<NodeId>, degrees: &[usize]) -> Self {
+        let mut prefix = Vec::with_capacity(members.len());
+        let mut total = 0.0;
+        for &v in &members {
+            total += degrees[v as usize] as f64;
+            prefix.push(total);
+        }
+        BlockSampler {
+            members,
+            prefix,
+            total,
+        }
+    }
+
+    fn sample(&self, rng: &mut dyn RngCore) -> Option<NodeId> {
+        if self.total <= 0.0 {
+            if self.members.is_empty() {
+                return None;
+            }
+            return Some(self.members[rng.gen_range(0..self.members.len())]);
+        }
+        let x = rng.gen::<f64>() * self.total;
+        let i = self.prefix.partition_point(|&p| p <= x);
+        Some(self.members[i.min(self.members.len() - 1)])
+    }
+}
+
+impl Dcsbm {
+    /// Fits using Louvain for the partition.
+    pub fn fit(g: &Graph, seed: u64) -> Self {
+        let part = louvain::louvain(g, seed);
+        Self::fit_with_labels(g, part.labels())
+    }
+
+    /// Fits with the block count capped at `max_blocks` (see
+    /// [`crate::sbm::Sbm::fit_capped`]).
+    pub fn fit_capped(g: &Graph, seed: u64, max_blocks: usize) -> Self {
+        let part = louvain::louvain(g, seed);
+        let capped = crate::sbm::cap_labels(part.labels(), max_blocks);
+        Self::fit_with_labels(g, &capped)
+    }
+
+    /// Fits with a given partition.
+    pub fn fit_with_labels(g: &Graph, labels: &[usize]) -> Self {
+        assert_eq!(labels.len(), g.n());
+        let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut blocks = vec![Vec::new(); k];
+        for (v, &l) in labels.iter().enumerate() {
+            blocks[l].push(v as NodeId);
+        }
+        let mut block_edges = vec![vec![0.0f64; k]; k];
+        for &(u, v) in g.edges() {
+            let (r, s) = (labels[u as usize], labels[v as usize]);
+            let (r, s) = if r <= s { (r, s) } else { (s, r) };
+            block_edges[r][s] += 1.0;
+        }
+        let degrees = g.degrees();
+        let samplers = blocks
+            .iter()
+            .map(|members| BlockSampler::new(members.clone(), &degrees))
+            .collect();
+        Dcsbm {
+            labels: labels.to_vec(),
+            blocks,
+            block_edges,
+            samplers,
+        }
+    }
+
+    /// The fitted partition labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+}
+
+impl GraphGenerator for Dcsbm {
+    fn name(&self) -> &'static str {
+        "DCSBM"
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore) -> Graph {
+        let n = self.labels.len();
+        let mut b = GraphBuilder::new(n);
+        let k = self.blocks.len();
+        for r in 0..k {
+            for s in r..k {
+                let mean = self.block_edges[r][s];
+                if mean <= 0.0 {
+                    continue;
+                }
+                // Poisson edge counts per block pair (the DCSBM likelihood's
+                // natural sampling scheme).
+                let count = Poisson::new(mean).expect("positive mean").sample(rng) as u64;
+                let mut placed = 0u64;
+                let mut guard = 0u64;
+                while placed < count && guard < 20 * count + 100 {
+                    guard += 1;
+                    let (Some(u), Some(v)) =
+                        (self.samplers[r].sample(rng), self.samplers[s].sample(rng))
+                    else {
+                        break;
+                    };
+                    if u == v {
+                        continue;
+                    }
+                    b.push_edge(u, v);
+                    placed += 1;
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpgan_community::metrics;
+    use cpgan_graph::stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two communities with internal hubs.
+    fn hubby_two_blocks() -> (Graph, Vec<usize>) {
+        let mut edges = Vec::new();
+        // Community 0: star around node 0 plus a sparse ring.
+        for v in 1..20u32 {
+            edges.push((0, v));
+        }
+        for v in 1..19u32 {
+            edges.push((v, v + 1));
+        }
+        // Community 1: star around node 20.
+        for v in 21..40u32 {
+            edges.push((20, v));
+        }
+        for v in 21..39u32 {
+            edges.push((v, v + 1));
+        }
+        edges.push((0, 20));
+        let labels = (0..40).map(|v| (v >= 20) as usize).collect();
+        (Graph::from_edges(40, edges).unwrap(), labels)
+    }
+
+    #[test]
+    fn edge_count_preserved_in_expectation() {
+        let (g, labels) = hubby_two_blocks();
+        let model = Dcsbm::fit_with_labels(&g, &labels);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut total = 0usize;
+        for _ in 0..20 {
+            total += model.generate(&mut rng).m();
+        }
+        let avg = total as f64 / 20.0;
+        // Rejected duplicates bias slightly low; allow a generous band.
+        assert!((avg - g.m() as f64).abs() < 0.25 * g.m() as f64, "avg {avg}");
+    }
+
+    #[test]
+    fn hubs_stay_hubs() {
+        let (g, labels) = hubby_two_blocks();
+        let model = Dcsbm::fit_with_labels(&g, &labels);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hub_deg = 0usize;
+        let reps = 10;
+        for _ in 0..reps {
+            let out = model.generate(&mut rng);
+            hub_deg += out.degree(0);
+        }
+        let avg_hub = hub_deg as f64 / reps as f64;
+        let (og, _) = hubby_two_blocks();
+        assert!(
+            avg_hub > 0.5 * og.degree(0) as f64,
+            "hub degree collapsed: {avg_hub}"
+        );
+    }
+
+    #[test]
+    fn max_degree_closer_than_sbm() {
+        // The degree correction must keep the hubs; plain SBM flattens block
+        // degrees to the ER mean. Compare max-degree recovery.
+        let (g, labels) = hubby_two_blocks();
+        let target = stats::degree::max_degree(&g) as f64;
+        let mut rng = StdRng::seed_from_u64(2);
+        let dc = Dcsbm::fit_with_labels(&g, &labels);
+        let sbm = crate::sbm::Sbm::fit_with_labels(&g, &labels);
+        let mut dc_err = 0.0;
+        let mut sbm_err = 0.0;
+        for _ in 0..10 {
+            dc_err += (stats::degree::max_degree(&dc.generate(&mut rng)) as f64 - target).abs();
+            sbm_err += (stats::degree::max_degree(&sbm.generate(&mut rng)) as f64 - target).abs();
+        }
+        assert!(dc_err < sbm_err, "dcsbm {dc_err} vs sbm {sbm_err}");
+    }
+
+    #[test]
+    fn communities_preserved() {
+        let (g, labels) = hubby_two_blocks();
+        let model = Dcsbm::fit_with_labels(&g, &labels);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = model.generate(&mut rng);
+        let detected = louvain::louvain(&out, 0);
+        let nmi = metrics::nmi(detected.labels(), &labels);
+        assert!(nmi > 0.3, "nmi {nmi}");
+    }
+}

@@ -1,0 +1,108 @@
+//! Erdős–Rényi random graphs (paper baseline "E-R").
+
+use crate::GraphGenerator;
+use cpgan_graph::{Graph, GraphBuilder, NodeId};
+use rand::{Rng, RngCore};
+
+/// The `G(n, m)` Erdős–Rényi model: fixed node and edge counts, edges chosen
+/// uniformly at random without replacement.
+#[derive(Debug, Clone)]
+pub struct ErdosRenyi {
+    n: usize,
+    m: usize,
+}
+
+impl ErdosRenyi {
+    /// Fits the model: just the observed `n` and `m`.
+    pub fn fit(g: &Graph) -> Self {
+        ErdosRenyi { n: g.n(), m: g.m() }
+    }
+
+    /// Builds the model directly from counts.
+    pub fn with_counts(n: usize, m: usize) -> Self {
+        let max = n.saturating_mul(n.saturating_sub(1)) / 2;
+        ErdosRenyi { n, m: m.min(max) }
+    }
+
+    /// The edge probability the equivalent `G(n, p)` model would use.
+    pub fn edge_probability(&self) -> f64 {
+        let possible = self.n as f64 * (self.n as f64 - 1.0) / 2.0;
+        if possible == 0.0 {
+            0.0
+        } else {
+            self.m as f64 / possible
+        }
+    }
+}
+
+impl GraphGenerator for ErdosRenyi {
+    fn name(&self) -> &'static str {
+        "E-R"
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore) -> Graph {
+        let mut b = GraphBuilder::with_capacity(self.n, self.m);
+        if self.n < 2 {
+            return b.build();
+        }
+        let mut seen = std::collections::HashSet::with_capacity(self.m * 2);
+        while seen.len() < self.m {
+            let u = rng.gen_range(0..self.n as NodeId);
+            let v = rng.gen_range(0..self.n as NodeId);
+            if u == v {
+                continue;
+            }
+            let key = if u < v { (u, v) } else { (v, u) };
+            if seen.insert(key) {
+                b.push_edge(key.0, key.1);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_edge_count() {
+        let model = ErdosRenyi::with_counts(100, 250);
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = model.generate(&mut rng);
+        assert_eq!(g.n(), 100);
+        assert_eq!(g.m(), 250);
+    }
+
+    #[test]
+    fn fit_round_trip_counts() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g1 = ErdosRenyi::with_counts(60, 120).generate(&mut rng);
+        let model = ErdosRenyi::fit(&g1);
+        let g2 = model.generate(&mut rng);
+        assert_eq!(g2.n(), g1.n());
+        assert_eq!(g2.m(), g1.m());
+    }
+
+    #[test]
+    fn m_clamped_to_possible() {
+        let model = ErdosRenyi::with_counts(4, 100);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(model.generate(&mut rng).m(), 6);
+    }
+
+    #[test]
+    fn edge_probability() {
+        let model = ErdosRenyi::with_counts(5, 5);
+        assert!((model.edge_probability() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_graphs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(ErdosRenyi::with_counts(0, 0).generate(&mut rng).n(), 0);
+        assert_eq!(ErdosRenyi::with_counts(1, 5).generate(&mut rng).m(), 0);
+    }
+}

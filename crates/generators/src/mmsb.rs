@@ -1,0 +1,190 @@
+//! Mixed-membership stochastic blockmodel (paper baseline "MMSB",
+//! Airoldi et al. 2008).
+//!
+//! Every node carries a membership distribution over communities; each
+//! potential edge draws a community for both endpoints and connects with the
+//! corresponding block probability. Generation is inherently `O(n^2 k)` —
+//! which is exactly why MMSB rows show "OOM" on the paper's larger datasets;
+//! the evaluation harness reproduces that via the memory/size budget.
+
+use crate::GraphGenerator;
+use cpgan_community::louvain;
+use cpgan_graph::{Graph, GraphBuilder, NodeId};
+use rand::{Rng, RngCore};
+
+/// A fitted MMSB.
+#[derive(Debug, Clone)]
+pub struct Mmsb {
+    /// Per-node membership distributions (`n x k`, rows sum to 1).
+    memberships: Vec<Vec<f64>>,
+    /// Per-node cumulative membership sums (for O(log k) sampling; the
+    /// generation loop is O(n^2) pair draws, so the inner draw must be
+    /// sub-linear in k).
+    membership_cdf: Vec<Vec<f64>>,
+    /// Block connectivity matrix (`k x k`, symmetric).
+    block_p: Vec<Vec<f64>>,
+}
+
+impl Mmsb {
+    /// Fits memberships from a Louvain partition, smoothed with symmetric
+    /// Dirichlet-style mass `alpha` spread over other communities, and block
+    /// probabilities from the SBM maximum likelihood.
+    pub fn fit(g: &Graph, seed: u64, alpha: f64) -> Self {
+        let part = louvain::louvain(g, seed);
+        Self::fit_with_labels_alpha(g, part.labels(), alpha)
+    }
+
+    /// Fits with the block count capped at `max_blocks` (see
+    /// [`crate::sbm::Sbm::fit_capped`]).
+    pub fn fit_capped(g: &Graph, seed: u64, alpha: f64, max_blocks: usize) -> Self {
+        let part = louvain::louvain(g, seed);
+        let capped = crate::sbm::cap_labels(part.labels(), max_blocks);
+        Self::fit_with_labels_alpha(g, &capped, alpha)
+    }
+
+    fn fit_with_labels_alpha(g: &Graph, labels: &[usize], alpha: f64) -> Self {
+        let k = labels.iter().copied().max().map_or(1, |m| m + 1);
+        let sbm = crate::sbm::Sbm::fit_with_labels(g, labels);
+        let mut block_p = vec![vec![0.0f64; k]; k];
+        for (r, row) in block_p.iter_mut().enumerate() {
+            for (s, cell) in row.iter_mut().enumerate() {
+                *cell = sbm.block_probability(r, s);
+            }
+        }
+        let memberships: Vec<Vec<f64>> = labels
+            .iter()
+            .map(|&l| {
+                let mut pi = vec![alpha / k as f64; k];
+                pi[l] += 1.0 - alpha;
+                pi
+            })
+            .collect();
+        let membership_cdf = memberships
+            .iter()
+            .map(|pi| {
+                let mut acc = 0.0;
+                pi.iter()
+                    .map(|p| {
+                        acc += p;
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        Mmsb {
+            memberships,
+            membership_cdf,
+            block_p,
+        }
+    }
+
+    /// Number of communities.
+    pub fn community_count(&self) -> usize {
+        self.block_p.len()
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.memberships.len()
+    }
+
+    fn sample_community(&self, rng: &mut dyn RngCore, node: usize) -> usize {
+        let cdf = &self.membership_cdf[node];
+        let x = rng.gen::<f64>();
+        cdf.partition_point(|&p| p <= x).min(cdf.len() - 1)
+    }
+}
+
+impl GraphGenerator for Mmsb {
+    fn name(&self) -> &'static str {
+        "MMSB"
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore) -> Graph {
+        let n = self.n();
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let zu = self.sample_community(rng, u);
+                let zv = self.sample_community(rng, v);
+                if rng.gen::<f64>() < self.block_p[zu][zv] {
+                    b.push_edge(u as NodeId, v as NodeId);
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpgan_community::metrics;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_cliques() -> (Graph, Vec<usize>) {
+        let mut edges = Vec::new();
+        for u in 0..10u32 {
+            for v in (u + 1)..10 {
+                edges.push((u, v));
+                edges.push((u + 10, v + 10));
+            }
+        }
+        edges.push((0, 10));
+        let labels = (0..20).map(|v| (v >= 10) as usize).collect();
+        (Graph::from_edges(20, edges).unwrap(), labels)
+    }
+
+    #[test]
+    fn fit_finds_communities() {
+        let (g, _) = two_cliques();
+        let model = Mmsb::fit(&g, 0, 0.1);
+        assert_eq!(model.n(), 20);
+        assert!(model.community_count() >= 2);
+    }
+
+    #[test]
+    fn memberships_are_distributions() {
+        let (g, _) = two_cliques();
+        let model = Mmsb::fit(&g, 0, 0.2);
+        for pi in &model.memberships {
+            let s: f64 = pi.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(pi.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn generation_preserves_blocks_roughly() {
+        let (g, labels) = two_cliques();
+        let model = Mmsb::fit(&g, 0, 0.05);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = model.generate(&mut rng);
+        let detected = louvain::louvain(&out, 0);
+        let nmi = metrics::nmi(detected.labels(), &labels);
+        assert!(nmi > 0.5, "nmi {nmi}");
+    }
+
+    #[test]
+    fn more_mixing_with_higher_alpha() {
+        let (g, _) = two_cliques();
+        let mut rng = StdRng::seed_from_u64(2);
+        let crisp = Mmsb::fit(&g, 0, 0.01);
+        let fuzzy = Mmsb::fit(&g, 0, 0.8);
+        // Count cross-community edges (nodes 0..10 vs 10..20).
+        let cross = |m: &Mmsb, rng: &mut StdRng| -> usize {
+            let mut total = 0;
+            for _ in 0..5 {
+                let out = m.generate(rng);
+                total += out
+                    .edges()
+                    .iter()
+                    .filter(|&&(u, v)| (u < 10) != (v < 10))
+                    .count();
+            }
+            total
+        };
+        assert!(cross(&fuzzy, &mut rng) > cross(&crisp, &mut rng));
+    }
+}

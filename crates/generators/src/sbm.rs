@@ -1,0 +1,244 @@
+//! Stochastic block model (paper baseline "SBM", §II-A Eq. 4).
+
+use crate::GraphGenerator;
+use cpgan_community::louvain;
+use cpgan_graph::{Graph, GraphBuilder, NodeId};
+use rand::{Rng, RngCore};
+use rand_distr::{Binomial, Distribution};
+
+/// A fitted SBM: a node partition plus a symmetric block probability matrix
+/// (one parameter per community pair, as the paper stresses when discussing
+/// SBM's limited capacity).
+#[derive(Debug, Clone)]
+pub struct Sbm {
+    /// Community label per node.
+    labels: Vec<usize>,
+    /// Members per community.
+    blocks: Vec<Vec<NodeId>>,
+    /// `block_p[r][s]`: edge probability between communities `r <= s`.
+    block_p: Vec<Vec<f64>>,
+}
+
+impl Sbm {
+    /// Fits the model using Louvain for the partition and maximum-likelihood
+    /// block densities.
+    pub fn fit(g: &Graph, seed: u64) -> Self {
+        let part = louvain::louvain(g, seed);
+        Self::fit_with_labels(g, part.labels())
+    }
+
+    /// Fits with the block count capped at `max_blocks`, merging the
+    /// smallest Louvain communities into a residual block. This mirrors the
+    /// limited capacity of the reference SBM implementations the paper
+    /// compares against ("only one parameter is used to capture each
+    /// community", §II-B1) whose default block counts are small.
+    pub fn fit_capped(g: &Graph, seed: u64, max_blocks: usize) -> Self {
+        let part = louvain::louvain(g, seed);
+        let capped = cap_labels(part.labels(), max_blocks);
+        Self::fit_with_labels(g, &capped)
+    }
+
+    /// Fits with a given partition (used by the data crate's planted
+    /// graphs and by DCSBM's shared plumbing).
+    pub fn fit_with_labels(g: &Graph, labels: &[usize]) -> Self {
+        assert_eq!(labels.len(), g.n());
+        let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+        let mut blocks = vec![Vec::new(); k];
+        for (v, &l) in labels.iter().enumerate() {
+            blocks[l].push(v as NodeId);
+        }
+        let mut edge_counts = vec![vec![0u64; k]; k];
+        for &(u, v) in g.edges() {
+            let (r, s) = (labels[u as usize], labels[v as usize]);
+            let (r, s) = if r <= s { (r, s) } else { (s, r) };
+            edge_counts[r][s] += 1;
+        }
+        let mut block_p = vec![vec![0.0f64; k]; k];
+        for r in 0..k {
+            for s in r..k {
+                let possible = if r == s {
+                    let nr = blocks[r].len() as f64;
+                    nr * (nr - 1.0) / 2.0
+                } else {
+                    blocks[r].len() as f64 * blocks[s].len() as f64
+                };
+                block_p[r][s] = if possible > 0.0 {
+                    (edge_counts[r][s] as f64 / possible).min(1.0)
+                } else {
+                    0.0
+                };
+            }
+        }
+        Sbm {
+            labels: labels.to_vec(),
+            blocks,
+            block_p,
+        }
+    }
+
+    /// The fitted partition labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of communities.
+    pub fn community_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Block probability between communities `r` and `s`.
+    pub fn block_probability(&self, r: usize, s: usize) -> f64 {
+        let (r, s) = if r <= s { (r, s) } else { (s, r) };
+        self.block_p[r][s]
+    }
+}
+
+/// Remaps `labels` so at most `max_blocks` distinct blocks remain: the
+/// largest `max_blocks - 1` communities keep their identity and everything
+/// else merges into one residual block.
+pub(crate) fn cap_labels(labels: &[usize], max_blocks: usize) -> Vec<usize> {
+    let max_blocks = max_blocks.max(1);
+    let k = labels.iter().copied().max().map_or(0, |m| m + 1);
+    if k <= max_blocks {
+        return labels.to_vec();
+    }
+    let mut sizes = vec![0usize; k];
+    for &l in labels {
+        sizes[l] += 1;
+    }
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(sizes[c]));
+    let mut remap = vec![max_blocks - 1; k];
+    for (new, &old) in order.iter().take(max_blocks - 1).enumerate() {
+        remap[old] = new;
+    }
+    labels.iter().map(|&l| remap[l]).collect()
+}
+
+/// Samples `count` distinct pairs from a block pair and pushes them as edges.
+pub(crate) fn sample_block_edges(
+    b: &mut GraphBuilder,
+    rng: &mut dyn RngCore,
+    block_r: &[NodeId],
+    block_s: &[NodeId],
+    same: bool,
+    count: u64,
+) {
+    let mut seen = std::collections::HashSet::with_capacity(count as usize * 2);
+    let mut placed = 0u64;
+    let mut guard = 0u64;
+    let limit = 20 * count + 100;
+    while placed < count && guard < limit {
+        guard += 1;
+        let u = block_r[rng.gen_range(0..block_r.len())];
+        let v = block_s[rng.gen_range(0..block_s.len())];
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if same && key.0 == key.1 {
+            continue;
+        }
+        if seen.insert(key) {
+            b.push_edge(key.0, key.1);
+            placed += 1;
+        }
+    }
+}
+
+impl GraphGenerator for Sbm {
+    fn name(&self) -> &'static str {
+        "SBM"
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore) -> Graph {
+        let n = self.labels.len();
+        let mut b = GraphBuilder::new(n);
+        let k = self.blocks.len();
+        for r in 0..k {
+            for s in r..k {
+                let p = self.block_p[r][s];
+                if p <= 0.0 || self.blocks[r].is_empty() || self.blocks[s].is_empty() {
+                    continue;
+                }
+                let possible = if r == s {
+                    let nr = self.blocks[r].len() as u64;
+                    nr * (nr - 1) / 2
+                } else {
+                    self.blocks[r].len() as u64 * self.blocks[s].len() as u64
+                };
+                if possible == 0 {
+                    continue;
+                }
+                let count = Binomial::new(possible, p.min(1.0))
+                    .expect("valid binomial")
+                    .sample(rng);
+                sample_block_edges(&mut b, rng, &self.blocks[r], &self.blocks[s], r == s, count);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpgan_community::metrics;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_cliques() -> (Graph, Vec<usize>) {
+        let mut edges = Vec::new();
+        for u in 0..8u32 {
+            for v in (u + 1)..8 {
+                edges.push((u, v));
+                edges.push((u + 8, v + 8));
+            }
+        }
+        edges.push((0, 8));
+        let labels = (0..16).map(|v| (v >= 8) as usize).collect();
+        (Graph::from_edges(16, edges).unwrap(), labels)
+    }
+
+    #[test]
+    fn fit_recovers_block_densities() {
+        let (g, labels) = two_cliques();
+        let model = Sbm::fit_with_labels(&g, &labels);
+        assert_eq!(model.community_count(), 2);
+        assert!((model.block_probability(0, 0) - 1.0).abs() < 1e-12);
+        assert!((model.block_probability(1, 1) - 1.0).abs() < 1e-12);
+        assert!((model.block_probability(0, 1) - 1.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generated_graph_has_similar_density() {
+        let (g, labels) = two_cliques();
+        let model = Sbm::fit_with_labels(&g, &labels);
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = model.generate(&mut rng);
+        assert_eq!(out.n(), 16);
+        let diff = (out.m() as i64 - g.m() as i64).abs();
+        assert!(diff <= 8, "edge count diff {diff}");
+    }
+
+    #[test]
+    fn community_structure_survives_generation() {
+        let (g, labels) = two_cliques();
+        let model = Sbm::fit_with_labels(&g, &labels);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = model.generate(&mut rng);
+        let detected = louvain::louvain(&out, 0);
+        let nmi = metrics::nmi(detected.labels(), &labels);
+        assert!(nmi > 0.8, "nmi {nmi}");
+    }
+
+    #[test]
+    fn fit_with_louvain_runs() {
+        let (g, _) = two_cliques();
+        let model = Sbm::fit(&g, 3);
+        assert!(model.community_count() >= 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = model.generate(&mut rng);
+        assert_eq!(out.n(), g.n());
+    }
+}

@@ -1,0 +1,16 @@
+//! The uniform generator interface.
+
+use cpgan_graph::Graph;
+use rand::RngCore;
+
+/// A fitted graph generative model that can sample new graphs.
+///
+/// `generate` takes a dynamic RNG so heterogeneous generators can be stored
+/// behind trait objects in the evaluation harness.
+pub trait GraphGenerator {
+    /// Display name used in tables (matches the paper's row labels).
+    fn name(&self) -> &'static str;
+
+    /// Samples a new graph from the fitted model.
+    fn generate(&self, rng: &mut dyn RngCore) -> Graph;
+}

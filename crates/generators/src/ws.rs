@@ -1,0 +1,132 @@
+//! Watts–Strogatz small-world graphs (paper reference \[9\]), included for
+//! completeness of the traditional-generator family.
+
+use crate::GraphGenerator;
+use cpgan_graph::{Graph, GraphBuilder, NodeId};
+use rand::{Rng, RngCore};
+
+/// The Watts–Strogatz model: a ring lattice where every node connects to its
+/// `k` nearest neighbors, with each edge rewired to a random endpoint with
+/// probability `beta`.
+#[derive(Debug, Clone)]
+pub struct WattsStrogatz {
+    n: usize,
+    k: usize,
+    beta: f64,
+}
+
+impl WattsStrogatz {
+    /// Fits `k` from the observed mean degree and `beta` from the observed
+    /// clustering relative to the lattice optimum (`beta ~ (1 - C/C_lattice)^(1/3)`).
+    pub fn fit(g: &Graph) -> Self {
+        let k = ((g.mean_degree() / 2.0).round() as usize).max(1) * 2;
+        let c = cpgan_graph::stats::clustering::mean_clustering(g);
+        let c_lattice = if k > 2 {
+            3.0 * (k as f64 - 2.0) / (4.0 * (k as f64 - 1.0))
+        } else {
+            0.0
+        };
+        let beta = if c_lattice > 0.0 {
+            (1.0 - (c / c_lattice).clamp(0.0, 1.0)).powf(1.0 / 3.0)
+        } else {
+            0.5
+        };
+        WattsStrogatz { n: g.n(), k, beta }
+    }
+
+    /// Builds the model directly (`k` is rounded up to even).
+    pub fn new(n: usize, k: usize, beta: f64) -> Self {
+        WattsStrogatz {
+            n,
+            k: (k + k % 2).max(2),
+            beta: beta.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The rewiring probability.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+}
+
+impl GraphGenerator for WattsStrogatz {
+    fn name(&self) -> &'static str {
+        "W-S"
+    }
+
+    fn generate(&self, rng: &mut dyn RngCore) -> Graph {
+        let n = self.n;
+        if n < 3 {
+            return GraphBuilder::new(n).build();
+        }
+        let half = (self.k / 2).min(n / 2 - 1).max(1);
+        let mut b = GraphBuilder::with_capacity(n, n * half);
+        for v in 0..n {
+            for d in 1..=half {
+                let u = v as NodeId;
+                let w = ((v + d) % n) as NodeId;
+                if rng.gen::<f64>() < self.beta {
+                    // Rewire to a uniform random endpoint.
+                    let r = rng.gen_range(0..n) as NodeId;
+                    if r != u {
+                        b.push_edge(u, r);
+                        continue;
+                    }
+                }
+                b.push_edge(u, w);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpgan_graph::stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lattice_when_beta_zero() {
+        let model = WattsStrogatz::new(20, 4, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = model.generate(&mut rng);
+        assert_eq!(g.n(), 20);
+        assert_eq!(g.m(), 40);
+        // Ring lattice with k=4: every node has degree 4.
+        assert!(g.degrees().iter().all(|&d| d == 4));
+        // High clustering is the small-world signature.
+        assert!(stats::clustering::mean_clustering(&g) > 0.4);
+    }
+
+    #[test]
+    fn rewiring_shortens_paths() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lattice = WattsStrogatz::new(200, 6, 0.0).generate(&mut rng);
+        let small_world = WattsStrogatz::new(200, 6, 0.2).generate(&mut rng);
+        let cpl_lat = stats::path::characteristic_path_length(&lattice, 50);
+        let cpl_sw = stats::path::characteristic_path_length(&small_world, 50);
+        assert!(cpl_sw < cpl_lat, "rewiring must shorten paths: {cpl_sw} vs {cpl_lat}");
+    }
+
+    #[test]
+    fn fit_tracks_mean_degree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let base = WattsStrogatz::new(100, 6, 0.1).generate(&mut rng);
+        let model = WattsStrogatz::fit(&base);
+        let out = model.generate(&mut rng);
+        assert!((out.mean_degree() - base.mean_degree()).abs() < 1.5);
+    }
+
+    #[test]
+    fn beta_one_destroys_clustering() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let ordered = WattsStrogatz::new(300, 6, 0.0).generate(&mut rng);
+        let random = WattsStrogatz::new(300, 6, 1.0).generate(&mut rng);
+        assert!(
+            stats::clustering::mean_clustering(&random)
+                < stats::clustering::mean_clustering(&ordered) / 2.0
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests across all traditional generators.
+
+use cpgan_generators::{
+    ba::BarabasiAlbert, bter::Bter, chung_lu::ChungLu, dcsbm::Dcsbm, er::ErdosRenyi,
+    kronecker::Kronecker, mmsb::Mmsb, sbm::Sbm, GraphGenerator,
+};
+use cpgan_graph::Graph;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A random observed graph to fit against.
+fn arb_observed() -> impl Strategy<Value = Graph> {
+    (10usize..40, 1usize..4).prop_flat_map(|(n, deg)| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), n * deg)
+            .prop_map(move |edges| Graph::from_edges(n, edges).unwrap())
+    })
+}
+
+/// Every generator must produce a well-formed graph on the same node set.
+fn check_generator(model: &dyn GraphGenerator, n: usize, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out = model.generate(&mut rng);
+    assert_eq!(out.n(), n, "{} changed node count", model.name());
+    for &(u, v) in out.edges() {
+        assert!(u < v, "{} produced non-canonical edge", model.name());
+        assert!((v as usize) < n, "{} out-of-range edge", model.name());
+    }
+    // Degrees must satisfy the handshake lemma (Graph guarantees it, but a
+    // generator that bypassed the builder could break it).
+    let total: usize = out.degrees().iter().sum();
+    assert_eq!(total, 2 * out.m());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn all_generators_well_formed(g in arb_observed(), seed in 0u64..1000) {
+        let n = g.n();
+        check_generator(&ErdosRenyi::fit(&g), n, seed);
+        check_generator(&BarabasiAlbert::fit(&g), n, seed);
+        check_generator(&ChungLu::fit(&g), n, seed);
+        check_generator(&Sbm::fit(&g, 1), n, seed);
+        check_generator(&Dcsbm::fit(&g, 1), n, seed);
+        check_generator(&Bter::fit(&g), n, seed);
+        check_generator(&Kronecker::fit(&g), n, seed);
+        check_generator(&Mmsb::fit(&g, 1, 0.1), n, seed);
+    }
+
+    #[test]
+    fn er_edge_count_exact(g in arb_observed(), seed in 0u64..1000) {
+        let model = ErdosRenyi::fit(&g);
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(model.generate(&mut rng).m(), g.m());
+    }
+
+    #[test]
+    fn chung_lu_total_degree_unbiased(seed in 0u64..100) {
+        let degrees: Vec<f64> = (0..50).map(|i| 1.0 + (i % 7) as f64).collect();
+        let expected: f64 = degrees.iter().sum::<f64>() / 2.0;
+        let model = ChungLu::from_degrees(degrees);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut total = 0usize;
+        for _ in 0..8 {
+            total += model.generate(&mut rng).m();
+        }
+        let avg = total as f64 / 8.0;
+        prop_assert!((avg - expected).abs() < 0.5 * expected, "avg {avg} expected {expected}");
+    }
+
+    #[test]
+    fn generators_deterministic_per_seed(g in arb_observed(), seed in 0u64..1000) {
+        let model = Sbm::fit(&g, 5);
+        let a = model.generate(&mut StdRng::seed_from_u64(seed));
+        let b = model.generate(&mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,44 @@
+use std::fmt;
+
+/// Errors produced while constructing or loading graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a node index `>= n`.
+    NodeOutOfRange {
+        /// Offending node index.
+        node: u64,
+        /// Number of nodes in the graph under construction.
+        n: usize,
+    },
+    /// Parsing an edge-list line failed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// An I/O error, carried as a string so the error type stays `Clone`.
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for graph with {n} nodes")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "edge list parse error on line {line}: {message}")
+            }
+            GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,121 @@
+//! Edge-list I/O.
+//!
+//! The interchange format is the whitespace-separated edge list used by the
+//! SNAP datasets the paper evaluates on: one `u v` pair per line, `#`-prefixed
+//! comment lines ignored. Node count is `max id + 1` unless a
+//! `# nodes: <n>` header is present.
+
+use crate::{Graph, GraphBuilder, GraphError};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Parses a graph from an edge-list reader.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph, GraphError> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut declared_n: Option<usize> = None;
+    let mut max_id: u32 = 0;
+    let mut seen_any = false;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim();
+            if let Some(v) = rest.strip_prefix("nodes:") {
+                declared_n = Some(v.trim().parse().map_err(|e| GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("bad node count: {e}"),
+                })?);
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, lineno: usize| -> Result<u32, GraphError> {
+            tok.ok_or_else(|| GraphError::Parse {
+                line: lineno + 1,
+                message: "expected two node ids".into(),
+            })?
+            .parse()
+            .map_err(|e| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("bad node id: {e}"),
+            })
+        };
+        let u = parse(it.next(), lineno)?;
+        let v = parse(it.next(), lineno)?;
+        max_id = max_id.max(u).max(v);
+        seen_any = true;
+        edges.push((u, v));
+    }
+    let n = declared_n.unwrap_or(if seen_any { max_id as usize + 1 } else { 0 });
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v)?;
+    }
+    Ok(b.build())
+}
+
+/// Writes a graph as an edge list with a `# nodes:` header (so isolated
+/// trailing nodes round-trip).
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<(), GraphError> {
+    writeln!(writer, "# nodes: {}", g.n())?;
+    for &(u, v) in g.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Loads a graph from an edge-list file.
+pub fn load<P: AsRef<Path>>(path: P) -> Result<Graph, GraphError> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Saves a graph to an edge-list file.
+pub fn save<P: AsRef<Path>>(g: &Graph, path: P) -> Result<(), GraphError> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a comment\n\n0 1\n# another\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn header_preserves_isolated_nodes() {
+        let text = "# nodes: 10\n0 1\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 10);
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let text = "0 1\nnot numbers\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn missing_second_id_is_error() {
+        let err = read_edge_list("3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+    }
+}

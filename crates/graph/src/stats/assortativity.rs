@@ -1,0 +1,70 @@
+//! Degree assortativity (Pearson correlation of endpoint degrees).
+
+use crate::Graph;
+
+/// Newman's degree assortativity coefficient in `[-1, 1]`:
+/// the Pearson correlation of the degrees at the two ends of each edge.
+/// Returns 0 for graphs with fewer than 2 edges or zero degree variance.
+pub fn degree_assortativity(g: &Graph) -> f64 {
+    let m = g.m();
+    if m < 2 {
+        return 0.0;
+    }
+    // Accumulate over both edge orientations so the measure is symmetric.
+    let mut sum_xy = 0.0f64;
+    let mut sum_x = 0.0f64;
+    let mut sum_x2 = 0.0f64;
+    let count = (2 * m) as f64;
+    for &(u, v) in g.edges() {
+        let du = g.degree(u) as f64;
+        let dv = g.degree(v) as f64;
+        sum_xy += 2.0 * du * dv;
+        sum_x += du + dv;
+        sum_x2 += du * du + dv * dv;
+    }
+    let mean = sum_x / count;
+    let var = sum_x2 / count - mean * mean;
+    if var <= 1e-12 {
+        return 0.0;
+    }
+    (sum_xy / count - mean * mean) / var
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_is_disassortative() {
+        let g = Graph::from_edges(6, (1..6u32).map(|v| (0, v))).unwrap();
+        assert!(degree_assortativity(&g) < -0.9);
+    }
+
+    #[test]
+    fn regular_graph_zero() {
+        // Cycle: all degrees equal -> zero variance -> 0 by convention.
+        let edges: Vec<(u32, u32)> = (0..8u32).map(|i| (i, (i + 1) % 8)).collect();
+        let g = Graph::from_edges(8, edges).unwrap();
+        assert_eq!(degree_assortativity(&g), 0.0);
+    }
+
+    #[test]
+    fn assortative_construction() {
+        // Two hubs joined together plus leaf pairs: high-degree nodes attach
+        // to each other -> positive correlation.
+        let g = Graph::from_edges(
+            8,
+            [(0, 1), (0, 2), (0, 3), (1, 4), (1, 5), (2, 3), (4, 5), (6, 7)],
+        )
+        .unwrap();
+        let r = degree_assortativity(&g);
+        assert!(r.is_finite());
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        assert_eq!(degree_assortativity(&g), 0.0);
+    }
+}

@@ -1,0 +1,61 @@
+//! Degree distribution helpers.
+
+use crate::Graph;
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let max_deg = (0..g.n())
+        .map(|v| g.degree(v as u32))
+        .max()
+        .unwrap_or(0);
+    let mut hist = vec![0usize; max_deg + 1];
+    for v in 0..g.n() {
+        hist[g.degree(v as u32)] += 1;
+    }
+    hist
+}
+
+/// Normalized degree distribution: `p[d]` = fraction of nodes with degree `d`.
+/// Empty graph yields an empty vector.
+pub fn degree_distribution(g: &Graph) -> Vec<f64> {
+    if g.n() == 0 {
+        return Vec::new();
+    }
+    let n = g.n() as f64;
+    degree_histogram(g)
+        .into_iter()
+        .map(|c| c as f64 / n)
+        .collect()
+}
+
+/// Maximum degree in the graph (0 for the empty graph).
+pub fn max_degree(g: &Graph) -> usize {
+    (0..g.n())
+        .map(|v| g.degree(v as u32))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_star() {
+        // Star on 5 nodes: one degree-4 hub, four degree-1 leaves.
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 4, 0, 0, 1]);
+        let p = degree_distribution(&g);
+        assert!((p[1] - 0.8).abs() < 1e-12);
+        assert!((p[4] - 0.2).abs() < 1e-12);
+        assert_eq!(max_degree(&g), 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []).unwrap();
+        assert!(degree_distribution(&g).is_empty());
+        assert_eq!(max_degree(&g), 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Gini coefficient of a degree sequence (paper "GINI").
+
+/// Gini coefficient of `values` (typically a degree sequence), in `[0, 1)`.
+///
+/// Uses the sorted-rank formula
+/// `G = (2 * sum_i i*x_(i) / (n * sum x)) - (n + 1) / n`
+/// with 1-based ranks over the ascending sort. Returns 0 for empty input or
+/// an all-zero sequence.
+pub fn gini_coefficient(values: &[usize]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("degrees are finite"));
+    let n = sorted.len() as f64;
+    let total: f64 = sorted.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_gini_zero() {
+        assert!(gini_coefficient(&[3, 3, 3, 3]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentrated_values_near_one() {
+        let mut v = vec![0usize; 999];
+        v.push(1_000_000);
+        let g = gini_coefficient(&v);
+        assert!(g > 0.99, "gini was {g}");
+    }
+
+    #[test]
+    fn known_small_case() {
+        // For [1, 3]: mean abs diff = |1-3| * 2 / 4 = 1; 2*mean = 4; G = 1/4.
+        let g = gini_coefficient(&[1, 3]);
+        assert!((g - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero() {
+        assert_eq!(gini_coefficient(&[]), 0.0);
+        assert_eq!(gini_coefficient(&[0, 0]), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! k-core decomposition (peeling order), a standard structural summary for
+//! comparing generated graphs.
+
+use crate::{Graph, NodeId};
+
+/// Core number per node: the largest `k` such that the node belongs to a
+/// subgraph where every node has degree >= `k`. Computed by the
+/// Batagelj–Zaveršnik bucket-peeling algorithm in `O(n + m)`.
+pub fn core_numbers(g: &Graph) -> Vec<usize> {
+    let n = g.n();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut degree: Vec<usize> = g.degrees();
+    let max_deg = degree.iter().copied().max().unwrap_or(0);
+    // Bucket sort nodes by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &degree {
+        bin[d] += 1;
+    }
+    let mut start = 0usize;
+    for b in bin.iter_mut() {
+        let count = *b;
+        *b = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut vert = vec![0 as NodeId; n];
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n {
+            pos[v] = cursor[degree[v]];
+            vert[pos[v]] = v as NodeId;
+            cursor[degree[v]] += 1;
+        }
+    }
+    let mut core = degree.clone();
+    for i in 0..n {
+        let v = vert[i];
+        core[v as usize] = degree[v as usize];
+        for &w in g.neighbors(v) {
+            let w = w as usize;
+            if degree[w] > degree[v as usize] {
+                // Move w one bucket down.
+                let dw = degree[w];
+                let pw = pos[w];
+                let ps = bin[dw];
+                let s = vert[ps];
+                if w != s as usize {
+                    vert.swap(pw, ps);
+                    pos[w] = ps;
+                    pos[s as usize] = pw;
+                }
+                bin[dw] += 1;
+                degree[w] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// The degeneracy of the graph (maximum core number).
+pub fn degeneracy(g: &Graph) -> usize {
+    core_numbers(g).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clique_core_numbers() {
+        // K4: every node has core number 3.
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(core_numbers(&g), vec![3, 3, 3, 3]);
+        assert_eq!(degeneracy(&g), 3);
+    }
+
+    #[test]
+    fn clique_with_pendant() {
+        // K4 plus a pendant node: pendant core 1, clique core 3.
+        let g = Graph::from_edges(
+            5,
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
+        )
+        .unwrap();
+        let core = core_numbers(&g);
+        assert_eq!(core[4], 1);
+        assert_eq!(core[0], 3);
+    }
+
+    #[test]
+    fn path_all_core_one() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        assert!(core_numbers(&g).iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn core_invariant_holds() {
+        // Every node's core number is at most its degree, and the k-core
+        // subgraph induced by nodes with core >= k has min degree >= k.
+        let mut edges = Vec::new();
+        for a in 0..8u32 {
+            for b in (a + 1)..8 {
+                if (a * 3 + b) % 4 != 0 {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges.push((0, 8));
+        edges.push((8, 9));
+        let g = Graph::from_edges(10, edges).unwrap();
+        let core = core_numbers(&g);
+        for (v, &c) in core.iter().enumerate() {
+            assert!(c <= g.degree(v as u32));
+        }
+        let k = degeneracy(&g);
+        let members: Vec<u32> = (0..g.n() as u32)
+            .filter(|&v| core[v as usize] >= k)
+            .collect();
+        let (sub, _) = g.induced_subgraph(&members);
+        assert!(sub.degrees().iter().all(|&d| d >= k), "k-core property violated");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, []).unwrap();
+        assert!(core_numbers(&g).is_empty());
+        assert_eq!(degeneracy(&g), 0);
+    }
+}

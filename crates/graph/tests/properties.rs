@@ -1,0 +1,144 @@
+//! Property-based tests for the graph substrate.
+
+use cpgan_graph::{mmd, stats, Graph, NodeId};
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+/// Strategy: a random node count and edge list over it.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..120)
+            .prop_map(move |edges| Graph::from_edges(n, edges).unwrap())
+    })
+}
+
+fn arb_permutation(n: usize) -> impl Strategy<Value = Vec<NodeId>> {
+    Just((0..n as NodeId).collect::<Vec<_>>()).prop_shuffle()
+}
+
+proptest! {
+    #[test]
+    fn handshake_lemma(g in arb_graph()) {
+        let total: usize = g.degrees().iter().sum();
+        prop_assert_eq!(total, 2 * g.m());
+    }
+
+    #[test]
+    fn edges_are_canonical_and_sorted(g in arb_graph()) {
+        let edges = g.edges();
+        for w in edges.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        for &(u, v) in edges {
+            prop_assert!(u < v);
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn neighbors_symmetric(g in arb_graph()) {
+        for v in 0..g.n() as NodeId {
+            for &w in g.neighbors(v) {
+                prop_assert!(g.neighbors(w).binary_search(&v).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_preserves_all_stats(g in arb_graph()) {
+        let n = g.n();
+        let perm_strategy_result = arb_permutation(n);
+        // Draw one permutation deterministically from the graph shape.
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let perm = perm_strategy_result.new_tree(&mut runner).unwrap().current();
+        let pg = g.permute(&perm);
+        prop_assert_eq!(pg.n(), g.n());
+        prop_assert_eq!(pg.m(), g.m());
+        // Degree multiset invariant.
+        let mut d1 = g.degrees();
+        let mut d2 = pg.degrees();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        prop_assert_eq!(d1, d2);
+        // Scalar statistics are permutation-invariant.
+        let s1 = stats::GraphStats::compute(&g, usize::MAX);
+        let s2 = stats::GraphStats::compute(&pg, usize::MAX);
+        prop_assert!((s1.cpl - s2.cpl).abs() < 1e-9);
+        prop_assert!((s1.gini - s2.gini).abs() < 1e-9);
+        prop_assert!((s1.pwe - s2.pwe).abs() < 1e-9);
+        prop_assert!((s1.mean_clustering - s2.mean_clustering).abs() < 1e-9);
+        // And the MMD metrics see permuted graphs as identical.
+        prop_assert!(mmd::degree_mmd(&g, &pg) < 1e-9);
+        prop_assert!(mmd::clustering_mmd(&g, &pg) < 1e-9);
+    }
+
+    #[test]
+    fn clustering_in_unit_interval(g in arb_graph()) {
+        for c in stats::clustering::local_clustering(&g) {
+            prop_assert!((0.0..=1.0).contains(&c));
+        }
+    }
+
+    #[test]
+    fn gini_in_unit_interval(g in arb_graph()) {
+        let gini = stats::gini::gini_coefficient(&g.degrees());
+        prop_assert!((0.0..1.0).contains(&gini) || gini.abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_distribution_sums_to_one(g in arb_graph()) {
+        let p = stats::degree::degree_distribution(&g);
+        let total: f64 = p.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn emd_triangle_inequality(
+        a in proptest::collection::vec(0.0f64..1.0, 1..10),
+        b in proptest::collection::vec(0.0f64..1.0, 1..10),
+        c in proptest::collection::vec(0.0f64..1.0, 1..10),
+    ) {
+        // Normalize to distributions.
+        let norm = |v: &[f64]| -> Vec<f64> {
+            let s: f64 = v.iter().sum::<f64>().max(1e-12);
+            v.iter().map(|x| x / s).collect()
+        };
+        let (a, b, c) = (norm(&a), norm(&b), norm(&c));
+        let ab = mmd::emd_1d(&a, &b);
+        let bc = mmd::emd_1d(&b, &c);
+        let ac = mmd::emd_1d(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn io_round_trip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        cpgan_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = cpgan_graph::io::read_edge_list(&buf[..]).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn subgraph_edges_subset(g in arb_graph()) {
+        let take = (g.n() / 2).max(1);
+        let nodes: Vec<NodeId> = (0..take as NodeId).collect();
+        let (sub, order) = g.induced_subgraph(&nodes);
+        prop_assert_eq!(sub.n(), take);
+        for &(u, v) in sub.edges() {
+            prop_assert!(g.has_edge(order[u as usize], order[v as usize]));
+        }
+    }
+
+    #[test]
+    fn spectral_embedding_deterministic_and_shaped(g in arb_graph()) {
+        let d = 3.min(g.n());
+        let e1 = cpgan_graph::spectral::spectral_embedding(&g, d, 42);
+        let e2 = cpgan_graph::spectral::spectral_embedding(&g, d, 42);
+        prop_assert_eq!(&e1, &e2);
+        prop_assert_eq!(e1.len(), g.n() * d);
+        for v in &e1 {
+            prop_assert!(v.is_finite());
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Gated recurrent unit cell (paper Eq. 13).
+
+use crate::layers::Linear;
+use crate::params::ParamStore;
+use crate::tape::{Tape, Var};
+use rand::Rng;
+
+/// A GRU cell over row-batched states: given input `x` (`n x d_in`) and
+/// hidden `h` (`n x d_h`), produces the next hidden state.
+///
+/// `z = sigma(x Wz + h Uz + bz)`,
+/// `r = sigma(x Wr + h Ur + br)`,
+/// `h~ = tanh(x Wh + (r . h) Uh + bh)`,
+/// `h' = (1 - z) . h + z . h~`.
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    wz: Linear,
+    uz: Linear,
+    wr: Linear,
+    ur: Linear,
+    wh: Linear,
+    uh: Linear,
+    hidden: usize,
+}
+
+impl GruCell {
+    /// Creates the cell; `W*` carry the biases, `U*` are bias-free.
+    pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, d_in: usize, d_hidden: usize) -> Self {
+        GruCell {
+            wz: Linear::new(store, rng, d_in, d_hidden, true),
+            uz: Linear::new(store, rng, d_hidden, d_hidden, false),
+            wr: Linear::new(store, rng, d_in, d_hidden, true),
+            ur: Linear::new(store, rng, d_hidden, d_hidden, false),
+            wh: Linear::new(store, rng, d_in, d_hidden, true),
+            uh: Linear::new(store, rng, d_hidden, d_hidden, false),
+            hidden: d_hidden,
+        }
+    }
+
+    /// One step.
+    pub fn forward(&self, tape: &Tape, x: &Var, h: &Var) -> Var {
+        let z = self
+            .wz
+            .forward(tape, x)
+            .add(&self.uz.forward(tape, h))
+            .sigmoid();
+        let r = self
+            .wr
+            .forward(tape, x)
+            .add(&self.ur.forward(tape, h))
+            .sigmoid();
+        let h_cand = self
+            .wh
+            .forward(tape, x)
+            .add(&self.uh.forward(tape, &r.mul(h)))
+            .tanh();
+        // (1 - z) . h + z . h~  ==  h + z . (h~ - h).
+        h.add(&z.mul(&h_cand.sub(h)))
+    }
+
+    /// Hidden width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let cell = GruCell::new(&mut store, &mut rng, 4, 6);
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::zeros(3, 4));
+        let h = tape.constant(Matrix::zeros(3, 6));
+        assert_eq!(cell.forward(&tape, &x, &h).shape(), (3, 6));
+        assert_eq!(cell.hidden_size(), 6);
+    }
+
+    #[test]
+    fn state_in_tanh_range_after_steps() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let cell = GruCell::new(&mut store, &mut rng, 2, 3);
+        let tape = Tape::new();
+        let mut h = tape.constant(Matrix::zeros(2, 3));
+        for step in 0..5 {
+            let x = tape.constant(Matrix::from_fn(2, 2, |r, c| (r + c + step) as f32));
+            h = cell.forward(&tape, &x, &h);
+        }
+        for &v in h.value().as_slice() {
+            assert!(v.abs() <= 1.0 + 1e-5, "state escaped tanh range: {v}");
+        }
+    }
+
+    #[test]
+    fn gradients_reach_all_parameters() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let cell = GruCell::new(&mut store, &mut rng, 3, 3);
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::from_fn(2, 3, |r, c| 0.3 * (r as f32 - c as f32)));
+        let h0 = tape.constant(Matrix::from_fn(2, 3, |_, c| 0.1 * c as f32));
+        let h1 = cell.forward(&tape, &x, &h0);
+        let h2 = cell.forward(&tape, &x, &h1);
+        h2.sum_all().backward();
+        for p in store.params() {
+            assert!(
+                p.lock().grad.frobenius_norm() > 0.0,
+                "a GRU parameter received no gradient"
+            );
+        }
+    }
+}

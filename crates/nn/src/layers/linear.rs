@@ -1,0 +1,83 @@
+//! Fully-connected layer.
+
+use crate::params::{Param, ParamStore};
+use crate::tape::{Tape, Var};
+use crate::{init, Matrix};
+use rand::Rng;
+
+/// `y = x W + b` (bias optional).
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Param,
+    bias: Option<Param>,
+}
+
+impl Linear {
+    /// Creates a Xavier-initialized linear layer and registers its
+    /// parameters in `store`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        fan_in: usize,
+        fan_out: usize,
+        bias: bool,
+    ) -> Self {
+        let weight = store.register(init::xavier_uniform(rng, fan_in, fan_out));
+        let bias = bias.then(|| store.register(Matrix::zeros(1, fan_out)));
+        Linear { weight, bias }
+    }
+
+    /// Forward pass on `tape`.
+    pub fn forward(&self, tape: &Tape, x: &Var) -> Var {
+        let w = tape.param(&self.weight);
+        let y = x.matmul(&w);
+        match &self.bias {
+            Some(b) => y.add_row_broadcast(&tape.param(b)),
+            None => y,
+        }
+    }
+
+    /// Output width.
+    pub fn fan_out(&self) -> usize {
+        self.weight.shape().1
+    }
+
+    /// Input width.
+    pub fn fan_in(&self) -> usize {
+        self.weight.shape().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_grad() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Linear::new(&mut store, &mut rng, 3, 2, true);
+        assert_eq!(store.params().len(), 2);
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::from_fn(4, 3, |r, c| (r + c) as f32));
+        let y = layer.forward(&tape, &x);
+        assert_eq!(y.shape(), (4, 2));
+        y.sum_all().backward();
+        // Both weight and bias received gradients.
+        for p in store.params() {
+            assert!(p.lock().grad.frobenius_norm() > 0.0);
+        }
+    }
+
+    #[test]
+    fn no_bias_variant() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Linear::new(&mut store, &mut rng, 5, 4, false);
+        assert_eq!(store.params().len(), 1);
+        assert_eq!(layer.fan_in(), 5);
+        assert_eq!(layer.fan_out(), 4);
+    }
+}

@@ -1,0 +1,105 @@
+//! Multi-layer perceptron.
+
+use crate::layers::Linear;
+use crate::params::ParamStore;
+use crate::tape::{Tape, Var};
+use rand::Rng;
+
+/// Hidden-layer activation of an [`Mlp`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit (the paper's default, §III-C).
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// No nonlinearity.
+    Identity,
+}
+
+impl Activation {
+    fn apply(self, v: &Var) -> Var {
+        match self {
+            Activation::Relu => v.relu(),
+            Activation::Tanh => v.tanh(),
+            Activation::Sigmoid => v.sigmoid(),
+            Activation::Identity => v.clone(),
+        }
+    }
+}
+
+/// A stack of [`Linear`] layers with an activation between them (the final
+/// layer's output is linear; apply an output nonlinearity at the call site).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP through the widths `dims = [in, h1, ..., out]`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        dims: &[usize],
+        activation: Activation,
+    ) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(store, rng, w[0], w[1], true))
+            .collect();
+        Mlp { layers, activation }
+    }
+
+    /// Forward pass: activation after every layer except the last.
+    pub fn forward(&self, tape: &Tape, x: &Var) -> Var {
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, &h);
+            if i + 1 < self.layers.len() {
+                h = self.activation.apply(&h);
+            }
+        }
+        h
+    }
+
+    /// Output width.
+    pub fn fan_out(&self) -> usize {
+        self.layers.last().expect("non-empty").fan_out()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn two_layer_shapes() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(&mut store, &mut rng, &[4, 8, 2], Activation::Relu);
+        assert_eq!(store.params().len(), 4); // 2 weights + 2 biases
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::zeros(5, 4));
+        assert_eq!(mlp.forward(&tape, &x).shape(), (5, 2));
+        assert_eq!(mlp.fan_out(), 2);
+    }
+
+    #[test]
+    fn gradients_flow_to_all_layers() {
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&mut store, &mut rng, &[3, 6, 6, 1], Activation::Tanh);
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32 * 0.1));
+        mlp.forward(&tape, &x).sum_all().backward();
+        for p in store.params() {
+            assert!(p.lock().grad.frobenius_norm() > 0.0, "dead gradient");
+        }
+    }
+}

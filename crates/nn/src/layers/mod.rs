@@ -1,0 +1,13 @@
+//! Neural layers used by CPGAN and the learning-based baselines.
+
+mod gcn;
+mod gru;
+mod linear;
+mod mlp;
+mod pairnorm;
+
+pub use gcn::GcnConv;
+pub use gru::GruCell;
+pub use linear::Linear;
+pub use mlp::{Activation, Mlp};
+pub use pairnorm::PairNorm;

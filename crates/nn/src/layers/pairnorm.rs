@@ -1,0 +1,72 @@
+//! PairNorm (Zhao & Akoglu, ICLR 2020), the paper's anti-over-smoothing
+//! trick applied after every GCN in the ladder encoder (§III-C2).
+
+use crate::tape::{Tape, Var};
+
+/// PairNorm in "scale-individually" mode: center the feature matrix
+/// column-wise, then rescale every row to L2 norm `s`.
+#[derive(Debug, Clone, Copy)]
+pub struct PairNorm {
+    /// Target row norm (the PairNorm paper's `s`, default 1).
+    pub scale: f32,
+}
+
+impl Default for PairNorm {
+    fn default() -> Self {
+        PairNorm { scale: 1.0 }
+    }
+}
+
+impl PairNorm {
+    /// Creates a PairNorm with the given scale.
+    pub fn new(scale: f32) -> Self {
+        PairNorm { scale }
+    }
+
+    /// Applies PairNorm to an `n x d` variable.
+    pub fn forward(&self, _tape: &Tape, x: &Var) -> Var {
+        let n = x.shape().0;
+        let centered = x.sub(&x.mean_rows().broadcast_row(n));
+        centered.row_l2_normalize(self.scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Matrix, Param};
+
+    #[test]
+    fn rows_have_unit_norm_and_columns_centered() {
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32));
+        let y = PairNorm::default().forward(&tape, &x).value();
+        for r in 0..4 {
+            let norm: f32 = y.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-5, "row {r} norm {norm}");
+        }
+    }
+
+    #[test]
+    fn differentiable() {
+        let tape = Tape::new();
+        let p = Param::new(Matrix::from_fn(3, 2, |r, c| (r + c) as f32 + 0.5));
+        let x = tape.param(&p);
+        PairNorm::new(2.0)
+            .forward(&tape, &x)
+            .sum_all()
+            .backward();
+        assert!(p.lock().grad.as_slice().iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn scale_respected() {
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::from_fn(2, 2, |r, c| (r * 2 + c) as f32));
+        let y = PairNorm::new(3.0).forward(&tape, &x).value();
+        for r in 0..2 {
+            let norm: f32 = y.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((norm - 3.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Adam optimizer (Kingma & Ba), the workspace default — the paper trains
+//! every learnable model with Adam at lr 0.001 (§IV-A).
+
+use crate::optim::Optimizer;
+use crate::params::ParamStore;
+use crate::Matrix;
+use std::collections::HashMap;
+
+struct Moments {
+    m: Matrix,
+    v: Matrix,
+}
+
+/// Adam with bias correction.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: i32,
+    state: HashMap<usize, Moments>,
+}
+
+impl Adam {
+    /// Creates Adam with custom hyper-parameters.
+    pub fn new(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            state: HashMap::new(),
+        }
+    }
+
+    /// Adam with the standard defaults `(beta1, beta2, eps) = (0.9, 0.999, 1e-8)`.
+    pub fn with_lr(lr: f32) -> Self {
+        Adam::new(lr, 0.9, 0.999, 1e-8)
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &ParamStore) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for p in params.params() {
+            let id = p.id();
+            let mut data = p.lock();
+            let (rows, cols) = data.value.shape();
+            let moments = self.state.entry(id).or_insert_with(|| Moments {
+                m: Matrix::zeros(rows, cols),
+                v: Matrix::zeros(rows, cols),
+            });
+            let d = &mut *data;
+            for i in 0..d.value.len() {
+                let g = d.grad.as_slice()[i];
+                let m = &mut moments.m.as_mut_slice()[i];
+                let v = &mut moments.v.as_mut_slice()[i];
+                *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+                *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+                let m_hat = *m / bc1;
+                let v_hat = *v / bc2;
+                d.value.as_mut_slice()[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+            d.grad.fill_zero();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamStore;
+    use crate::tape::Tape;
+    use std::sync::Arc;
+
+    #[test]
+    fn minimizes_quadratic_fast() {
+        let mut store = ParamStore::new();
+        let p = store.register(Matrix::from_vec(1, 2, vec![3.0, -4.0]));
+        let mut opt = Adam::with_lr(0.1);
+        for _ in 0..200 {
+            let t = Tape::new();
+            let x = t.param(&p);
+            x.mul(&x).sum_all().backward();
+            opt.step(&store);
+        }
+        for &v in p.value().as_slice() {
+            assert!(v.abs() < 1e-2, "failed to converge: {v}");
+        }
+    }
+
+    #[test]
+    fn fits_linear_regression() {
+        // y = 2x - 1 over a few points; a Linear layer must recover it.
+        use crate::layers::Linear;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Linear::new(&mut store, &mut rng, 1, 1, true);
+        let xs = Matrix::from_vec(8, 1, (0..8).map(|i| i as f32 / 4.0).collect());
+        let ys = Arc::new(Matrix::from_vec(
+            8,
+            1,
+            (0..8).map(|i| 2.0 * (i as f32 / 4.0) - 1.0).collect(),
+        ));
+        let mut opt = Adam::with_lr(0.05);
+        let mut last = f32::INFINITY;
+        for _ in 0..500 {
+            let t = Tape::new();
+            let x = t.constant(xs.clone());
+            let pred = layer.forward(&t, &x);
+            let loss = pred.mse_mean(&ys);
+            last = loss.item();
+            loss.backward();
+            opt.step(&store);
+        }
+        assert!(last < 1e-4, "final loss {last}");
+    }
+
+    #[test]
+    fn learning_rate_mutable() {
+        let mut opt = Adam::with_lr(0.001);
+        assert_eq!(opt.learning_rate(), 0.001);
+        opt.set_learning_rate(0.0003);
+        assert_eq!(opt.learning_rate(), 0.0003);
+    }
+}

@@ -1,0 +1,105 @@
+//! Stochastic gradient descent with optional momentum.
+
+use crate::optim::Optimizer;
+use crate::params::ParamStore;
+use crate::Matrix;
+use std::collections::HashMap;
+
+/// Plain SGD: `theta -= lr * g`, optionally with momentum `v = mu v + g`.
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: HashMap<usize, Matrix>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate and momentum (`0` disables).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &ParamStore) {
+        for p in params.params() {
+            let id = p.id();
+            let mut data = p.lock();
+            if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(id)
+                    .or_insert_with(|| Matrix::zeros(data.value.rows(), data.value.cols()));
+                for (vi, &gi) in v.as_mut_slice().iter_mut().zip(data.grad.as_slice()) {
+                    *vi = self.momentum * *vi + gi;
+                }
+                // Borrow dance: update value from the (already updated) v.
+                let v = self.velocity.get(&id).expect("just inserted");
+                let lr = self.lr;
+                for (t, &vi) in data.value.as_mut_slice().iter_mut().zip(v.as_slice()) {
+                    *t -= lr * vi;
+                }
+            } else {
+                let lr = self.lr;
+                let (value, grad) = {
+                    let d = &mut *data;
+                    (&mut d.value, &d.grad)
+                };
+                for (t, &gi) in value.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                    *t -= lr * gi;
+                }
+            }
+            data.grad.fill_zero();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ParamStore;
+    use crate::tape::Tape;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let mut store = ParamStore::new();
+        let p = store.register(Matrix::scalar(5.0));
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..100 {
+            let t = Tape::new();
+            let x = t.param(&p);
+            x.mul(&x).sum_all().backward();
+            opt.step(&store);
+        }
+        assert!(p.value().item().abs() < 1e-3);
+    }
+
+    #[test]
+    fn momentum_accelerates() {
+        let run = |momentum: f32| {
+            let mut store = ParamStore::new();
+            let p = store.register(Matrix::scalar(5.0));
+            let mut opt = Sgd::new(0.01, momentum);
+            for _ in 0..50 {
+                let t = Tape::new();
+                let x = t.param(&p);
+                x.mul(&x).sum_all().backward();
+                opt.step(&store);
+            }
+            p.value().item().abs()
+        };
+        assert!(run(0.9) < run(0.0));
+    }
+}

@@ -1,0 +1,189 @@
+//! Trainable parameters.
+//!
+//! Parameters live *outside* the autograd tape so a fresh tape can be built
+//! per forward pass (the GAN training loop builds several per iteration).
+//! Backward accumulates gradients into the shared [`Param`] storage; an
+//! optimizer then steps every parameter registered in a [`ParamStore`].
+
+use crate::Matrix;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Value + accumulated gradient of one trainable tensor.
+#[derive(Debug)]
+pub struct ParamData {
+    /// Current parameter value.
+    pub value: Matrix,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Matrix,
+}
+
+/// A shared handle to one trainable tensor.
+#[derive(Debug, Clone)]
+pub struct Param {
+    inner: Arc<Mutex<ParamData>>,
+}
+
+impl Param {
+    /// Wraps an initial value.
+    pub fn new(value: Matrix) -> Self {
+        let grad = Matrix::zeros(value.rows(), value.cols());
+        Param {
+            inner: Arc::new(Mutex::new(ParamData { value, grad })),
+        }
+    }
+
+    /// Locks and returns the inner data.
+    pub fn lock(&self) -> parking_lot::MutexGuard<'_, ParamData> {
+        self.inner.lock()
+    }
+
+    /// Shape of the parameter.
+    pub fn shape(&self) -> (usize, usize) {
+        self.lock().value.shape()
+    }
+
+    /// Clones the current value.
+    pub fn value(&self) -> Matrix {
+        self.lock().value.clone()
+    }
+
+    /// Zeroes the accumulated gradient.
+    pub fn zero_grad(&self) {
+        self.lock().grad.fill_zero();
+    }
+
+    /// Adds `g` into the accumulated gradient.
+    pub fn accumulate_grad(&self, g: &Matrix) {
+        self.lock().grad.axpy(1.0, g);
+    }
+
+    /// Number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.lock().value.len()
+    }
+
+    /// Identity for optimizer state keying.
+    pub(crate) fn id(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    /// Whether two handles refer to the same parameter.
+    pub fn same_as(&self, other: &Param) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// A registry of every trainable parameter of a model, in registration order.
+#[derive(Debug, Default, Clone)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Registers and returns a new parameter with the given initial value.
+    pub fn register(&mut self, value: Matrix) -> Param {
+        let p = Param::new(value);
+        self.params.push(p.clone());
+        p
+    }
+
+    /// All registered parameters.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Total scalar parameter count.
+    pub fn param_count(&self) -> usize {
+        self.params.iter().map(Param::param_count).sum()
+    }
+
+    /// Zeroes every gradient.
+    pub fn zero_grad(&self) {
+        for p in &self.params {
+            p.zero_grad();
+        }
+    }
+
+    /// Merges another store's parameters into this one (e.g. an encoder
+    /// shared between generator and discriminator, §III-B).
+    pub fn extend(&mut self, other: &ParamStore) {
+        for p in &other.params {
+            if !self.params.iter().any(|q| q.same_as(p)) {
+                self.params.push(p.clone());
+            }
+        }
+    }
+
+    /// Snapshots every parameter value in registration order (model
+    /// persistence).
+    pub fn export_values(&self) -> Vec<Matrix> {
+        self.params.iter().map(Param::value).collect()
+    }
+
+    /// Restores parameter values from a snapshot taken by
+    /// [`export_values`](Self::export_values) on an identically-constructed
+    /// store. Returns an error message on any count or shape mismatch.
+    pub fn import_values(&self, values: Vec<Matrix>) -> Result<(), String> {
+        if values.len() != self.params.len() {
+            return Err(format!(
+                "snapshot has {} tensors, store has {}",
+                values.len(),
+                self.params.len()
+            ));
+        }
+        for (i, (p, v)) in self.params.iter().zip(&values).enumerate() {
+            if p.shape() != v.shape() {
+                return Err(format!(
+                    "tensor {i} shape mismatch: store {:?}, snapshot {:?}",
+                    p.shape(),
+                    v.shape()
+                ));
+            }
+        }
+        for (p, v) in self.params.iter().zip(values) {
+            p.lock().value = v;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_count() {
+        let mut store = ParamStore::new();
+        let a = store.register(Matrix::zeros(2, 3));
+        let _b = store.register(Matrix::zeros(4, 1));
+        assert_eq!(store.param_count(), 10);
+        assert_eq!(a.shape(), (2, 3));
+    }
+
+    #[test]
+    fn grad_accumulates_and_zeroes() {
+        let p = Param::new(Matrix::zeros(1, 2));
+        p.accumulate_grad(&Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+        p.accumulate_grad(&Matrix::from_vec(1, 2, vec![0.5, 0.5]));
+        assert_eq!(p.lock().grad.as_slice(), &[1.5, 2.5]);
+        p.zero_grad();
+        assert_eq!(p.lock().grad.as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn extend_dedups_shared_params() {
+        let mut a = ParamStore::new();
+        let shared = a.register(Matrix::zeros(1, 1));
+        let mut b = ParamStore::new();
+        b.params.push(shared.clone());
+        b.register(Matrix::zeros(1, 1));
+        a.extend(&b);
+        assert_eq!(a.params().len(), 2);
+    }
+}

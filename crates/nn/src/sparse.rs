@@ -1,0 +1,225 @@
+//! Compressed sparse row matrices for graph operators.
+//!
+//! The encoder's message passing (paper Eq. 6) multiplies the symmetric
+//! normalized adjacency `D̃^{-1/2} Ã D̃^{-1/2}` by dense feature matrices.
+//! Keeping the adjacency sparse gives the `O(m + n)` per-layer cost the
+//! paper's complexity analysis relies on.
+
+use crate::Matrix;
+use cpgan_graph::Graph;
+
+/// A CSR sparse `f32` matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    rows: usize,
+    cols: usize,
+    offsets: Vec<usize>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl Csr {
+    /// Builds from row-major triplets `(row, col, value)`; triplets must be
+    /// sorted by `(row, col)` with no duplicates.
+    pub fn from_sorted_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f32)>,
+    ) -> Self {
+        let mut offsets = vec![0usize; rows + 1];
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        let mut last: Option<(usize, usize)> = None;
+        for (r, c, v) in triplets {
+            assert!(r < rows && c < cols, "triplet out of bounds");
+            if let Some(prev) = last {
+                assert!(prev < (r, c), "triplets must be sorted and unique");
+            }
+            last = Some((r, c));
+            offsets[r + 1] += 1;
+            indices.push(c as u32);
+            values.push(v);
+        }
+        for r in 0..rows {
+            offsets[r + 1] += offsets[r];
+        }
+        Csr {
+            rows,
+            cols,
+            offsets,
+            indices,
+            values,
+        }
+    }
+
+    /// The symmetric normalized adjacency with self-loops of `g`:
+    /// `Â = D̃^{-1/2} (A + I) D̃^{-1/2}` (paper Eq. 6).
+    pub fn normalized_adjacency(g: &Graph) -> Self {
+        let n = g.n();
+        let inv_sqrt: Vec<f32> = (0..n)
+            .map(|v| 1.0 / ((g.degree(v as u32) as f32) + 1.0).sqrt())
+            .collect();
+        let mut triplets = Vec::with_capacity(2 * g.m() + n);
+        for u in 0..n {
+            let du = inv_sqrt[u];
+            // Merge sorted neighbors with the diagonal entry.
+            let mut placed_diag = false;
+            for &w in g.neighbors(u as u32) {
+                let w = w as usize;
+                if !placed_diag && w > u {
+                    triplets.push((u, u, du * du));
+                    placed_diag = true;
+                }
+                triplets.push((u, w, du * inv_sqrt[w]));
+            }
+            if !placed_diag {
+                triplets.push((u, u, du * du));
+            }
+        }
+        Csr::from_sorted_triplets(n, n, triplets)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether this matrix is square and symmetric (entry-wise).
+    pub fn is_symmetric(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                match self.get(c as usize, r) {
+                    Some(w) if (w - v).abs() <= 1e-6 * v.abs().max(1.0) => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Value at `(r, c)` if stored.
+    pub fn get(&self, r: usize, c: usize) -> Option<f32> {
+        let range = self.offsets[r]..self.offsets[r + 1];
+        let row = &self.indices[range.clone()];
+        row.binary_search(&(c as u32))
+            .ok()
+            .map(|i| self.values[range.start + i])
+    }
+
+    /// Iterator over `(col, value)` of row `r`.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let range = self.offsets[r]..self.offsets[r + 1];
+        self.indices[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[range].iter().copied())
+    }
+
+    /// Sparse x dense product `self * x`.
+    pub fn matmul_dense(&self, x: &Matrix) -> Matrix {
+        assert_eq!(self.cols, x.rows(), "spmm shape mismatch");
+        let d = x.cols();
+        let mut out = Matrix::zeros(self.rows, d);
+        for r in 0..self.rows {
+            let out_row = &mut out.as_mut_slice()[r * d..(r + 1) * d];
+            for i in self.offsets[r]..self.offsets[r + 1] {
+                let c = self.indices[i] as usize;
+                let v = self.values[i];
+                let x_row = &x.as_slice()[c * d..(c + 1) * d];
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy (used by autograd for non-symmetric operators).
+    pub fn transpose(&self) -> Csr {
+        let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                triplets.push((c as usize, r, v));
+            }
+        }
+        triplets.sort_by_key(|a| (a.0, a.1));
+        Csr::from_sorted_triplets(self.cols, self.rows, triplets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3_adj() -> Csr {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        Csr::normalized_adjacency(&g)
+    }
+
+    #[test]
+    fn normalized_adjacency_rows_structure() {
+        let a = path3_adj();
+        assert_eq!(a.rows(), 3);
+        assert_eq!(a.nnz(), 7); // 4 off-diagonal + 3 diagonal
+        // deg+1: node0 -> 2, node1 -> 3, node2 -> 2.
+        let d00 = a.get(0, 0).unwrap();
+        assert!((d00 - 0.5).abs() < 1e-6);
+        let d01 = a.get(0, 1).unwrap();
+        assert!((d01 - 1.0 / (2.0f32.sqrt() * 3.0f32.sqrt())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn symmetric() {
+        assert!(path3_adj().is_symmetric());
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let a = path3_adj();
+        let x = Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32 + 1.0);
+        let y = a.matmul_dense(&x);
+        // Dense reference.
+        let mut dense = Matrix::zeros(3, 3);
+        for r in 0..3 {
+            for (c, v) in a.row_iter(r) {
+                dense.set(r, c as usize, v);
+            }
+        }
+        let expect = dense.matmul(&x);
+        for (u, v) in y.as_slice().iter().zip(expect.as_slice()) {
+            assert!((u - v).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let t = Csr::from_sorted_triplets(2, 3, [(0, 1, 2.0), (1, 0, 3.0), (1, 2, 4.0)]);
+        assert_eq!(t.transpose().transpose(), t);
+        assert_eq!(t.transpose().get(1, 0), Some(2.0));
+    }
+
+    #[test]
+    fn row_sums_of_normalized_adjacency_bounded() {
+        // Spectral radius of the normalized adjacency is <= 1, and row sums
+        // stay near 1 for regular-ish graphs.
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let a = Csr::normalized_adjacency(&g);
+        for r in 0..4 {
+            let s: f32 = a.row_iter(r).map(|(_, v)| v).sum();
+            assert!((s - 1.0).abs() < 1e-6); // 2-regular: exact
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Finite-difference gradient checks for every autograd op.
+//!
+//! Each check builds a scalar loss `f(theta)` from one parameter, runs
+//! backward, and compares the analytic gradient against the central
+//! difference `(f(theta + h) - f(theta - h)) / 2h` elementwise.
+
+use cpgan_graph::Graph;
+use cpgan_nn::{Csr, Matrix, Param, Tape, Var};
+use std::sync::Arc;
+
+/// Checks `d loss / d param` analytically vs numerically.
+fn gradcheck(name: &str, init: Matrix, f: impl Fn(&Tape, &Var) -> Var) {
+    let param = Param::new(init);
+    // Analytic.
+    {
+        let tape = Tape::new();
+        let x = tape.param(&param);
+        let loss = f(&tape, &x);
+        assert_eq!(loss.shape(), (1, 1), "{name}: loss must be scalar");
+        loss.backward();
+    }
+    let analytic = param.lock().grad.clone();
+    // Numeric.
+    let h = 1e-2f32;
+    let base = param.value();
+    for i in 0..base.len() {
+        let eval = |delta: f32| -> f64 {
+            let mut perturbed = base.clone();
+            perturbed.as_mut_slice()[i] += delta;
+            let p2 = Param::new(perturbed);
+            let tape = Tape::new();
+            let x = tape.param(&p2);
+            f(&tape, &x).item() as f64
+        };
+        let numeric = (eval(h) - eval(-h)) / (2.0 * h as f64);
+        let a = analytic.as_slice()[i] as f64;
+        let tol = 2e-2 * (1.0 + a.abs().max(numeric.abs()));
+        assert!(
+            (a - numeric).abs() < tol,
+            "{name}: grad[{i}] analytic {a} vs numeric {numeric}"
+        );
+    }
+}
+
+fn seed_matrix(rows: usize, cols: usize, offset: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        // Deterministic, non-degenerate, sign-mixed values.
+        let v = ((r * cols + c) as f32 * 0.37 + offset).sin();
+        0.8 * v + 0.05
+    })
+}
+
+#[test]
+fn grad_matmul() {
+    gradcheck("matmul", seed_matrix(3, 4, 0.1), |t, x| {
+        let w = t.constant(seed_matrix(4, 2, 0.7));
+        x.matmul(&w).sum_all()
+    });
+}
+
+#[test]
+fn grad_matmul_right_operand() {
+    gradcheck("matmul_rhs", seed_matrix(4, 2, 0.3), |t, x| {
+        let a = t.constant(seed_matrix(3, 4, 0.9));
+        a.matmul(x).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_spmm() {
+    let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]).unwrap();
+    let adj = Arc::new(Csr::normalized_adjacency(&g));
+    gradcheck("spmm", seed_matrix(5, 3, 0.2), move |_t, x| {
+        x.spmm(&adj).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_add_sub_mul() {
+    gradcheck("add", seed_matrix(2, 3, 0.0), |t, x| {
+        let c = t.constant(seed_matrix(2, 3, 1.3));
+        x.add(&c).square().sum_all()
+    });
+    gradcheck("sub", seed_matrix(2, 3, 0.4), |t, x| {
+        let c = t.constant(seed_matrix(2, 3, 0.8));
+        c.sub(x).square().sum_all()
+    });
+    gradcheck("mul", seed_matrix(2, 3, 0.5), |t, x| {
+        let c = t.constant(seed_matrix(2, 3, 2.0));
+        x.mul(&c).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_self_product_chain() {
+    // x^3 via x*x*x exercises repeated-parent accumulation.
+    gradcheck("cube", seed_matrix(2, 2, 0.6), |_t, x| {
+        x.mul(x).mul(x).sum_all()
+    });
+}
+
+#[test]
+fn grad_broadcasts() {
+    gradcheck("add_row_broadcast_row", seed_matrix(1, 3, 0.2), |t, row| {
+        let x = t.constant(seed_matrix(4, 3, 1.0));
+        x.add_row_broadcast(row).square().sum_all()
+    });
+    gradcheck("add_row_broadcast_x", seed_matrix(4, 3, 0.2), |t, x| {
+        let row = t.constant(seed_matrix(1, 3, 1.0));
+        x.add_row_broadcast(&row).square().sum_all()
+    });
+    gradcheck("broadcast_row", seed_matrix(1, 3, 0.5), |_t, row| {
+        row.broadcast_row(5).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_scalar_ops() {
+    gradcheck("scale", seed_matrix(2, 2, 0.1), |_t, x| {
+        x.scale(-2.5).square().sum_all()
+    });
+    gradcheck("add_scalar", seed_matrix(2, 2, 0.1), |_t, x| {
+        x.add_scalar(3.0).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_activations() {
+    // Shift away from the ReLU kink so finite differences are clean.
+    gradcheck("relu", seed_matrix(3, 3, 0.35).map(|v| v + 0.2 * v.signum()), |_t, x| {
+        x.relu().sum_all()
+    });
+    gradcheck("sigmoid", seed_matrix(3, 3, 0.2), |_t, x| {
+        x.sigmoid().square().sum_all()
+    });
+    gradcheck("tanh", seed_matrix(3, 3, 0.3), |_t, x| {
+        x.tanh().square().sum_all()
+    });
+    gradcheck("exp", seed_matrix(2, 2, 0.1), |_t, x| x.exp().sum_all());
+    gradcheck("ln", seed_matrix(2, 2, 0.0).map(|v| v.abs() + 0.5), |_t, x| {
+        x.ln().sum_all()
+    });
+    gradcheck("sqrt", seed_matrix(2, 2, 0.0).map(|v| v.abs() + 0.5), |_t, x| {
+        x.sqrt().sum_all()
+    });
+}
+
+#[test]
+fn grad_softmax() {
+    gradcheck("softmax", seed_matrix(2, 4, 0.2), |t, x| {
+        let w = t.constant(seed_matrix(2, 4, 1.7));
+        x.softmax_rows().mul(&w).sum_all()
+    });
+}
+
+#[test]
+fn grad_transpose_concat() {
+    gradcheck("transpose", seed_matrix(2, 3, 0.2), |_t, x| {
+        x.transpose().square().sum_all()
+    });
+    gradcheck("concat_cols", seed_matrix(3, 2, 0.1), |t, x| {
+        let c = t.constant(seed_matrix(3, 4, 0.5));
+        Var::concat_cols(&[x.clone(), c]).square().sum_all()
+    });
+    gradcheck("concat_rows", seed_matrix(2, 3, 0.1), |t, x| {
+        let c = t.constant(seed_matrix(4, 3, 0.5));
+        Var::concat_rows(&[c, x.clone()]).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_reductions() {
+    gradcheck("mean_rows", seed_matrix(4, 3, 0.2), |_t, x| {
+        x.mean_rows().square().sum_all()
+    });
+    gradcheck("mean_all", seed_matrix(3, 3, 0.2), |_t, x| {
+        x.square().mean_all()
+    });
+}
+
+#[test]
+fn grad_gather() {
+    let idx = Arc::new(vec![0usize, 2, 2, 1]);
+    gradcheck("gather_rows", seed_matrix(3, 2, 0.2), move |_t, x| {
+        x.gather_rows(&idx).square().sum_all()
+    });
+}
+
+#[test]
+fn grad_row_l2_normalize() {
+    gradcheck("row_l2_normalize", seed_matrix(3, 4, 0.4), |t, x| {
+        let w = t.constant(seed_matrix(3, 4, 1.1));
+        x.row_l2_normalize(2.0).mul(&w).sum_all()
+    });
+}
+
+#[test]
+fn grad_losses() {
+    let target = Arc::new(seed_matrix(3, 2, 0.9).map(|v| (v > 0.0) as u8 as f32));
+    gradcheck("bce", seed_matrix(3, 2, 0.2), move |_t, x| {
+        x.bce_with_logits_mean(&target, None)
+    });
+    let target2 = Arc::new(seed_matrix(3, 2, 0.6).map(|v| (v > 0.0) as u8 as f32));
+    let weight = Arc::new(Matrix::from_fn(3, 2, |r, c| 1.0 + (r + c) as f32 * 0.5));
+    gradcheck("bce_weighted", seed_matrix(3, 2, 0.2), move |_t, x| {
+        x.bce_with_logits_mean(&target2, Some(&weight))
+    });
+    let mse_target = Arc::new(seed_matrix(3, 2, 1.4));
+    gradcheck("mse", seed_matrix(3, 2, 0.2), move |_t, x| {
+        x.mse_mean(&mse_target)
+    });
+}
+
+#[test]
+fn grad_composite_gcn_like_stack() {
+    // A miniature ladder-style stack: spmm -> linear -> relu -> softmax ->
+    // pooled matmul chain, checking end-to-end correctness of composition.
+    let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+    let adj = Arc::new(Csr::normalized_adjacency(&g));
+    gradcheck("composite", seed_matrix(4, 3, 0.25), move |t, x| {
+        let w = t.constant(seed_matrix(3, 3, 0.8));
+        let z = x.matmul(&w).spmm(&adj).relu();
+        let s = z.softmax_rows();
+        let pooled = s.transpose().matmul(&z); // DiffPool-style S^T Z
+        pooled.square().sum_all()
+    });
+}
+
+#[test]
+fn grad_gaussian_kl_composite() {
+    gradcheck("kl_mu", seed_matrix(3, 2, 0.2), |t, mu| {
+        let lv = t.constant(seed_matrix(3, 2, 0.7).map(|v| v * 0.3));
+        cpgan_nn::loss::gaussian_kl(mu, &lv)
+    });
+    gradcheck("kl_logvar", seed_matrix(3, 2, 0.5).map(|v| v * 0.4), |t, lv| {
+        let mu = t.constant(seed_matrix(3, 2, 0.2));
+        cpgan_nn::loss::gaussian_kl(&mu, lv)
+    });
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the tensor/autograd substrate.
+
+use cpgan_nn::{Matrix, Param, Tape};
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #[test]
+    fn matmul_associative(
+        a in arb_matrix(3, 4),
+        b in arb_matrix(4, 2),
+        c in arb_matrix(2, 5),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        a in arb_matrix(3, 3),
+        b in arb_matrix(3, 3),
+        c in arb_matrix(3, 3),
+    ) {
+        let left = a.matmul(&b.zip(&c, |x, y| x + y));
+        let right = a.matmul(&b).zip(&a.matmul(&c), |x, y| x + y);
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn transpose_of_product(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        // (AB)^T = B^T A^T.
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn fused_transpose_products_agree(a in arb_matrix(4, 3), b in arb_matrix(4, 2)) {
+        let fused = a.matmul_tn(&b);
+        let explicit = a.transpose().matmul(&b);
+        for (x, y) in fused.as_slice().iter().zip(explicit.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in arb_matrix(4, 5)) {
+        let t = Tape::new();
+        let y = t.constant(m).softmax_rows().value();
+        for r in 0..4 {
+            let s: f32 = y.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-5);
+            prop_assert!(y.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn backward_linear_in_seed(m in arb_matrix(2, 3)) {
+        // For linear ops, scaling the function scales the gradient.
+        let p1 = Param::new(m.clone());
+        {
+            let t = Tape::new();
+            t.param(&p1).scale(1.0).sum_all().backward();
+        }
+        let p2 = Param::new(m);
+        {
+            let t = Tape::new();
+            t.param(&p2).scale(3.0).sum_all().backward();
+        }
+        for (a, b) in p1.lock().grad.as_slice().iter().zip(p2.lock().grad.as_slice()) {
+            prop_assert!((3.0 * a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn sigmoid_output_bounded(m in arb_matrix(3, 3)) {
+        let t = Tape::new();
+        let y = t.constant(m).sigmoid().value();
+        prop_assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn relu_idempotent(m in arb_matrix(3, 3)) {
+        let t = Tape::new();
+        let x = t.constant(m);
+        let once = x.relu().value();
+        let twice = x.relu().relu().value();
+        prop_assert_eq!(once.as_slice(), twice.as_slice());
+    }
+
+    #[test]
+    fn row_l2_normalize_norms(m in arb_matrix(4, 3)) {
+        // Skip degenerate all-zero rows by shifting.
+        let shifted = m.map(|v| v + 3.0);
+        let t = Tape::new();
+        let y = t.constant(shifted).row_l2_normalize(1.5).value();
+        for r in 0..4 {
+            let norm: f32 = y.row(r).iter().map(|v| v * v).sum::<f32>().sqrt();
+            prop_assert!((norm - 1.5).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bce_loss_nonnegative(m in arb_matrix(3, 3)) {
+        let t = Tape::new();
+        let target = std::sync::Arc::new(Matrix::from_fn(3, 3, |r, c| ((r + c) % 2) as f32));
+        let loss = t.constant(m).bce_with_logits_mean(&target, None);
+        prop_assert!(loss.item() >= 0.0);
+    }
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate re-exporting the full CPGAN reproduction workspace.
+//!
+//! Downstream users typically depend on the individual crates; this package
+//! exists so the repository-level `tests/` and `examples/` can exercise the
+//! whole stack together.
+pub use cpgan;
+pub use cpgan_community as community;
+pub use cpgan_data as data;
+pub use cpgan_deep as deep;
+pub use cpgan_eval as eval;
+pub use cpgan_generators as generators;
+pub use cpgan_graph as graph;
+pub use cpgan_nn as nn;

@@ -1,0 +1,140 @@
+//! End-to-end integration tests spanning the whole workspace: data
+//! synthesis -> model training -> generation -> community/quality
+//! evaluation.
+
+use cpgan::{CpGan, CpGanConfig, Variant};
+use cpgan_community::{louvain, metrics};
+use cpgan_data::planted::{generate, PlantedConfig};
+use cpgan_eval::pipelines::{community_scores, quality_diff};
+use cpgan_eval::registry::{fit_and_generate, ModelKind};
+use cpgan_eval::EvalConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn observed() -> (cpgan_graph::Graph, Vec<usize>) {
+    let pg = generate(&PlantedConfig {
+        n: 240,
+        m: 1_100,
+        communities: 6,
+        mixing: 0.1,
+        seed: 5,
+        ..Default::default()
+    });
+    (pg.graph, pg.labels)
+}
+
+fn quick_eval_cfg() -> EvalConfig {
+    EvalConfig {
+        scale: 64,
+        seeds: 1,
+        deep_epochs: 60,
+        cpgan_epochs: 25,
+        ..EvalConfig::fast()
+    }
+}
+
+#[test]
+fn cpgan_end_to_end_preserves_communities() {
+    let (g, labels) = observed();
+    let mut model = CpGan::new(CpGanConfig {
+        epochs: 60,
+        sample_size: 120,
+        ..CpGanConfig::default()
+    });
+    let stats = model.fit(&g);
+    assert_eq!(stats.epochs.len(), 60);
+    let mut rng = StdRng::seed_from_u64(1);
+    let out = model.generate(g.n(), g.m(), &mut rng);
+    assert_eq!(out.n(), g.n());
+    // Compare against *planted* labels: generated graph must carry real
+    // community signal, well above an E-R graph of the same size (which
+    // scores near zero).
+    let det = louvain::louvain(&out, 0);
+    let nmi = metrics::nmi(det.labels(), &labels);
+    let er = cpgan_generators::er::ErdosRenyi::with_counts(g.n(), g.m());
+    let er_graph = {
+        use cpgan_generators::GraphGenerator;
+        er.generate(&mut rng)
+    };
+    let er_nmi = metrics::nmi(louvain::louvain(&er_graph, 0).labels(), &labels);
+    assert!(
+        nmi > er_nmi,
+        "CPGAN nmi {nmi:.3} not above E-R baseline {er_nmi:.3}"
+    );
+}
+
+#[test]
+fn every_registry_model_round_trips_on_one_graph() {
+    let (g, _) = observed();
+    let cfg = EvalConfig {
+        deep_epochs: 8,
+        cpgan_epochs: 4,
+        ..quick_eval_cfg()
+    };
+    for kind in ModelKind::sweep() {
+        let out = fit_and_generate(kind, &g, &cfg, 9);
+        assert_eq!(out.n(), g.n(), "{}", kind.name());
+        let q = quality_diff(&g, &out, 64);
+        assert!(q.deg.is_finite(), "{}", kind.name());
+        let (nmi, ari) = community_scores(&g, &out, 0);
+        assert!((0.0..=1.0).contains(&nmi), "{}", kind.name());
+        assert!((-1.0..=1.0).contains(&ari), "{}", kind.name());
+    }
+}
+
+#[test]
+fn ablation_variants_all_train_and_generate() {
+    let (g, _) = observed();
+    for variant in [
+        Variant::Full,
+        Variant::ConcatDecoder,
+        Variant::NoVariational,
+        Variant::NoHierarchy,
+    ] {
+        let mut model = CpGan::new(CpGanConfig {
+            variant,
+            epochs: 10,
+            sample_size: 100,
+            ..CpGanConfig::tiny()
+        });
+        let stats = model.fit(&g);
+        assert!(stats.last().unwrap().g_loss.is_finite(), "{variant:?}");
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = model.generate(g.n(), g.m(), &mut rng);
+        assert_eq!(out.n(), g.n(), "{variant:?}");
+        assert!(out.m() > 0, "{variant:?}");
+    }
+}
+
+#[test]
+fn community_preserving_models_beat_er_on_planted_graph() {
+    // The core qualitative claim of Table III, checked end-to-end on a
+    // strongly community-structured graph: community-aware generators must
+    // beat E-R on NMI.
+    let (g, _) = observed();
+    let cfg = quick_eval_cfg();
+    let score = |kind: ModelKind| -> f64 {
+        let out = fit_and_generate(kind, &g, &cfg, 31);
+        community_scores(&g, &out, 0).0
+    };
+    let er = score(ModelKind::Er);
+    let sbm = score(ModelKind::Sbm);
+    let cpgan = score(ModelKind::CpGan(Variant::Full));
+    assert!(sbm > er, "SBM {sbm:.3} vs E-R {er:.3}");
+    assert!(cpgan > er, "CPGAN {cpgan:.3} vs E-R {er:.3}");
+}
+
+#[test]
+fn memory_accounting_tracks_training() {
+    let (g, _) = observed();
+    cpgan_nn::memory::reset_peak();
+    let before = cpgan_nn::memory::live_bytes();
+    let mut model = CpGan::new(CpGanConfig {
+        epochs: 3,
+        sample_size: 80,
+        ..CpGanConfig::tiny()
+    });
+    model.fit(&g);
+    let peak = cpgan_nn::memory::peak_bytes();
+    assert!(peak > before, "training allocated no tracked tensors");
+}

@@ -1,0 +1,109 @@
+//! Cross-crate permutation-invariance tests (paper Eq. 5): CPGAN's encoder
+//! pipeline and every evaluation metric must be invariant to node
+//! relabelling.
+
+use cpgan::config::CpGanConfig;
+use cpgan::encoder::{AdjInput, LadderEncoder};
+use cpgan_data::planted::{generate, PlantedConfig};
+use cpgan_eval::pipelines::quality_diff;
+use cpgan_graph::{spectral, Graph, NodeId};
+use cpgan_nn::{Csr, Matrix, ParamStore, Tape};
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn planted_graph(seed: u64) -> Graph {
+    generate(&PlantedConfig {
+        n: 60,
+        m: 240,
+        communities: 4,
+        seed,
+        ..Default::default()
+    })
+    .graph
+}
+
+fn permute_features(x: &Matrix, perm: &[NodeId]) -> Matrix {
+    let mut out = Matrix::zeros(x.rows(), x.cols());
+    for (v, &pv) in perm.iter().enumerate() {
+        out.row_mut(pv as usize).copy_from_slice(x.row(v));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn encoder_readout_permutation_invariant(seed in 0u64..50) {
+        let g = planted_graph(seed);
+        let n = g.n();
+        let cfg = CpGanConfig {
+            sample_size: n,
+            hidden_dim: 8,
+            spectral_dim: 4,
+            ..CpGanConfig::tiny()
+        };
+        let mut store = ParamStore::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let enc = LadderEncoder::new(&mut store, &mut rng, &cfg);
+
+        let spec = spectral::spectral_embedding(&g, 4, 7);
+        let feats = Matrix::from_fn(n, 5, |r, c| {
+            if c < 4 {
+                spec[r * 4 + c]
+            } else {
+                (g.degree(r as NodeId) as f32 + 1.0).ln()
+            }
+        });
+        let tape1 = Tape::new();
+        let out1 = enc.encode(
+            &tape1,
+            &AdjInput::Sparse(Arc::new(Csr::normalized_adjacency(&g))),
+            &tape1.constant(feats.clone()),
+        );
+        let r1 = out1.readout_flat.value();
+
+        // Random permutation drawn deterministically from the seed.
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let perm: Vec<NodeId> = Just((0..n as NodeId).collect::<Vec<_>>())
+            .prop_shuffle()
+            .new_tree(&mut runner)
+            .unwrap()
+            .current();
+        let pg = g.permute(&perm);
+        let pfeats = permute_features(&feats, &perm);
+        let tape2 = Tape::new();
+        let out2 = enc.encode(
+            &tape2,
+            &AdjInput::Sparse(Arc::new(Csr::normalized_adjacency(&pg))),
+            &tape2.constant(pfeats),
+        );
+        let r2 = out2.readout_flat.value();
+        for (a, b) in r1.as_slice().iter().zip(r2.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3, "readout changed: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quality_metrics_permutation_invariant(seed in 0u64..50) {
+        let g = planted_graph(seed);
+        let other = planted_graph(seed + 1000);
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let perm: Vec<NodeId> = Just((0..g.n() as NodeId).collect::<Vec<_>>())
+            .prop_shuffle()
+            .new_tree(&mut runner)
+            .unwrap()
+            .current();
+        let pg = other.permute(&perm);
+        let q1 = quality_diff(&g, &other, usize::MAX);
+        let q2 = quality_diff(&g, &pg, usize::MAX);
+        prop_assert!((q1.deg - q2.deg).abs() < 1e-9);
+        prop_assert!((q1.clus - q2.clus).abs() < 1e-9);
+        prop_assert!((q1.cpl - q2.cpl).abs() < 1e-9);
+        prop_assert!((q1.gini - q2.gini).abs() < 1e-9);
+        prop_assert!((q1.pwe - q2.pwe).abs() < 1e-9);
+    }
+}

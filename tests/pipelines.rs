@@ -1,0 +1,90 @@
+//! Integration tests for the table/figure pipelines at smoke scale: every
+//! experiment renderer must produce a complete, well-formed table.
+
+use cpgan_eval::pipelines::{ablation, community, efficiency, quality, reconstruction};
+use cpgan_eval::EvalConfig;
+
+fn smoke_cfg() -> EvalConfig {
+    EvalConfig {
+        scale: 64,
+        seeds: 1,
+        deep_epochs: 10,
+        cpgan_epochs: 5,
+        dense_node_cap: 400,
+        ..EvalConfig::fast()
+    }
+}
+
+#[test]
+fn table3_renders_all_models_and_datasets() {
+    let cfg = smoke_cfg();
+    let table = community::run(&cfg, &["Citeseer", "PPI"]);
+    // 9 models, 2 datasets x 2 metrics + model column.
+    assert_eq!(table.rows.len(), 9);
+    assert_eq!(table.headers.len(), 5);
+    let rendered = table.render();
+    assert!(rendered.contains("CPGAN"));
+    assert!(rendered.contains("BTER"));
+    assert!(rendered.contains("paper"));
+}
+
+#[test]
+fn table3_facebook_column_has_oom_rows() {
+    let cfg = smoke_cfg();
+    let table = community::run(&cfg, &["Facebook"]);
+    let vgae_row = table
+        .rows
+        .iter()
+        .find(|r| r[0] == "VGAE")
+        .expect("VGAE row");
+    assert!(vgae_row[1].contains("OOM"), "VGAE cell: {}", vgae_row[1]);
+    assert!(vgae_row[1].contains("paper OOM"));
+    let cpgan_row = table
+        .rows
+        .iter()
+        .find(|r| r[0] == "CPGAN")
+        .expect("CPGAN row");
+    assert!(!cpgan_row[1].contains("OOM"), "CPGAN cell: {}", cpgan_row[1]);
+}
+
+#[test]
+fn table4_renders_citeseer() {
+    let cfg = smoke_cfg();
+    let table = quality::run(&cfg, &["Citeseer"]);
+    assert_eq!(table.rows.len(), 13);
+    assert_eq!(table.headers.len(), 6);
+    for row in &table.rows {
+        assert_eq!(row.len(), 6, "row {row:?}");
+    }
+}
+
+#[test]
+fn table5_renders_both_datasets() {
+    let cfg = smoke_cfg();
+    let table = reconstruction::run(&cfg);
+    assert_eq!(table.rows.len(), 5);
+    assert_eq!(table.headers.len(), 15);
+    let rendered = table.render();
+    assert!(rendered.contains("TrainNLL"));
+}
+
+#[test]
+fn table6_renders_variants_in_order() {
+    let cfg = smoke_cfg();
+    let table = ablation::run(&cfg, &["PPI"]);
+    let names: Vec<&str> = table.rows.iter().map(|r| r[0].as_str()).collect();
+    assert_eq!(names, vec!["CPGAN-C", "CPGAN-noV", "CPGAN-noH", "CPGAN"]);
+}
+
+#[test]
+fn efficiency_tables_render_at_small_sizes() {
+    let cfg = smoke_cfg();
+    let tables = efficiency::run(&cfg, &[100]);
+    assert_eq!(tables.generation.rows.len(), 15);
+    assert_eq!(tables.training.rows.len(), 15);
+    assert_eq!(tables.memory.rows.len(), 15);
+    // At n = 100 nothing is OOM.
+    for row in &tables.generation.rows {
+        assert!(!row[1].contains("OOM"), "row {row:?}");
+    }
+}
