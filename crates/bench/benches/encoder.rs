@@ -2,12 +2,12 @@
 //! (DESIGN.md §5 / paper's CPGAN-noH claim that the ladder is cheaper and
 //! more effective than stacking depth).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpgan::config::{CpGanConfig, Variant};
 use cpgan::encoder::{AdjInput, LadderEncoder};
 use cpgan_data::sweep;
 use cpgan_graph::spectral;
 use cpgan_nn::{Csr, Matrix, ParamStore, Tape};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;

@@ -2,10 +2,10 @@
 //!
 //! Run with `cargo bench -p bench --bench generation`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpgan_data::sweep;
 use cpgan_eval::registry::{fit_model, ModelKind};
 use cpgan_eval::EvalConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -28,14 +28,10 @@ fn bench_generation(c: &mut Criterion) {
             ModelKind::CpGan(cpgan::Variant::Full),
         ] {
             let model = fit_model(kind, &pg.graph, &cfg, 3);
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), n),
-                &n,
-                |b, _| {
-                    let mut rng = StdRng::seed_from_u64(7);
-                    b.iter(|| std::hint::black_box(model.generate(&mut rng)));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &n, |b, _| {
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| std::hint::black_box(model.generate(&mut rng)));
+            });
         }
     }
     group.finish();

@@ -1,10 +1,10 @@
 //! Benchmarks for the evaluation metrics themselves (Louvain, NMI/ARI, MMD,
 //! graph statistics) — these dominate the harness cost on large graphs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpgan_community::{louvain, metrics};
 use cpgan_data::sweep;
 use cpgan_graph::{mmd, stats};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_metrics(c: &mut Criterion) {
     let mut group = c.benchmark_group("metrics");
@@ -31,9 +31,7 @@ fn bench_metrics(c: &mut Criterion) {
             b.iter(|| std::hint::black_box(stats::clustering::mean_clustering(&pg.graph)));
         });
         group.bench_with_input(BenchmarkId::new("cpl_64_sources", n), &n, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(stats::path::characteristic_path_length(&pg.graph, 64))
-            });
+            b.iter(|| std::hint::black_box(stats::path::characteristic_path_length(&pg.graph, 64)));
         });
     }
     group.finish();

@@ -1,9 +1,9 @@
 //! Ablation bench: degree-proportional vs uniform subgraph sampling
 //! (paper §III-E; DESIGN.md §5).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpgan::sampling;
 use cpgan_data::sweep;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

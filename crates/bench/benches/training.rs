@@ -1,9 +1,9 @@
 //! Criterion benchmarks for *training* throughput (Table VIII companion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cpgan_data::sweep;
 use cpgan_eval::registry::{fit_model, ModelKind};
 use cpgan_eval::EvalConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_training(c: &mut Criterion) {
     // A couple of epochs per fit; criterion reports per-fit time, which is

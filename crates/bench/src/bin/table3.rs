@@ -7,7 +7,10 @@ use cpgan_eval::{pipelines::community, EvalConfig};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = EvalConfig::from_args(&args);
-    eprintln!("running Table III at scale 1/{} with {} seed(s)...", cfg.scale, cfg.seeds);
+    eprintln!(
+        "running Table III at scale 1/{} with {} seed(s)...",
+        cfg.scale, cfg.seeds
+    );
     let table = community::run(&cfg, &[]);
     println!("{}", table.render());
     cpgan_eval::report::maybe_write_json(&args, &table);

@@ -12,4 +12,3 @@ fn main() {
     let tables = efficiency::run(&cfg, &sizes);
     println!("{}", tables.generation.render());
 }
-

@@ -1,1 +1,2 @@
+#![forbid(unsafe_code)]
 //! Placeholder; implemented later in the build plan.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `cpgan` — command-line interface to the CPGAN graph generator.
 //!
 //! ```text
@@ -69,7 +70,7 @@ fn fit(args: &Args) -> Result<(), String> {
         seed: args.get_u64("seed")?.unwrap_or(42),
         ..CpGanConfig::default()
     };
-    let mut model = CpGan::new(cfg);
+    let mut model = CpGan::try_new(cfg).map_err(|e| e.to_string())?;
     let stats = model.fit(&g);
     let last = stats.last().ok_or("training produced no epochs")?;
     eprintln!(
@@ -89,24 +90,27 @@ fn fit(args: &Args) -> Result<(), String> {
 fn generate(args: &Args) -> Result<(), String> {
     let model_path = args.require("model")?;
     let output = args.require("output")?;
-    let model =
-        CpGan::load(&model_path).map_err(|e| format!("cannot load {model_path}: {e}"))?;
+    let model = CpGan::load(&model_path).map_err(|e| format!("cannot load {model_path}: {e}"))?;
     // Default to the trained graph's size when not overridden.
     let (def_n, def_m) = model
         .trained_shape()
         .ok_or("model is untrained; pass --nodes and --edges")
-        .or_else(|e| {
-            match (args.get_usize("nodes"), args.get_usize("edges")) {
+        .or_else(
+            |e| match (args.get_usize("nodes"), args.get_usize("edges")) {
                 (Ok(Some(n)), Ok(Some(m))) => Ok((n, m)),
                 _ => Err(e.to_string()),
-            }
-        })?;
+            },
+        )?;
     let n = args.get_usize("nodes")?.unwrap_or(def_n);
     let m = args.get_usize("edges")?.unwrap_or(def_m);
     let mut rng = StdRng::seed_from_u64(args.get_u64("seed")?.unwrap_or(7));
     let out = model.generate(n, m, &mut rng);
     io::save(&out, &output).map_err(|e| format!("cannot write {output}: {e}"))?;
-    eprintln!("generated {} nodes / {} edges -> {output}", out.n(), out.m());
+    eprintln!(
+        "generated {} nodes / {} edges -> {output}",
+        out.n(),
+        out.m()
+    );
     Ok(())
 }
 

@@ -1,5 +1,10 @@
 //! End-to-end tests of the `cpgan` binary: fit -> generate -> eval.
 
+// Test-support helpers sit outside `#[test]` fns, where the
+// `allow-*-in-tests` carve-out does not reach; panicking is the right
+// failure mode in test code.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
 use std::path::PathBuf;
 use std::process::Command;
 
@@ -38,7 +43,11 @@ fn stats_subcommand_reports_counts() {
         .args(["stats", "--input", graph.to_str().unwrap()])
         .output()
         .expect("run cpgan stats");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("nodes:            60"), "{stdout}");
     assert!(stdout.contains("louvain comms:    3"), "{stdout}");
@@ -65,7 +74,11 @@ fn fit_generate_eval_round_trip() {
         ])
         .output()
         .expect("run cpgan fit");
-    assert!(fit.status.success(), "{}", String::from_utf8_lossy(&fit.stderr));
+    assert!(
+        fit.status.success(),
+        "{}",
+        String::from_utf8_lossy(&fit.stderr)
+    );
     assert!(model.exists());
 
     let gen = Command::new(bin())
@@ -80,7 +93,11 @@ fn fit_generate_eval_round_trip() {
         ])
         .output()
         .expect("run cpgan generate");
-    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+    assert!(
+        gen.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
 
     let eval = Command::new(bin())
         .args([
@@ -92,7 +109,11 @@ fn fit_generate_eval_round_trip() {
         ])
         .output()
         .expect("run cpgan eval");
-    assert!(eval.status.success(), "{}", String::from_utf8_lossy(&eval.stderr));
+    assert!(
+        eval.status.success(),
+        "{}",
+        String::from_utf8_lossy(&eval.stderr)
+    );
     let stdout = String::from_utf8_lossy(&eval.stdout);
     assert!(stdout.contains("NMI:"), "{stdout}");
     assert!(stdout.contains("deg MMD:"), "{stdout}");

@@ -55,11 +55,7 @@ impl Contingency {
 
     /// Sum over cells of `C(n_ij, 2)` — the "agreeing pairs" term in ARI.
     pub fn pair_sum_cells(&self) -> f64 {
-        self.counts
-            .iter()
-            .flatten()
-            .map(|&v| choose2(v))
-            .sum()
+        self.counts.iter().flatten().map(|&v| choose2(v)).sum()
     }
 
     /// Sum over rows of `C(a_i, 2)`.
@@ -79,6 +75,8 @@ pub fn choose2(n: usize) -> f64 {
 }
 
 #[cfg(test)]
+// Tests may assert exact float values (constructed, not computed).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

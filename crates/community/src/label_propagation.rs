@@ -36,13 +36,15 @@ pub fn label_propagation(g: &Graph, seed: u64) -> Partition {
             for &w in neigh {
                 *counts.entry(labels[w as usize]).or_insert(0) += 1;
             }
-            // Most frequent neighbor label; smallest label on ties.
+            // Most frequent neighbor label; smallest label on ties. The
+            // fallback never fires (`neigh` is nonempty here) but keeps
+            // this loop panic-free.
             let best = counts
                 .iter()
                 .map(|(&l, &c)| (c, std::cmp::Reverse(l)))
                 .max()
                 .map(|(_, std::cmp::Reverse(l))| l)
-                .expect("nonempty");
+                .unwrap_or(labels[v as usize]);
             if best != labels[v as usize] {
                 labels[v as usize] = best;
                 changed = true;
@@ -83,9 +85,7 @@ pub fn conductance(g: &Graph, labels: &[usize], community: usize) -> Option<f64>
 /// community structure).
 pub fn mean_conductance(g: &Graph, labels: &[usize]) -> f64 {
     let k = labels.iter().copied().max().map_or(0, |m| m + 1);
-    let values: Vec<f64> = (0..k)
-        .filter_map(|c| conductance(g, labels, c))
-        .collect();
+    let values: Vec<f64> = (0..k).filter_map(|c| conductance(g, labels, c)).collect();
     if values.is_empty() {
         0.0
     } else {

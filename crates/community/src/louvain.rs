@@ -125,10 +125,7 @@ fn aggregate(lg: &LevelGraph, comm: &[usize], k: usize) -> LevelGraph {
             }
         }
     }
-    let adj: Vec<Vec<(usize, f64)>> = maps
-        .into_iter()
-        .map(|m| m.into_iter().collect())
-        .collect();
+    let adj: Vec<Vec<(usize, f64)>> = maps.into_iter().map(|m| m.into_iter().collect()).collect();
     let total_w = self_w.iter().sum::<f64>()
         + adj
             .iter()
@@ -218,8 +215,8 @@ mod tests {
 
     #[test]
     fn two_triangles_detected() {
-        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
-            .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)]).unwrap();
         let p = louvain(&g, 1);
         assert_eq!(p.community_count(), 2);
         assert_eq!(p.labels()[0], p.labels()[1]);

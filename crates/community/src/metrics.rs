@@ -89,7 +89,11 @@ pub fn nmi(x: &[usize], y: &[usize]) -> f64 {
     let hx = entropy(x);
     let hy = entropy(y);
     if hx == 0.0 && hy == 0.0 {
-        return if x == y || same_partition(x, y) { 1.0 } else { 0.0 };
+        return if x == y || same_partition(x, y) {
+            1.0
+        } else {
+            0.0
+        };
     }
     if hx == 0.0 || hy == 0.0 {
         return 0.0;
@@ -113,6 +117,8 @@ pub fn same_partition(x: &[usize], y: &[usize]) -> bool {
 }
 
 #[cfg(test)]
+// Tests may assert exact float values (constructed, not computed).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

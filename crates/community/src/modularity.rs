@@ -32,6 +32,8 @@ pub fn modularity(g: &Graph, labels: &[usize]) -> f64 {
 }
 
 #[cfg(test)]
+// Tests may assert exact float values (constructed, not computed).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

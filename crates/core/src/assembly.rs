@@ -167,7 +167,7 @@ impl GraphAssembler {
                     entries.push((probs.get(i, j), i, j));
                 }
             }
-            entries.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite probabilities"));
+            entries.sort_by(|a, b| b.0.total_cmp(&a.0));
             for (_, i, j) in entries {
                 if added >= budget {
                     break;
@@ -262,7 +262,7 @@ pub mod naive {
                 entries.push((probs.get(i, j), i, j));
             }
         }
-        entries.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        entries.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut b = GraphBuilder::with_capacity(n, m);
         for (_, i, j) in entries.into_iter().take(m) {
             b.push_edge(i as NodeId, j as NodeId);
@@ -384,14 +384,21 @@ mod tests {
         let probs = blocky_probs(n);
         let m = 16;
         let thresholded = naive::threshold_top_m(&probs, m);
-        assert_eq!(thresholded.degree((n - 1) as u32), 0, "threshold should drop the weak node");
+        assert_eq!(
+            thresholded.degree((n - 1) as u32),
+            0,
+            "threshold should drop the weak node"
+        );
 
         let mut rng = StdRng::seed_from_u64(5);
         let mut asm = GraphAssembler::new(n, m);
         let nodes: Vec<u32> = (0..n as u32).collect();
         asm.add_subgraph(&nodes, &probs, m, &mut rng);
         let ours = asm.build();
-        assert!(ours.degree((n - 1) as u32) > 0, "paper strategy must attach the weak node");
+        assert!(
+            ours.degree((n - 1) as u32) > 0,
+            "paper strategy must attach the weak node"
+        );
     }
 
     #[test]
@@ -407,7 +414,11 @@ mod tests {
             bernoulli_counts.push(naive::bernoulli(&probs, &mut rng).m() as f64);
         }
         let mean: f64 = bernoulli_counts.iter().sum::<f64>() / 20.0;
-        let var: f64 = bernoulli_counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / 20.0;
+        let var: f64 = bernoulli_counts
+            .iter()
+            .map(|c| (c - mean).powi(2))
+            .sum::<f64>()
+            / 20.0;
         assert!(var > 0.5, "bernoulli variance unexpectedly tiny: {var}");
 
         for seed in 0..5 {

@@ -1,5 +1,6 @@
 //! CPGAN configuration (paper §IV-A parameter settings, scaled for CPU).
 
+use crate::error::ConfigError;
 use serde::{Deserialize, Serialize};
 
 /// Ablation variants evaluated in Table VI.
@@ -121,6 +122,74 @@ impl CpGanConfig {
         }
     }
 
+    /// Validates every field, returning the first offending one.
+    ///
+    /// Called by [`crate::CpGan::try_new`] and the module `try_new`
+    /// constructors so deserialized configurations fail with a typed error
+    /// instead of a panic deep inside layer construction.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let positive = [
+            ("spectral_dim", self.spectral_dim),
+            ("hidden_dim", self.hidden_dim),
+            ("latent_dim", self.latent_dim),
+            ("levels", self.levels),
+            ("convs_per_level", self.convs_per_level),
+            ("epochs", self.epochs),
+            ("lr_decay_every", self.lr_decay_every),
+        ];
+        for (field, value) in positive {
+            if value == 0 {
+                return Err(ConfigError::new(field, "must be at least 1"));
+            }
+        }
+        if !(self.pool_ratio > 0.0 && self.pool_ratio <= 1.0) {
+            return Err(ConfigError::new(
+                "pool_ratio",
+                format!("must lie in (0, 1], got {}", self.pool_ratio),
+            ));
+        }
+        if self.max_pool_size < 2 {
+            return Err(ConfigError::new("max_pool_size", "must be at least 2"));
+        }
+        if self.sample_size < 2 {
+            return Err(ConfigError::new("sample_size", "must be at least 2"));
+        }
+        if !(self.learning_rate > 0.0 && self.learning_rate.is_finite()) {
+            return Err(ConfigError::new(
+                "learning_rate",
+                format!("must be positive and finite, got {}", self.learning_rate),
+            ));
+        }
+        if !(self.lr_decay > 0.0 && self.lr_decay <= 1.0) {
+            return Err(ConfigError::new(
+                "lr_decay",
+                format!("must lie in (0, 1], got {}", self.lr_decay),
+            ));
+        }
+        if !(self.pairnorm_scale > 0.0 && self.pairnorm_scale.is_finite()) {
+            return Err(ConfigError::new(
+                "pairnorm_scale",
+                format!("must be positive and finite, got {}", self.pairnorm_scale),
+            ));
+        }
+        let weights = [
+            ("clus_weight", self.clus_weight),
+            ("rec_weight", self.rec_weight),
+            ("kl_weight", self.kl_weight),
+            ("adv_weight", self.adv_weight),
+            ("recon_weight", self.recon_weight),
+        ];
+        for (field, value) in weights {
+            if !(value >= 0.0 && value.is_finite()) {
+                return Err(ConfigError::new(
+                    field,
+                    format!("must be non-negative and finite, got {value}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Effective number of levels after applying the ablation variant.
     pub fn effective_levels(&self) -> usize {
         match self.variant {
@@ -178,6 +247,40 @@ mod tests {
         };
         assert_eq!(cfg.effective_levels(), 1);
         assert!(cfg.pool_sizes(100).is_empty());
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_tiny() {
+        assert!(CpGanConfig::default().validate().is_ok());
+        assert!(CpGanConfig::tiny().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_names_the_offending_field() {
+        let bad = CpGanConfig {
+            hidden_dim: 0,
+            ..Default::default()
+        };
+        let err = bad.validate().unwrap_err();
+        assert_eq!(err.field, "hidden_dim");
+
+        let bad = CpGanConfig {
+            pool_ratio: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(bad.validate().unwrap_err().field, "pool_ratio");
+
+        let bad = CpGanConfig {
+            learning_rate: f32::NAN,
+            ..Default::default()
+        };
+        assert_eq!(bad.validate().unwrap_err().field, "learning_rate");
+
+        let bad = CpGanConfig {
+            kl_weight: -0.5,
+            ..Default::default()
+        };
+        assert_eq!(bad.validate().unwrap_err().field, "kl_weight");
     }
 
     #[test]

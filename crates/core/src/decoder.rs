@@ -6,8 +6,9 @@
 //! concatenation + MLP.
 
 use crate::config::{CpGanConfig, Variant};
+use crate::error::{model_panic, ModelError};
 use cpgan_nn::layers::{Activation, GruCell, Mlp};
-use cpgan_nn::{Matrix, ParamStore, Tape, Var};
+use cpgan_nn::{Matrix, NnError, ParamStore, ShapeError, Tape, Var};
 use rand::Rng;
 
 /// The hierarchical decoder.
@@ -26,6 +27,16 @@ pub struct GraphDecoder {
 impl GraphDecoder {
     /// Builds the decoder for the given config.
     pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, cfg: &CpGanConfig) -> Self {
+        Self::try_new(store, rng, cfg).unwrap_or_else(|e| model_panic(e))
+    }
+
+    /// Fallible [`GraphDecoder::new`]: validates the configuration first.
+    pub fn try_new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        cfg: &CpGanConfig,
+    ) -> Result<Self, ModelError> {
+        cfg.validate()?;
         let levels = cfg.effective_levels();
         let hidden = cfg.hidden_dim;
         let (gru, concat_proj) = match cfg.variant {
@@ -41,32 +52,53 @@ impl GraphDecoder {
             _ => (Some(GruCell::new(store, rng, cfg.latent_dim, hidden)), None),
         };
         let link_head = Mlp::new(store, rng, &[hidden, hidden, hidden], Activation::Relu);
-        GraphDecoder {
+        Ok(GraphDecoder {
             gru,
             concat_proj,
             link_head,
             hidden,
             levels,
             latent: cfg.latent_dim,
-        }
+        })
     }
 
     /// Decodes per-level latent blocks into node features `h_k`
     /// (`n x hidden`), Eq. 13.
     pub fn decode_nodes(&self, tape: &Tape, z_levels: &[Var]) -> Var {
-        assert_eq!(z_levels.len(), self.levels, "level count mismatch");
+        self.try_decode_nodes(tape, z_levels)
+            .unwrap_or_else(|e| model_panic(e))
+    }
+
+    /// Fallible [`GraphDecoder::decode_nodes`]: rejects a latent stack whose
+    /// level count differs from the decoder's.
+    pub fn try_decode_nodes(&self, tape: &Tape, z_levels: &[Var]) -> Result<Var, ModelError> {
+        if z_levels.len() != self.levels {
+            return Err(ModelError::Nn(NnError::Shape(ShapeError::new(
+                "decode_nodes levels",
+                format!("{} latent blocks", self.levels),
+                format!("{}", z_levels.len()),
+            ))));
+        }
         if let Some(proj) = &self.concat_proj {
             // CPGAN-C: concatenate all levels and project.
-            let cat = Var::concat_cols(z_levels);
-            return proj.forward(tape, &cat).relu();
+            let cat = Var::try_concat_cols(z_levels)?;
+            return Ok(proj.forward(tape, &cat).relu());
         }
-        let gru = self.gru.as_ref().expect("GRU decoder");
+        // By construction exactly one of `gru` / `concat_proj` is set, and
+        // `levels >= 1` guarantees `z_levels` is non-empty here.
+        let Some(gru) = self.gru.as_ref() else {
+            return Err(ModelError::Nn(NnError::Shape(ShapeError::new(
+                "decode_nodes",
+                "a GRU or concat decoding head",
+                "neither".to_string(),
+            ))));
+        };
         let n = z_levels[0].shape().0;
         let mut h = tape.constant(Matrix::zeros(n, self.hidden));
         for z in z_levels {
             h = gru.forward(tape, z, &h);
         }
-        h
+        Ok(h)
     }
 
     /// Link-prediction logits `g(h) g(h)^T` (`n x n`), Eq. 14 before the

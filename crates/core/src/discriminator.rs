@@ -5,6 +5,7 @@
 //! minimax objective (Eq. 16).
 
 use crate::config::CpGanConfig;
+use crate::error::{model_panic, ModelError};
 use cpgan_nn::layers::{Activation, Mlp};
 use cpgan_nn::{ParamStore, Tape, Var};
 use rand::Rng;
@@ -19,10 +20,20 @@ impl Discriminator {
     /// Builds the head; input width is `levels * hidden` (the flattened
     /// readout).
     pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, cfg: &CpGanConfig) -> Self {
+        Self::try_new(store, rng, cfg).unwrap_or_else(|e| model_panic(e))
+    }
+
+    /// Fallible [`Discriminator::new`]: validates the configuration first.
+    pub fn try_new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        cfg: &CpGanConfig,
+    ) -> Result<Self, ModelError> {
+        cfg.validate()?;
         let in_dim = cfg.effective_levels() * cfg.hidden_dim;
-        Discriminator {
+        Ok(Discriminator {
             mlp: Mlp::new(store, rng, &[in_dim, cfg.hidden_dim, 1], Activation::Relu),
-        }
+        })
     }
 
     /// Real/fake logit from a flattened readout (`1 x (k*hidden)`).

@@ -6,6 +6,7 @@
 //! (Eq. 10–11).
 
 use crate::config::CpGanConfig;
+use crate::error::{model_panic, ModelError};
 use cpgan_nn::layers::{GcnConv, PairNorm};
 use cpgan_nn::{Csr, ParamStore, Tape, Var};
 use rand::Rng;
@@ -57,6 +58,16 @@ impl LadderEncoder {
     /// `cfg.pool_sizes(cfg.sample_size)` so the same parameters serve any
     /// input graph size.
     pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, cfg: &CpGanConfig) -> Self {
+        Self::try_new(store, rng, cfg).unwrap_or_else(|e| model_panic(e))
+    }
+
+    /// Fallible [`LadderEncoder::new`]: validates the configuration first.
+    pub fn try_new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        cfg: &CpGanConfig,
+    ) -> Result<Self, ModelError> {
+        cfg.validate()?;
         let levels = cfg.effective_levels();
         let pool_sizes = cfg.pool_sizes(cfg.sample_size);
         let mut convs_embed = Vec::with_capacity(levels);
@@ -79,14 +90,14 @@ impl LadderEncoder {
             }
             in_dim = cfg.hidden_dim;
         }
-        LadderEncoder {
+        Ok(LadderEncoder {
             convs_embed,
             convs_pool,
             convs_depool,
             pairnorm: PairNorm::new(cfg.pairnorm_scale),
             levels,
             hidden: cfg.hidden_dim,
-        }
+        })
     }
 
     /// Number of hierarchy levels `k`.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! # CPGAN — Community-Preserving Generative Adversarial Network
@@ -27,10 +28,12 @@ pub mod config;
 pub mod decoder;
 pub mod discriminator;
 pub mod encoder;
+pub mod error;
 pub mod model;
 pub mod persist;
 pub mod sampling;
 pub mod vi;
 
 pub use config::{CpGanConfig, Variant};
+pub use error::{ConfigError, ModelError};
 pub use model::{CpGan, EpochStats, TrainStats};

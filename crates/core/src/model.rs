@@ -5,6 +5,7 @@ use crate::config::{CpGanConfig, Variant};
 use crate::decoder::GraphDecoder;
 use crate::discriminator::Discriminator;
 use crate::encoder::{AdjInput, EncoderOutput, LadderEncoder};
+use crate::error::{model_panic, ModelError};
 use crate::sampling;
 use crate::vi::VariationalInference;
 use cpgan_community::louvain;
@@ -78,19 +79,27 @@ struct SimState {
 impl CpGan {
     /// Builds an untrained model.
     pub fn new(cfg: CpGanConfig) -> Self {
+        Self::try_new(cfg).unwrap_or_else(|e| model_panic(e))
+    }
+
+    /// Fallible [`CpGan::new`]: validates the configuration before any
+    /// parameter allocation, so deserialized configs fail with a typed
+    /// [`ModelError`] instead of a panic inside layer construction.
+    pub fn try_new(cfg: CpGanConfig) -> Result<Self, ModelError> {
+        cfg.validate()?;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut enc_params = ParamStore::new();
-        let encoder = LadderEncoder::new(&mut enc_params, &mut rng, &cfg);
+        let encoder = LadderEncoder::try_new(&mut enc_params, &mut rng, &cfg)?;
         let mut gen_params = ParamStore::new();
-        let vi = VariationalInference::new(&mut gen_params, &mut rng, &cfg);
-        let decoder = GraphDecoder::new(&mut gen_params, &mut rng, &cfg);
+        let vi = VariationalInference::try_new(&mut gen_params, &mut rng, &cfg)?;
+        let decoder = GraphDecoder::try_new(&mut gen_params, &mut rng, &cfg)?;
         let mut disc_params = ParamStore::new();
-        let discriminator = Discriminator::new(&mut disc_params, &mut rng, &cfg);
+        let discriminator = Discriminator::try_new(&mut disc_params, &mut rng, &cfg)?;
         let mut all_params = ParamStore::new();
         all_params.extend(&enc_params);
         all_params.extend(&gen_params);
         all_params.extend(&disc_params);
-        CpGan {
+        Ok(CpGan {
             cfg,
             encoder,
             vi,
@@ -102,7 +111,7 @@ impl CpGan {
             all_params,
             rng,
             sim_state: None,
-        }
+        })
     }
 
     /// The configuration this model was built with.
@@ -137,11 +146,7 @@ impl CpGan {
 
     /// Restores the simulation state from a persistence snapshot.
     pub(crate) fn set_sim_state_raw(&mut self, raw: Option<(Matrix, Matrix, Vec<f64>)>) {
-        self.sim_state = raw.map(|(mu, sigma, degrees)| SimState {
-            mu,
-            sigma,
-            degrees,
-        });
+        self.sim_state = raw.map(|(mu, sigma, degrees)| SimState { mu, sigma, degrees });
     }
 
     /// Node features: spectral embedding plus a normalized log-degree
@@ -247,9 +252,7 @@ impl CpGan {
             // must not flow back into the generator (Eq. 17 differentiates
             // w.r.t. phi_D only).
             let fake_probs = tape.constant(self.decode_logits(&tape, &z_vae).sigmoid().value());
-            let enc_fake = self
-                .encoder
-                .encode(&tape, &AdjInput::Dense(fake_probs), &x);
+            let enc_fake = self.encoder.encode(&tape, &AdjInput::Dense(fake_probs), &x);
             let fake_logit = self.discriminator.logit(&tape, &enc_fake.readout_flat);
 
             // Prior path (also detached).
@@ -390,7 +393,9 @@ impl CpGan {
             let d = full_feats.cols();
             let mut sub_feats = Matrix::zeros(sub.n(), d);
             for (r, &v) in ids.iter().enumerate() {
-                sub_feats.row_mut(r).copy_from_slice(full_feats.row(v as usize));
+                sub_feats
+                    .row_mut(r)
+                    .copy_from_slice(full_feats.row(v as usize));
             }
             // Hierarchical Louvain ground truth (paper §III-F2).
             let truth: Vec<Vec<usize>> = louvain::louvain_hierarchy(&sub, self.cfg.seed)
@@ -449,10 +454,7 @@ impl CpGan {
         let per_round = ((m as f64 / rounds_estimate).ceil() as usize).max(1);
         let max_rounds = (rounds_estimate as usize) * 8 + 16;
         let mut round = 0;
-        let posterior = self
-            .sim_state
-            .as_ref()
-            .filter(|s| s.mu.rows() == n);
+        let posterior = self.sim_state.as_ref().filter(|s| s.mu.rows() == n);
         // Degree-proportional node sampling when degrees are known.
         let weights: Vec<f64> = match posterior {
             Some(s) => s.degrees.clone(),
@@ -491,8 +493,7 @@ impl CpGan {
                             z.set(
                                 r,
                                 c,
-                                state.mu.get(v as usize, c)
-                                    + state.sigma.get(0, c) * eps.get(r, c),
+                                state.mu.get(v as usize, c) + state.sigma.get(0, c) * eps.get(r, c),
                             );
                         }
                     }
@@ -704,6 +705,18 @@ mod tests {
             nmi_trained + 0.05 >= nmi_untrained,
             "training hurt community preservation: {nmi_untrained} -> {nmi_trained}"
         );
+    }
+
+    #[test]
+    fn try_new_rejects_invalid_config() {
+        let bad = CpGanConfig {
+            latent_dim: 0,
+            ..quick_cfg()
+        };
+        match CpGan::try_new(bad) {
+            Err(crate::error::ModelError::Config(e)) => assert_eq!(e.field, "latent_dim"),
+            other => panic!("expected config error, got {:?}", other.map(|_| "model")),
+        }
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub fn sample_nodes_by_degree<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Vec<N
             (key, v as NodeId)
         })
         .collect();
-    keyed.select_nth_unstable_by(k - 1, |a, b| b.0.partial_cmp(&a.0).expect("finite keys"));
+    keyed.select_nth_unstable_by(k - 1, |a, b| b.0.total_cmp(&a.0));
     let mut out: Vec<NodeId> = keyed[..k].iter().map(|&(_, v)| v).collect();
     out.sort_unstable();
     out

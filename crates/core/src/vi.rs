@@ -7,6 +7,7 @@
 //! KL prior (Eq. 19).
 
 use crate::config::CpGanConfig;
+use crate::error::{model_panic, ModelError};
 use cpgan_nn::layers::{Activation, Mlp};
 use cpgan_nn::{init, loss, Matrix, ParamStore, Tape, Var};
 use rand::Rng;
@@ -44,14 +45,35 @@ impl VariationalInference {
     /// `levels * latent` (one latent block per hierarchy level for the GRU
     /// decoder to consume).
     pub fn new<R: Rng>(store: &mut ParamStore, rng: &mut R, cfg: &CpGanConfig) -> Self {
+        Self::try_new(store, rng, cfg).unwrap_or_else(|e| model_panic(e))
+    }
+
+    /// Fallible [`VariationalInference::new`]: validates the configuration
+    /// first.
+    pub fn try_new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        cfg: &CpGanConfig,
+    ) -> Result<Self, ModelError> {
+        cfg.validate()?;
         let k = cfg.effective_levels();
         let in_dim = k * cfg.hidden_dim;
         let out_dim = k * cfg.latent_dim;
-        VariationalInference {
-            g_mu: Mlp::new(store, rng, &[in_dim, cfg.hidden_dim, out_dim], Activation::Relu),
-            g_sigma: Mlp::new(store, rng, &[in_dim, cfg.hidden_dim, out_dim], Activation::Relu),
+        Ok(VariationalInference {
+            g_mu: Mlp::new(
+                store,
+                rng,
+                &[in_dim, cfg.hidden_dim, out_dim],
+                Activation::Relu,
+            ),
+            g_sigma: Mlp::new(
+                store,
+                rng,
+                &[in_dim, cfg.hidden_dim, out_dim],
+                Activation::Relu,
+            ),
             out_dim,
-        }
+        })
     }
 
     /// Latent width `k * latent`.
@@ -116,6 +138,8 @@ impl VariationalInference {
 }
 
 #[cfg(test)]
+// Tests may assert exact float values (constructed, not computed).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
@@ -154,7 +178,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let vi = VariationalInference::new(&mut store, &mut rng, &cfg);
         let tape = Tape::new();
-        let z_rec = tape.constant(Matrix::from_fn(10, 16, |r, c| ((r * c) as f32 * 0.07).cos()));
+        let z_rec = tape.constant(Matrix::from_fn(10, 16, |r, c| {
+            ((r * c) as f32 * 0.07).cos()
+        }));
         let out = vi.forward(&tape, &z_rec, &mut rng);
         assert!(out.kl.item() > -1e-4, "kl {}", out.kl.item());
         out.kl.backward();

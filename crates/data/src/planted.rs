@@ -167,8 +167,10 @@ pub fn generate(cfg: &PlantedConfig) -> PlantedGraph {
 
     let mut b = GraphBuilder::with_capacity(n, cfg.m);
     let mut seen = std::collections::HashSet::with_capacity(cfg.m * 2);
-    let push = |u: NodeId, v: NodeId, b: &mut GraphBuilder,
-                    seen: &mut std::collections::HashSet<(NodeId, NodeId)>|
+    let push = |u: NodeId,
+                v: NodeId,
+                b: &mut GraphBuilder,
+                seen: &mut std::collections::HashSet<(NodeId, NodeId)>|
      -> bool {
         if u == v {
             return false;

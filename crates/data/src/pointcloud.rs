@@ -76,16 +76,24 @@ pub fn generate(cfg: &PointCloudConfig) -> PointCloudGraph {
             *c += step * d / norm;
         }
     }
-    let noise = Normal::new(0.0, cfg.sigma).expect("positive sigma");
+    // Fall back to noise-free placement if sigma is degenerate (NaN,
+    // negative or infinite) rather than panicking on a bad config.
+    let sigma = if cfg.sigma.is_finite() && cfg.sigma > 0.0 {
+        cfg.sigma
+    } else {
+        0.0
+    };
+    let noise = Normal::new(0.0, sigma).ok();
+    let draw = |rng: &mut StdRng| noise.as_ref().map_or(0.0, |d| d.sample(rng));
     let mut points = Vec::with_capacity(cfg.n);
     let mut labels = Vec::with_capacity(cfg.n);
     for i in 0..cfg.n {
         let c = i % objects;
         let ctr = centers[c];
         points.push([
-            ctr[0] + noise.sample(&mut rng),
-            ctr[1] + noise.sample(&mut rng),
-            ctr[2] + noise.sample(&mut rng),
+            ctr[0] + draw(&mut rng),
+            ctr[1] + draw(&mut rng),
+            ctr[2] + draw(&mut rng),
         ]);
         labels.push(c);
     }
@@ -106,9 +114,7 @@ pub fn generate(cfg: &PointCloudConfig) -> PointCloudGraph {
             }
         }
         if candidates.len() > k {
-            candidates.select_nth_unstable_by(k - 1, |a, b| {
-                a.0.partial_cmp(&b.0).expect("finite distances")
-            });
+            candidates.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
             candidates.truncate(k);
         }
         for &(_, j) in candidates.iter() {

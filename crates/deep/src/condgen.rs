@@ -198,8 +198,8 @@ mod tests {
             p_edge += probs.get(u as usize, v as usize) as f64;
         }
         p_edge /= g.m() as f64;
-        let p_all: f64 = probs.as_slice().iter().map(|&v| v as f64).sum::<f64>()
-            / probs.len() as f64;
+        let p_all: f64 =
+            probs.as_slice().iter().map(|&v| v as f64).sum::<f64>() / probs.len() as f64;
         assert!(p_edge > p_all, "edges {p_edge} vs overall {p_all}");
     }
 }

@@ -207,7 +207,7 @@ impl NetGan {
                     let arg = row
                         .iter()
                         .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                        .max_by(|a, b| a.1.total_cmp(b.1))
                         .map(|(i, _)| i)
                         .unwrap_or(0);
                     walk.push(arg as NodeId);

@@ -1,6 +1,11 @@
 //! Property-based tests for the learning-based baselines: every model must
 //! produce well-formed graphs on arbitrary community-structured inputs.
 
+// Test-support helpers sit outside `#[test]` fns, where the
+// `allow-*-in-tests` carve-out does not reach; panicking is the right
+// failure mode in test code.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
 use cpgan_deep::common::{assemble_from_probs, two_block_fixture, DeepConfig};
 use cpgan_deep::{condgen::CondGenR, graphrnn::GraphRnnS, sbmgnn::SbmGnn, vgae::Vgae};
 use cpgan_generators::GraphGenerator;

@@ -54,7 +54,15 @@ mod tests {
 
     #[test]
     fn traditional_models_never_oom_on_paper_datasets() {
-        for kind in [K::Er, K::Ba, K::ChungLu, K::Sbm, K::Dcsbm, K::Bter, K::Kronecker] {
+        for kind in [
+            K::Er,
+            K::Ba,
+            K::ChungLu,
+            K::Sbm,
+            K::Dcsbm,
+            K::Bter,
+            K::Kronecker,
+        ] {
             assert!(!would_oom(kind, 875_713), "{kind:?} should survive Google");
         }
     }
@@ -83,7 +91,14 @@ mod tests {
         assert!(would_oom(K::CondGenR, 10_000));
         assert!(!would_oom(K::GraphRnnS, 10_000));
         assert!(!would_oom(K::Vgae, 10_000));
-        for kind in [K::Vgae, K::Graphite, K::Sbmgnn, K::NetGan, K::GraphRnnS, K::Mmsb] {
+        for kind in [
+            K::Vgae,
+            K::Graphite,
+            K::Sbmgnn,
+            K::NetGan,
+            K::GraphRnnS,
+            K::Mmsb,
+        ] {
             assert!(would_oom(kind, 100_000), "{kind:?} must OOM at 100k");
         }
         assert!(!would_oom(K::CpGan(Variant::Full), 100_000));

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Evaluation harness reproducing every table and figure of the paper's
@@ -134,8 +135,14 @@ mod tests {
 
     #[test]
     fn sweep_sizes_default_and_capped() {
-        assert_eq!(sweep_sizes_from_args(&[]), vec![100, 1_000, 10_000, 100_000]);
-        let args: Vec<String> = ["--max-size", "10000"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            sweep_sizes_from_args(&[]),
+            vec![100, 1_000, 10_000, 100_000]
+        );
+        let args: Vec<String> = ["--max-size", "10000"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(sweep_sizes_from_args(&args), vec![100, 1_000, 10_000]);
     }
 }

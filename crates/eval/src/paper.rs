@@ -60,27 +60,67 @@ pub fn table3_ref(dataset: &str, model: &str) -> Option<(f64, f64)> {
 pub const TABLE4: &[(&str, &str, [f64; 5])] = &[
     ("Citeseer", "E-R", [1.27e-2, 1.71e-2, 17.5, 8.86e-2, 0.12]),
     ("Citeseer", "B-A", [1.40e-2, 1.25e-2, 19.4, 0.159, 1.43]),
-    ("Citeseer", "Chung-Lu", [1.47e-2, 1.73e-2, 18.5, 9.83e-2, 0.15]),
-    ("Citeseer", "SBM", [1.36e-2, 4.94e-3, 12.4, 7.87e-2, 5.13e-2]),
-    ("Citeseer", "DCSBM", [2.40e-2, 3.44e-3, 13.3, 0.142, 8.14e-2]),
-    ("Citeseer", "BTER", [1.21e-2, 2.71e-3, 13.1, 7.73e-2, 3.03e-2]),
-    ("Citeseer", "Kronecker", [2.58e-2, 1.91e-2, 18.5, 0.132, 3.12e-2]),
+    (
+        "Citeseer",
+        "Chung-Lu",
+        [1.47e-2, 1.73e-2, 18.5, 9.83e-2, 0.15],
+    ),
+    (
+        "Citeseer",
+        "SBM",
+        [1.36e-2, 4.94e-3, 12.4, 7.87e-2, 5.13e-2],
+    ),
+    (
+        "Citeseer",
+        "DCSBM",
+        [2.40e-2, 3.44e-3, 13.3, 0.142, 8.14e-2],
+    ),
+    (
+        "Citeseer",
+        "BTER",
+        [1.21e-2, 2.71e-3, 13.1, 7.73e-2, 3.03e-2],
+    ),
+    (
+        "Citeseer",
+        "Kronecker",
+        [2.58e-2, 1.91e-2, 18.5, 0.132, 3.12e-2],
+    ),
     ("Citeseer", "MMSB", [2.98e-2, 1.84e-2, 17.9, 0.173, 0.186]),
     ("Citeseer", "VGAE", [0.123, 3.78e-2, 18.2, 0.477, 0.126]),
-    ("Citeseer", "GraphRNN-S", [1.34e-3, 1.48e-3, 17.3, 7.32e-2, 0.176]),
+    (
+        "Citeseer",
+        "GraphRNN-S",
+        [1.34e-3, 1.48e-3, 17.3, 7.32e-2, 0.176],
+    ),
     ("Citeseer", "CondGen-R", [8.42e-2, 0.14, 20.8, 0.362, 0.295]),
     ("Citeseer", "NetGAN", [1.07e-3, 1.51e-3, 16.5, 0.136, 0.154]),
-    ("Citeseer", "CPGAN", [1.25e-3, 2.26e-3, 15.3, 7.23e-2, 9.32e-2]),
+    (
+        "Citeseer",
+        "CPGAN",
+        [1.25e-3, 2.26e-3, 15.3, 7.23e-2, 9.32e-2],
+    ),
     ("3D Point Cloud", "E-R", [0.349, 2.0, 25.6, 0.237, 13.6]),
     ("3D Point Cloud", "B-A", [0.546, 2.0, 27.7, 0.331, 12.2]),
-    ("3D Point Cloud", "Chung-Lu", [0.353, 2.0, 25.7, 0.222, 13.7]),
+    (
+        "3D Point Cloud",
+        "Chung-Lu",
+        [0.353, 2.0, 25.7, 0.222, 13.7],
+    ),
     ("3D Point Cloud", "SBM", [0.317, 1.99, 23.4, 0.209, 13.8]),
     ("3D Point Cloud", "DCSBM", [0.309, 1.98, 23.4, 0.218, 13.8]),
     ("3D Point Cloud", "BTER", [0.301, 2.0, 22.6, 0.207, 13.6]),
-    ("3D Point Cloud", "Kronecker", [0.370, 2.0, 26.8, 0.240, 13.8]),
+    (
+        "3D Point Cloud",
+        "Kronecker",
+        [0.370, 2.0, 26.8, 0.240, 13.8],
+    ),
     ("3D Point Cloud", "MMSB", [0.339, 2.0, 25.9, 0.234, 13.7]),
     ("3D Point Cloud", "VGAE", [0.731, 1.96, 30.0, 0.864, 13.8]),
-    ("3D Point Cloud", "CondGen-R", [0.604, 1.73, 30.4, 0.658, 14.1]),
+    (
+        "3D Point Cloud",
+        "CondGen-R",
+        [0.604, 1.73, 30.4, 0.658, 14.1],
+    ),
     ("3D Point Cloud", "NetGAN", [0.415, 1.72, 26.3, 0.542, 14.6]),
     ("3D Point Cloud", "CPGAN", [0.410, 1.49, 18.1, 0.355, 10.8]),
     ("Google", "E-R", [6.24e-2, 1.36, 13.17, 3.99e-2, 0.221]),
@@ -105,15 +145,51 @@ pub fn table4_ref(dataset: &str, model: &str) -> Option<[f64; 5]> {
 /// [Deg, Clus, CPL, GINI, PWE, TrainNLL, TestNLL])`.
 pub const TABLE5: &[(&str, &str, [f64; 7])] = &[
     ("PPI", "VGAE", [0.257, 1.69, 6.11, 0.342, 0.633, 1.96, 3.61]),
-    ("PPI", "Graphite", [0.315, 0.815, 10.9, 0.362, 0.760, 2.09, 4.38]),
-    ("PPI", "SBMGNN", [0.356, 1.61, 10.9, 0.397, 0.777, 2.20, 4.00]),
-    ("PPI", "CondGen-R", [0.139, 1.16, 12.8, 0.231, 1.09, 2.07, 3.82]),
-    ("PPI", "CPGAN", [6.21e-2, 0.243, 11.31, 7.43e-2, 0.437, 1.84, 3.52]),
-    ("Citeseer", "VGAE", [9.01e-2, 1.6, 1.45, 0.263, 0.149, 2.26, 3.78]),
-    ("Citeseer", "Graphite", [0.306, 1.53, 2.14, 0.311, 1.17, 2.41, 4.15]),
-    ("Citeseer", "SBMGNN", [0.217, 1.32, 2.14, 0.358, 0.517, 2.31, 4.26]),
-    ("Citeseer", "CondGen-R", [0.166, 1.13, 3.57, 0.196, 1.54, 2.47, 3.97]),
-    ("Citeseer", "CPGAN", [8.49e-2, 0.498, 1.35, 1.38e-2, 3.16e-2, 1.78, 3.68]),
+    (
+        "PPI",
+        "Graphite",
+        [0.315, 0.815, 10.9, 0.362, 0.760, 2.09, 4.38],
+    ),
+    (
+        "PPI",
+        "SBMGNN",
+        [0.356, 1.61, 10.9, 0.397, 0.777, 2.20, 4.00],
+    ),
+    (
+        "PPI",
+        "CondGen-R",
+        [0.139, 1.16, 12.8, 0.231, 1.09, 2.07, 3.82],
+    ),
+    (
+        "PPI",
+        "CPGAN",
+        [6.21e-2, 0.243, 11.31, 7.43e-2, 0.437, 1.84, 3.52],
+    ),
+    (
+        "Citeseer",
+        "VGAE",
+        [9.01e-2, 1.6, 1.45, 0.263, 0.149, 2.26, 3.78],
+    ),
+    (
+        "Citeseer",
+        "Graphite",
+        [0.306, 1.53, 2.14, 0.311, 1.17, 2.41, 4.15],
+    ),
+    (
+        "Citeseer",
+        "SBMGNN",
+        [0.217, 1.32, 2.14, 0.358, 0.517, 2.31, 4.26],
+    ),
+    (
+        "Citeseer",
+        "CondGen-R",
+        [0.166, 1.13, 3.57, 0.196, 1.54, 2.47, 3.97],
+    ),
+    (
+        "Citeseer",
+        "CPGAN",
+        [8.49e-2, 0.498, 1.35, 1.38e-2, 3.16e-2, 1.78, 3.68],
+    ),
 ];
 
 /// Table V lookup.
@@ -156,12 +232,21 @@ pub type SweepRow = (&'static str, [Option<f64>; 4]);
 pub const TABLE7: &[SweepRow] = &[
     ("E-R", [Some(4.6e-4), Some(9.0e-3), Some(0.46), Some(10.1)]),
     ("B-A", [Some(1.0e-3), Some(1.2e-2), Some(0.11), Some(1.17)]),
-    ("Chung-Lu", [Some(7.2e-4), Some(2.5e-3), Some(0.18), Some(2.38)]),
+    (
+        "Chung-Lu",
+        [Some(7.2e-4), Some(2.5e-3), Some(0.18), Some(2.38)],
+    ),
     ("SBM", [Some(6.1e-3), Some(0.09), Some(2.58), Some(37.1)]),
     ("DCSBM", [Some(6.2e-3), Some(0.09), Some(2.69), Some(39.3)]),
-    ("BTER", [Some(1.28e-3), Some(1.9e-3), Some(0.16), Some(0.25)]),
+    (
+        "BTER",
+        [Some(1.28e-3), Some(1.9e-3), Some(0.16), Some(0.25)],
+    ),
     ("MMSB", [Some(6.1e-3), Some(0.09), Some(2.56), None]),
-    ("Kronecker", [Some(8.5e-3), Some(0.08), Some(1.00), Some(9.69)]),
+    (
+        "Kronecker",
+        [Some(8.5e-3), Some(0.08), Some(1.00), Some(9.69)],
+    ),
     ("GraphRNN-S", [Some(0.27), Some(4.74), Some(63.6), None]),
     ("VGAE", [Some(4.2e-3), Some(0.04), Some(0.38), None]),
     ("Graphite", [Some(6.1e-3), Some(0.06), Some(0.64), None]),
@@ -174,7 +259,10 @@ pub const TABLE7: &[SweepRow] = &[
 /// Table VIII: minutes for the entire training process.
 pub const TABLE8: &[SweepRow] = &[
     ("MMSB", [Some(0.11), Some(0.91), Some(40.3), None]),
-    ("Kronecker", [Some(1.39), Some(1.55), Some(3.25), Some(4.73)]),
+    (
+        "Kronecker",
+        [Some(1.39), Some(1.55), Some(3.25), Some(4.73)],
+    ),
     ("GraphRNN-S", [Some(1.63), Some(15.4), Some(161.0), None]),
     ("VGAE", [Some(0.06), Some(0.42), Some(9.75), None]),
     ("Graphite", [Some(0.07), Some(0.47), Some(10.6), None]),
@@ -187,13 +275,19 @@ pub const TABLE8: &[SweepRow] = &[
 /// Table IX: peak GPU memory (MiB) during training.
 pub const TABLE9: &[SweepRow] = &[
     ("MMSB", [Some(1575.0), Some(1709.0), Some(18529.0), None]),
-    ("GraphRNN-S", [Some(1913.0), Some(1959.0), Some(5501.0), None]),
+    (
+        "GraphRNN-S",
+        [Some(1913.0), Some(1959.0), Some(5501.0), None],
+    ),
     ("VGAE", [Some(1719.0), Some(1759.0), Some(4799.0), None]),
     ("Graphite", [Some(1719.0), Some(1761.0), Some(4819.0), None]),
     ("SBMGNN", [Some(1719.0), Some(1767.0), Some(5243.0), None]),
     ("NetGAN", [Some(2237.0), Some(2552.0), Some(5008.0), None]),
     ("CondGen-R", [Some(1722.0), Some(1789.0), None, None]),
-    ("CPGAN", [Some(1728.0), Some(1760.0), Some(2467.0), Some(7930.0)]),
+    (
+        "CPGAN",
+        [Some(1728.0), Some(1760.0), Some(2467.0), Some(7930.0)],
+    ),
 ];
 
 /// Sweep-table lookup (`table` is one of [`TABLE7`]/[`TABLE8`]/[`TABLE9`]).
@@ -205,6 +299,8 @@ pub fn sweep_ref(table: &[SweepRow], model: &str, size_idx: usize) -> Option<f64
 }
 
 #[cfg(test)]
+// Tests may assert exact float values (constructed, not computed).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -221,7 +317,14 @@ mod tests {
 
     #[test]
     fn cpgan_wins_table3_everywhere_in_paper() {
-        for ds in ["Citeseer", "PubMed", "PPI", "3D Point Cloud", "Facebook", "Google"] {
+        for ds in [
+            "Citeseer",
+            "PubMed",
+            "PPI",
+            "3D Point Cloud",
+            "Facebook",
+            "Google",
+        ] {
             let (cp_nmi, cp_ari) = table3_ref(ds, "CPGAN").unwrap();
             for (d, m, nmi, ari) in TABLE3 {
                 if *d == ds && *m != "CPGAN" {

@@ -46,8 +46,16 @@ pub fn run(cfg: &EvalConfig, dataset_filter: &[&str]) -> Table {
             let paper_ref = paper::table3_ref(spec.name, kind.name());
             match cell {
                 Cell::Oom | Cell::SkippedCpu => {
-                    let label = if matches!(cell, Cell::Oom) { "OOM" } else { "skip" };
-                    let agree = if paper_ref.is_none() { " (paper OOM)" } else { "" };
+                    let label = if matches!(cell, Cell::Oom) {
+                        "OOM"
+                    } else {
+                        "skip"
+                    };
+                    let agree = if paper_ref.is_none() {
+                        " (paper OOM)"
+                    } else {
+                        ""
+                    };
                     row.push(format!("{label}{agree}"));
                     row.push(format!("{label}{agree}"));
                 }

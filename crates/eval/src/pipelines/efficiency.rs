@@ -124,9 +124,7 @@ pub fn run(cfg: &EvalConfig, sizes: &[usize]) -> SweepTables {
     let mut mem_table = mk_table("Table IX: peak tensor memory during training (MiB)");
 
     // Map sweep sizes onto paper column indices for the references.
-    let size_idx = |n: usize| -> Option<usize> {
-        sweep::SWEEP_SIZES.iter().position(|&s| s == n)
-    };
+    let size_idx = |n: usize| -> Option<usize> { sweep::SWEEP_SIZES.iter().position(|&s| s == n) };
 
     for kind in ModelKind::sweep() {
         let mut g_row = vec![kind.name().to_string()];

@@ -59,8 +59,8 @@ mod tests {
 
     #[test]
     fn identical_graphs_score_perfectly() {
-        let g = Graph::from_edges(8, [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 4), (0, 4)])
-            .unwrap();
+        let g =
+            Graph::from_edges(8, [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 4), (0, 4)]).unwrap();
         let (nmi, ari) = community_scores(&g, &g, 0);
         assert!((nmi - 1.0).abs() < 1e-9);
         assert!((ari - 1.0).abs() < 1e-9);
@@ -70,8 +70,8 @@ mod tests {
 
     #[test]
     fn different_graphs_score_worse() {
-        let g = Graph::from_edges(8, [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 4), (0, 4)])
-            .unwrap();
+        let g =
+            Graph::from_edges(8, [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 4), (0, 4)]).unwrap();
         let star = Graph::from_edges(8, (1..8u32).map(|v| (0, v))).unwrap();
         let (nmi, _) = community_scores(&g, &star, 0);
         assert!(nmi < 0.99);

@@ -78,12 +78,18 @@ pub fn run(cfg: &EvalConfig, dataset_filter: &[&str]) -> Table {
     for kind in ModelKind::table4() {
         let mut row = vec![kind.name().to_string()];
         for d in &datasets_used {
-            let spec = datasets::spec_by_name(d).expect("known dataset");
+            let Some(spec) = datasets::spec_by_name(d) else {
+                continue;
+            };
             let cell = evaluate_cell(kind, spec, cfg);
             let paper_row = paper::table4_ref(d, kind.name());
             match cell {
                 Cell::Oom | Cell::SkippedCpu => {
-                    let label = if matches!(cell, Cell::Oom) { "OOM" } else { "skip" };
+                    let label = if matches!(cell, Cell::Oom) {
+                        "OOM"
+                    } else {
+                        "skip"
+                    };
                     for _ in 0..5 {
                         row.push(label.to_string());
                     }

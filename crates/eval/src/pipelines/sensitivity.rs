@@ -51,14 +51,23 @@ fn eval_point(g: &Graph, cfg: &EvalConfig, dim: usize, levels: usize, x: usize) 
 }
 
 /// Runs the Figure 5 sweeps on one dataset stand-in (default: Citeseer).
+/// Unknown dataset names yield an empty table rather than a panic.
 pub fn run(cfg: &EvalConfig, dataset: &str) -> Table {
-    let spec = datasets::spec_by_name(dataset).expect("known dataset");
+    let Some(spec) = datasets::spec_by_name(dataset) else {
+        return Table::new(
+            format!("Figure 5: unknown dataset `{dataset}`"),
+            &["Sweep", "x", "GINI (real)", "CPL (real)", "NMI"],
+        );
+    };
     let ds = datasets::synthesize(spec, cfg.scale, cfg.seed);
     let real_gini = stats::gini::gini_coefficient(&ds.graph.degrees());
     let real_cpl = stats::path::characteristic_path_length(&ds.graph, 64);
 
     let mut table = Table::new(
-        format!("Figure 5: parameter sensitivity on {dataset} (scale 1/{})", cfg.scale),
+        format!(
+            "Figure 5: parameter sensitivity on {dataset} (scale 1/{})",
+            cfg.scale
+        ),
         &["Sweep", "x", "GINI (real)", "CPL (real)", "NMI"],
     );
     for &dim in &DIMS {
@@ -88,7 +97,9 @@ pub fn run(cfg: &EvalConfig, dataset: &str) -> Table {
 /// Returns the level sweep as data points (used by tests and the PairNorm
 /// ablation).
 pub fn level_sweep(cfg: &EvalConfig, dataset: &str) -> Vec<SweepPoint> {
-    let spec = datasets::spec_by_name(dataset).expect("known dataset");
+    let Some(spec) = datasets::spec_by_name(dataset) else {
+        return Vec::new();
+    };
     let ds = datasets::synthesize(spec, cfg.scale, cfg.seed);
     LEVELS
         .iter()

@@ -2,8 +2,10 @@
 
 use crate::EvalConfig;
 use cpgan::{CpGan, CpGanConfig, Variant};
-use cpgan_deep::{condgen::CondGenR, graphite::Graphite, graphrnn::GraphRnnS, netgan::NetGan,
-    sbmgnn::SbmGnn, vgae::Vgae, DeepConfig};
+use cpgan_deep::{
+    condgen::CondGenR, graphite::Graphite, graphrnn::GraphRnnS, netgan::NetGan, sbmgnn::SbmGnn,
+    vgae::Vgae, DeepConfig,
+};
 use cpgan_generators::{
     ba::BarabasiAlbert, bter::Bter, chung_lu::ChungLu, dcsbm::Dcsbm, er::ErdosRenyi,
     kronecker::Kronecker, mmsb::Mmsb, sbm::Sbm, GraphGenerator,
@@ -228,9 +230,7 @@ pub fn fit_model(kind: ModelKind, g: &Graph, cfg: &EvalConfig, seed: u64) -> Fit
             0.1,
             BLOCK_MODEL_CAPACITY,
         ))),
-        ModelKind::Vgae => {
-            FittedModel::Generator(Box::new(Vgae::fit(g, &deep_config(cfg, seed))))
-        }
+        ModelKind::Vgae => FittedModel::Generator(Box::new(Vgae::fit(g, &deep_config(cfg, seed)))),
         ModelKind::Graphite => {
             FittedModel::Generator(Box::new(Graphite::fit(g, &deep_config(cfg, seed))))
         }

@@ -53,7 +53,11 @@ impl Table {
         let line = |out: &mut String, cells: &[String]| {
             let mut parts = Vec::with_capacity(cells.len());
             for (i, c) in cells.iter().enumerate() {
-                parts.push(format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(c.len())));
+                parts.push(format!(
+                    "{:w$}",
+                    c,
+                    w = widths.get(i).copied().unwrap_or(c.len())
+                ));
             }
             let _ = writeln!(out, "| {} |", parts.join(" | "));
         };
@@ -123,6 +127,8 @@ pub fn mean(values: &[f64]) -> f64 {
 }
 
 #[cfg(test)]
+// Tests may assert exact float values (constructed, not computed).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -146,8 +152,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.json");
         write_json(&t, &path).unwrap();
-        let loaded: Table =
-            serde_json::from_reader(std::fs::File::open(&path).unwrap()).unwrap();
+        let loaded: Table = serde_json::from_reader(std::fs::File::open(&path).unwrap()).unwrap();
         assert_eq!(loaded.rows, t.rows);
         std::fs::remove_file(&path).ok();
     }

@@ -170,10 +170,9 @@ mod tests {
         let mut bter_err = 0.0;
         let mut er_err = 0.0;
         for _ in 0..10 {
-            bter_err += (stats::clustering::mean_clustering(&bter.generate(&mut rng)) - target)
-                .abs();
-            er_err +=
-                (stats::clustering::mean_clustering(&er.generate(&mut rng)) - target).abs();
+            bter_err +=
+                (stats::clustering::mean_clustering(&bter.generate(&mut rng)) - target).abs();
+            er_err += (stats::clustering::mean_clustering(&er.generate(&mut rng)) - target).abs();
         }
         assert!(bter_err < er_err, "bter {bter_err} vs er {er_err}");
     }

@@ -29,7 +29,7 @@ impl ChungLu {
     /// Builds from an explicit expected-degree sequence.
     pub fn from_degrees(degrees: Vec<f64>) -> Self {
         let mut idx: Vec<usize> = (0..degrees.len()).collect();
-        idx.sort_by(|&a, &b| degrees[b].partial_cmp(&degrees[a]).expect("finite"));
+        idx.sort_by(|&a, &b| degrees[b].total_cmp(&degrees[a]));
         let order: Vec<NodeId> = idx.iter().map(|&i| i as NodeId).collect();
         let weights: Vec<f64> = idx.iter().map(|&i| degrees[i]).collect();
         let weight_sum: f64 = weights.iter().sum();

@@ -120,7 +120,12 @@ impl GraphGenerator for Dcsbm {
                 }
                 // Poisson edge counts per block pair (the DCSBM likelihood's
                 // natural sampling scheme).
-                let count = Poisson::new(mean).expect("positive mean").sample(rng) as u64;
+                // `mean > 0` here, so construction only fails on a
+                // non-finite mean — skip such degenerate blocks.
+                let Ok(dist) = Poisson::new(mean) else {
+                    continue;
+                };
+                let count = dist.sample(rng) as u64;
                 let mut placed = 0u64;
                 let mut guard = 0u64;
                 while placed < count && guard < 20 * count + 100 {
@@ -183,7 +188,10 @@ mod tests {
         }
         let avg = total as f64 / 20.0;
         // Rejected duplicates bias slightly low; allow a generous band.
-        assert!((avg - g.m() as f64).abs() < 0.25 * g.m() as f64, "avg {avg}");
+        assert!(
+            (avg - g.m() as f64).abs() < 0.25 * g.m() as f64,
+            "avg {avg}"
+        );
     }
 
     #[test]

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Traditional graph generators (paper §II-B1, Tables III/IV/VII baselines).
@@ -28,7 +29,7 @@ pub mod er;
 pub mod kronecker;
 pub mod mmsb;
 pub mod sbm;
-pub mod ws;
 mod traits;
+pub mod ws;
 
 pub use traits::GraphGenerator;

@@ -170,9 +170,12 @@ impl GraphGenerator for Sbm {
                 if possible == 0 {
                     continue;
                 }
-                let count = Binomial::new(possible, p.min(1.0))
-                    .expect("valid binomial")
-                    .sample(rng);
+                // `p` is clamped into [0, 1], so construction only fails
+                // on a NaN probability — skip such degenerate blocks.
+                let Ok(dist) = Binomial::new(possible, p.clamp(0.0, 1.0)) else {
+                    continue;
+                };
+                let count = dist.sample(rng);
                 sample_block_edges(&mut b, rng, &self.blocks[r], &self.blocks[s], r == s, count);
             }
         }

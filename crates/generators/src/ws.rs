@@ -107,7 +107,10 @@ mod tests {
         let small_world = WattsStrogatz::new(200, 6, 0.2).generate(&mut rng);
         let cpl_lat = stats::path::characteristic_path_length(&lattice, 50);
         let cpl_sw = stats::path::characteristic_path_length(&small_world, 50);
-        assert!(cpl_sw < cpl_lat, "rewiring must shorten paths: {cpl_sw} vs {cpl_lat}");
+        assert!(
+            cpl_sw < cpl_lat,
+            "rewiring must shorten paths: {cpl_sw} vs {cpl_lat}"
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ fn gram_schmidt(cols: &mut [Vec<f64>], reseed: &mut u64) {
             // Degenerate direction (e.g. d exceeds the spectrum's effective
             // rank): reseed with a deterministic pseudo-random vector.
             for (idx, a) in cols[i].iter_mut().enumerate() {
-                *reseed = reseed.wrapping_mul(6364136223846793005).wrapping_add(idx as u64 | 1);
+                *reseed = reseed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(idx as u64 | 1);
                 *a = ((*reseed >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
             }
             let n2: f64 = cols[i].iter().map(|a| a * a).sum::<f64>().sqrt();

@@ -31,6 +31,8 @@ pub fn degree_assortativity(g: &Graph) -> f64 {
 }
 
 #[cfg(test)]
+// Tests may assert exact float values (constructed, not computed).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -54,7 +56,16 @@ mod tests {
         // to each other -> positive correlation.
         let g = Graph::from_edges(
             8,
-            [(0, 1), (0, 2), (0, 3), (1, 4), (1, 5), (2, 3), (4, 5), (6, 7)],
+            [
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 4),
+                (1, 5),
+                (2, 3),
+                (4, 5),
+                (6, 7),
+            ],
         )
         .unwrap();
         let r = degree_assortativity(&g);

@@ -61,6 +61,8 @@ pub fn triangle_count(g: &Graph) -> usize {
 }
 
 #[cfg(test)]
+// Tests may assert exact float values (constructed, not computed).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

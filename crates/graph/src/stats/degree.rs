@@ -4,10 +4,7 @@ use crate::Graph;
 
 /// Degree histogram: `hist[d]` = number of nodes with degree `d`.
 pub fn degree_histogram(g: &Graph) -> Vec<usize> {
-    let max_deg = (0..g.n())
-        .map(|v| g.degree(v as u32))
-        .max()
-        .unwrap_or(0);
+    let max_deg = (0..g.n()).map(|v| g.degree(v as u32)).max().unwrap_or(0);
     let mut hist = vec![0usize; max_deg + 1];
     for v in 0..g.n() {
         hist[g.degree(v as u32)] += 1;
@@ -30,10 +27,7 @@ pub fn degree_distribution(g: &Graph) -> Vec<f64> {
 
 /// Maximum degree in the graph (0 for the empty graph).
 pub fn max_degree(g: &Graph) -> usize {
-    (0..g.n())
-        .map(|v| g.degree(v as u32))
-        .max()
-        .unwrap_or(0)
+    (0..g.n()).map(|v| g.degree(v as u32)).max().unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -10,8 +10,11 @@ pub fn gini_coefficient(values: &[usize]) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
-    let mut sorted: Vec<f64> = values.iter().map(|&v| v as f64).collect();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("degrees are finite"));
+    // Sort the integer degrees directly: no NaN case to reason about, and
+    // integer comparison is cheaper than float comparison.
+    let mut ordered: Vec<usize> = values.to_vec();
+    ordered.sort_unstable();
+    let sorted: Vec<f64> = ordered.into_iter().map(|v| v as f64).collect();
     let n = sorted.len() as f64;
     let total: f64 = sorted.iter().sum();
     if total == 0.0 {
@@ -26,6 +29,8 @@ pub fn gini_coefficient(values: &[usize]) -> f64 {
 }
 
 #[cfg(test)]
+// Tests may assert exact float values (constructed, not computed).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

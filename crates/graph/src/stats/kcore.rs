@@ -79,11 +79,8 @@ mod tests {
     #[test]
     fn clique_with_pendant() {
         // K4 plus a pendant node: pendant core 1, clique core 3.
-        let g = Graph::from_edges(
-            5,
-            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]).unwrap();
         let core = core_numbers(&g);
         assert_eq!(core[4], 1);
         assert_eq!(core[0], 3);
@@ -119,7 +116,10 @@ mod tests {
             .filter(|&v| core[v as usize] >= k)
             .collect();
         let (sub, _) = g.induced_subgraph(&members);
-        assert!(sub.degrees().iter().all(|&d| d >= k), "k-core property violated");
+        assert!(
+            sub.degrees().iter().all(|&d| d >= k),
+            "k-core property violated"
+        );
     }
 
     #[test]

@@ -30,6 +30,8 @@ pub fn powerlaw_exponent_with_dmin(degrees: &[usize], d_min: usize) -> f64 {
 }
 
 #[cfg(test)]
+// Tests may assert exact float values (constructed, not computed).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -1,5 +1,10 @@
 //! Property-based tests for the graph substrate.
 
+// Test-support helpers sit outside `#[test]` fns, where the
+// `allow-*-in-tests` carve-out does not reach; panicking is the right
+// failure mode in test code.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
 use cpgan_graph::{mmd, stats, Graph, NodeId};
 use proptest::prelude::*;
 use proptest::strategy::ValueTree;

@@ -45,7 +45,10 @@ impl Mlp {
         dims: &[usize],
         activation: Activation,
     ) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least input and output dims");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least input and output dims"
+        );
         let layers = dims
             .windows(2)
             .map(|w| Linear::new(store, rng, w[0], w[1], true))
@@ -65,9 +68,10 @@ impl Mlp {
         h
     }
 
-    /// Output width.
+    /// Output width (0 for the degenerate zero-layer MLP, which
+    /// [`Mlp::new`] never constructs).
     pub fn fan_out(&self) -> usize {
-        self.layers.last().expect("non-empty").fan_out()
+        self.layers.last().map_or(0, |l| l.fan_out())
     }
 }
 

@@ -52,10 +52,7 @@ mod tests {
         let tape = Tape::new();
         let p = Param::new(Matrix::from_fn(3, 2, |r, c| (r + c) as f32 + 0.5));
         let x = tape.param(&p);
-        PairNorm::new(2.0)
-            .forward(&tape, &x)
-            .sum_all()
-            .backward();
+        PairNorm::new(2.0).forward(&tape, &x).sum_all().backward();
         assert!(p.lock().grad.as_slice().iter().any(|&g| g != 0.0));
     }
 

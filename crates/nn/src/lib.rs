@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 //! Deep-learning substrate for the CPGAN reproduction.
@@ -41,6 +42,7 @@
 //! assert!(loss_val < 0.05, "XOR not learned: {loss_val}");
 //! ```
 
+pub mod error;
 pub mod init;
 pub mod layers;
 pub mod loss;
@@ -51,6 +53,7 @@ mod params;
 pub mod sparse;
 pub mod tape;
 
+pub use error::{NnError, ShapeError};
 pub use matrix::Matrix;
 pub use params::{Param, ParamData, ParamStore};
 pub use sparse::Csr;

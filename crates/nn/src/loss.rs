@@ -10,10 +10,7 @@ use crate::tape::Var;
 /// Eq. 19's `L_prior`).
 pub fn gaussian_kl(mu: &Var, logvar: &Var) -> Var {
     let n = mu.shape().0.max(1) as f32;
-    let term = logvar
-        .add_scalar(1.0)
-        .sub(&mu.square())
-        .sub(&logvar.exp());
+    let term = logvar.add_scalar(1.0).sub(&mu.square()).sub(&logvar.exp());
     term.sum_all().scale(-0.5 / n)
 }
 

@@ -5,6 +5,7 @@
 //! memory (the reproduction's stand-in for the paper's "peak GPU memory",
 //! Table IX).
 
+use crate::error::{nn_panic, NnError, ShapeError};
 use crate::memory;
 use std::fmt;
 
@@ -38,9 +39,22 @@ impl Matrix {
 
     /// Wraps an existing buffer (`data.len()` must equal `rows * cols`).
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer size mismatch");
+        Matrix::try_from_vec(rows, cols, data).unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Matrix::from_vec`]: rejects a buffer whose length is not
+    /// `rows * cols`.
+    pub fn try_from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, NnError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError::new(
+                "from_vec buffer",
+                format!("{rows}x{cols} = {} elements", rows * cols),
+                format!("{} elements", data.len()),
+            )
+            .into());
+        }
         memory::on_alloc(data.len() * std::mem::size_of::<f32>());
-        Matrix { rows, cols, data }
+        Ok(Matrix { rows, cols, data })
     }
 
     /// Builds from a closure over `(row, col)`.
@@ -127,18 +141,32 @@ impl Matrix {
 
     /// The single element of a 1x1 matrix.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.shape(), (1, 1), "item() requires a 1x1 matrix");
-        self.data[0]
+        self.try_item().unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Matrix::item`]: rejects non-1x1 matrices.
+    pub fn try_item(&self) -> Result<f32, NnError> {
+        if self.shape() != (1, 1) {
+            return Err(ShapeError::new("item", "1x1", format!("{:?}", self.shape())).into());
+        }
+        Ok(self.data[0])
     }
 
     /// Matrix product `self * other` with a cache-friendly i-k-j loop.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, other.rows,
-            "matmul shape mismatch: {:?} x {:?}",
-            self.shape(),
-            other.shape()
-        );
+        self.try_matmul(other).unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Matrix::matmul`]: rejects inner-dimension mismatches.
+    pub fn try_matmul(&self, other: &Matrix) -> Result<Matrix, NnError> {
+        if self.cols != other.rows {
+            return Err(ShapeError::new(
+                "matmul",
+                "lhs.cols == rhs.rows",
+                format!("{:?} x {:?}", self.shape(), other.shape()),
+            )
+            .into());
+        }
         let (n, m) = (self.rows, other.cols);
         let mut out = Matrix::zeros(n, m);
         for i in 0..n {
@@ -154,12 +182,24 @@ impl Matrix {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// `self^T * other` without materializing the transpose.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        self.try_matmul_tn(other).unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Matrix::matmul_tn`]: rejects row-count mismatches.
+    pub fn try_matmul_tn(&self, other: &Matrix) -> Result<Matrix, NnError> {
+        if self.rows != other.rows {
+            return Err(ShapeError::new(
+                "matmul_tn",
+                "lhs.rows == rhs.rows",
+                format!("{:?} x {:?}", self.shape(), other.shape()),
+            )
+            .into());
+        }
         let (k, n, m) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(n, m);
         for kk in 0..k {
@@ -175,12 +215,24 @@ impl Matrix {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// `self * other^T` without materializing the transpose.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        self.try_matmul_nt(other).unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Matrix::matmul_nt`]: rejects column-count mismatches.
+    pub fn try_matmul_nt(&self, other: &Matrix) -> Result<Matrix, NnError> {
+        if self.cols != other.cols {
+            return Err(ShapeError::new(
+                "matmul_nt",
+                "lhs.cols == rhs.cols",
+                format!("{:?} x {:?}", self.shape(), other.shape()),
+            )
+            .into());
+        }
         let (n, k, m) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(n, m);
         for i in 0..n {
@@ -195,7 +247,7 @@ impl Matrix {
                 *o = acc;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Transposed copy.
@@ -227,20 +279,31 @@ impl Matrix {
 
     /// Elementwise combination of two same-shape matrices.
     pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
-        assert_eq!(self.shape(), other.shape(), "zip shape mismatch");
+        self.try_zip(other, f).unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Matrix::zip`]: rejects shape mismatches.
+    pub fn try_zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Result<Matrix, NnError> {
+        same_shape("zip", self, other)?;
         let mut out = self.clone();
         for (o, &b) in out.data.iter_mut().zip(&other.data) {
             *o = f(*o, b);
         }
-        out
+        Ok(out)
     }
 
     /// `self += alpha * other` (same shape).
     pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
-        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        self.try_axpy(alpha, other).unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Matrix::axpy`]: rejects shape mismatches.
+    pub fn try_axpy(&mut self, alpha: f32, other: &Matrix) -> Result<(), NnError> {
+        same_shape("axpy", self, other)?;
         for (o, &b) in self.data.iter_mut().zip(&other.data) {
             *o += alpha * b;
         }
+        Ok(())
     }
 
     /// Sum of all elements.
@@ -257,6 +320,19 @@ impl Matrix {
     pub fn fill_zero(&mut self) {
         self.data.fill(0.0);
     }
+}
+
+/// Checks that two matrices share a shape, for elementwise ops.
+fn same_shape(op: &'static str, a: &Matrix, b: &Matrix) -> Result<(), NnError> {
+    if a.shape() != b.shape() {
+        return Err(ShapeError::new(
+            op,
+            "equal shapes",
+            format!("{:?} vs {:?}", a.shape(), b.shape()),
+        )
+        .into());
+    }
+    Ok(())
 }
 
 impl Clone for Matrix {
@@ -293,39 +369,35 @@ impl PartialEq for Matrix {
 }
 
 impl serde::Serialize for Matrix {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        use serde::ser::SerializeStruct;
-        let mut s = serializer.serialize_struct("Matrix", 3)?;
-        s.serialize_field("rows", &self.rows)?;
-        s.serialize_field("cols", &self.cols)?;
-        s.serialize_field("data", &self.data)?;
-        s.end()
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("rows".to_string(), self.rows.to_value()),
+            ("cols".to_string(), self.cols.to_value()),
+            ("data".to_string(), self.data.to_value()),
+        ])
     }
 }
 
-impl<'de> serde::Deserialize<'de> for Matrix {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
-        #[derive(serde::Deserialize)]
-        struct Raw {
-            rows: usize,
-            cols: usize,
-            data: Vec<f32>,
-        }
-        let raw = Raw::deserialize(deserializer)?;
-        if raw.data.len() != raw.rows * raw.cols {
+impl serde::Deserialize for Matrix {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::de::Error> {
+        let field = |name: &str| value.get(name).unwrap_or(&serde::Value::Null);
+        let rows = usize::from_value(field("rows"))?;
+        let cols = usize::from_value(field("cols"))?;
+        let data = Vec::<f32>::from_value(field("data"))?;
+        if data.len() != rows * cols {
             return Err(serde::de::Error::custom(format!(
-                "matrix buffer size {} does not match {}x{}",
-                raw.data.len(),
-                raw.rows,
-                raw.cols
+                "matrix buffer size {} does not match {rows}x{cols}",
+                data.len()
             )));
         }
         // Route through from_vec so the memory accounting stays consistent.
-        Ok(Matrix::from_vec(raw.rows, raw.cols, raw.data))
+        Ok(Matrix::from_vec(rows, cols, data))
     }
 }
 
 #[cfg(test)]
+// Tests may assert exact float values (constructed, not computed).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -382,5 +454,30 @@ mod tests {
     #[test]
     fn scalar_item() {
         assert_eq!(Matrix::scalar(2.5).item(), 2.5);
+    }
+
+    #[test]
+    fn try_ops_report_typed_shape_errors() {
+        use crate::error::NnError;
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        match a.try_matmul(&b) {
+            Err(NnError::Shape(e)) => {
+                assert_eq!(e.op, "matmul");
+                assert!(e.got.contains("(2, 3)"), "{e}");
+            }
+            other => panic!("expected shape error, got {other:?}"),
+        }
+        assert!(a.try_matmul_tn(&Matrix::zeros(3, 2)).is_err());
+        assert!(a.try_matmul_nt(&Matrix::zeros(3, 4)).is_err());
+        assert!(a.try_zip(&Matrix::zeros(3, 2), |x, _| x).is_err());
+        assert!(a.try_item().is_err());
+        assert!(Matrix::try_from_vec(2, 2, vec![0.0; 3]).is_err());
+        let mut c = Matrix::zeros(2, 3);
+        assert!(c.try_axpy(1.0, &Matrix::zeros(1, 1)).is_err());
+        // The Ok paths agree with the panicking wrappers.
+        let x = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let y = Matrix::from_vec(2, 2, vec![5., 6., 7., 8.]);
+        assert_eq!(x.try_matmul(&y).unwrap(), x.matmul(&y));
     }
 }

@@ -78,6 +78,8 @@ impl Optimizer for Adam {
 }
 
 #[cfg(test)]
+// Tests may assert exact float values (constructed, not computed).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::params::ParamStore;

@@ -41,6 +41,8 @@ impl StepDecay {
 }
 
 #[cfg(test)]
+// Tests may assert exact float values (constructed, not computed).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

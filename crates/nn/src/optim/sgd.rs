@@ -30,16 +30,15 @@ impl Optimizer for Sgd {
             let id = p.id();
             let mut data = p.lock();
             if self.momentum > 0.0 {
+                let momentum = self.momentum;
+                let lr = self.lr;
                 let v = self
                     .velocity
                     .entry(id)
                     .or_insert_with(|| Matrix::zeros(data.value.rows(), data.value.cols()));
                 for (vi, &gi) in v.as_mut_slice().iter_mut().zip(data.grad.as_slice()) {
-                    *vi = self.momentum * *vi + gi;
+                    *vi = momentum * *vi + gi;
                 }
-                // Borrow dance: update value from the (already updated) v.
-                let v = self.velocity.get(&id).expect("just inserted");
-                let lr = self.lr;
                 for (t, &vi) in data.value.as_mut_slice().iter_mut().zip(v.as_slice()) {
                     *t -= lr * vi;
                 }

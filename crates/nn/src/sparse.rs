@@ -174,7 +174,7 @@ mod tests {
         let a = path3_adj();
         assert_eq!(a.rows(), 3);
         assert_eq!(a.nnz(), 7); // 4 off-diagonal + 3 diagonal
-        // deg+1: node0 -> 2, node1 -> 3, node2 -> 2.
+                                // deg+1: node0 -> 2, node1 -> 3, node2 -> 2.
         let d00 = a.get(0, 0).unwrap();
         assert!((d00 - 0.5).abs() < 1e-6);
         let d01 = a.get(0, 1).unwrap();

@@ -9,6 +9,7 @@
 //! The training loops in this workspace build a fresh tape per forward pass,
 //! which keeps parameter lifetimes independent of any particular pass.
 
+use crate::error::{nn_panic, NnError, ShapeError};
 use crate::params::Param;
 use crate::sparse::Csr;
 use crate::Matrix;
@@ -136,11 +137,12 @@ pub struct Var {
 }
 
 impl Var {
-    fn assert_same_tape(&self, other: &Var) {
-        assert!(
-            Rc::ptr_eq(&self.tape.nodes, &other.tape.nodes),
-            "variables belong to different tapes"
-        );
+    /// Checks that `other` lives on the same tape as `self`.
+    fn same_tape(&self, other: &Var, op: &'static str) -> Result<(), NnError> {
+        if !Rc::ptr_eq(&self.tape.nodes, &other.tape.nodes) {
+            return Err(NnError::TapeMismatch { op });
+        }
+        Ok(())
     }
 
     /// Clones the current value of this node.
@@ -171,12 +173,18 @@ impl Var {
 
     /// Matrix product.
     pub fn matmul(&self, other: &Var) -> Var {
-        self.assert_same_tape(other);
+        self.try_matmul(other).unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Var::matmul`]: rejects cross-tape operands and
+    /// inner-dimension mismatches.
+    pub fn try_matmul(&self, other: &Var) -> Result<Var, NnError> {
+        self.same_tape(other, "matmul")?;
         let value = {
             let nodes = self.tape.nodes.borrow();
-            nodes[self.idx].value.matmul(&nodes[other.idx].value)
+            nodes[self.idx].value.try_matmul(&nodes[other.idx].value)?
         };
-        self.tape.push(value, Op::MatMul(self.idx, other.idx))
+        Ok(self.tape.push(value, Op::MatMul(self.idx, other.idx)))
     }
 
     /// Sparse constant times this variable: `s * self`.
@@ -186,49 +194,82 @@ impl Var {
             let nodes = self.tape.nodes.borrow();
             s.matmul_dense(&nodes[self.idx].value)
         };
-        self.tape
-            .push(value, Op::SpMM(Arc::clone(s), st, self.idx))
+        self.tape.push(value, Op::SpMM(Arc::clone(s), st, self.idx))
     }
 
     /// Elementwise sum.
     pub fn add(&self, other: &Var) -> Var {
-        self.assert_same_tape(other);
+        self.try_add(other).unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Var::add`]: rejects cross-tape operands and shape mismatches.
+    pub fn try_add(&self, other: &Var) -> Result<Var, NnError> {
+        self.same_tape(other, "add")?;
         let value = {
             let nodes = self.tape.nodes.borrow();
-            nodes[self.idx].value.zip(&nodes[other.idx].value, |a, b| a + b)
+            nodes[self.idx]
+                .value
+                .try_zip(&nodes[other.idx].value, |a, b| a + b)?
         };
-        self.tape.push(value, Op::Add(self.idx, other.idx))
+        Ok(self.tape.push(value, Op::Add(self.idx, other.idx)))
     }
 
     /// Elementwise difference.
     pub fn sub(&self, other: &Var) -> Var {
-        self.assert_same_tape(other);
+        self.try_sub(other).unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Var::sub`]: rejects cross-tape operands and shape mismatches.
+    pub fn try_sub(&self, other: &Var) -> Result<Var, NnError> {
+        self.same_tape(other, "sub")?;
         let value = {
             let nodes = self.tape.nodes.borrow();
-            nodes[self.idx].value.zip(&nodes[other.idx].value, |a, b| a - b)
+            nodes[self.idx]
+                .value
+                .try_zip(&nodes[other.idx].value, |a, b| a - b)?
         };
-        self.tape.push(value, Op::Sub(self.idx, other.idx))
+        Ok(self.tape.push(value, Op::Sub(self.idx, other.idx)))
     }
 
     /// Elementwise (Hadamard) product.
     pub fn mul(&self, other: &Var) -> Var {
-        self.assert_same_tape(other);
+        self.try_mul(other).unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Var::mul`]: rejects cross-tape operands and shape mismatches.
+    pub fn try_mul(&self, other: &Var) -> Result<Var, NnError> {
+        self.same_tape(other, "mul")?;
         let value = {
             let nodes = self.tape.nodes.borrow();
-            nodes[self.idx].value.zip(&nodes[other.idx].value, |a, b| a * b)
+            nodes[self.idx]
+                .value
+                .try_zip(&nodes[other.idx].value, |a, b| a * b)?
         };
-        self.tape.push(value, Op::Mul(self.idx, other.idx))
+        Ok(self.tape.push(value, Op::Mul(self.idx, other.idx)))
     }
 
     /// Adds a `1 x d` row vector to every row of this `n x d` variable.
     pub fn add_row_broadcast(&self, row: &Var) -> Var {
-        self.assert_same_tape(row);
+        self.try_add_row_broadcast(row)
+            .unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Var::add_row_broadcast`]: `row` must be `1 x d` on the same
+    /// tape, matching this variable's width.
+    pub fn try_add_row_broadcast(&self, row: &Var) -> Result<Var, NnError> {
+        self.same_tape(row, "add_row_broadcast")?;
         let value = {
             let nodes = self.tape.nodes.borrow();
             let x = &nodes[self.idx].value;
             let r = &nodes[row.idx].value;
-            assert_eq!(r.rows(), 1, "broadcast source must be a row vector");
-            assert_eq!(r.cols(), x.cols(), "broadcast width mismatch");
+            if r.rows() != 1 || r.cols() != x.cols() {
+                return Err(ShapeError::new(
+                    "add_row_broadcast",
+                    format!("1x{} row vector", x.cols()),
+                    format!("{:?}", r.shape()),
+                )
+                .into());
+            }
             let mut out = x.clone();
             for i in 0..out.rows() {
                 let or = out.row_mut(i);
@@ -238,23 +279,37 @@ impl Var {
             }
             out
         };
-        self.tape
-            .push(value, Op::AddRowBroadcast(self.idx, row.idx))
+        Ok(self
+            .tape
+            .push(value, Op::AddRowBroadcast(self.idx, row.idx)))
     }
 
     /// Broadcasts this `1 x d` row vector to `n` rows.
     pub fn broadcast_row(&self, n: usize) -> Var {
+        self.try_broadcast_row(n).unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Var::broadcast_row`]: this variable must be a `1 x d` row
+    /// vector.
+    pub fn try_broadcast_row(&self, n: usize) -> Result<Var, NnError> {
         let value = {
             let nodes = self.tape.nodes.borrow();
             let r = &nodes[self.idx].value;
-            assert_eq!(r.rows(), 1, "broadcast source must be a row vector");
+            if r.rows() != 1 {
+                return Err(ShapeError::new(
+                    "broadcast_row",
+                    "a 1-row vector",
+                    format!("{:?}", r.shape()),
+                )
+                .into());
+            }
             let mut out = Matrix::zeros(n, r.cols());
             for i in 0..n {
                 out.row_mut(i).copy_from_slice(r.row(0));
             }
             out
         };
-        self.tape.push(value, Op::BroadcastRow(self.idx))
+        Ok(self.tape.push(value, Op::BroadcastRow(self.idx)))
     }
 
     /// Multiplies by a compile-time scalar.
@@ -297,7 +352,9 @@ impl Var {
 
     /// Elementwise natural log of `x + EPS`.
     pub fn ln(&self) -> Var {
-        let value = self.tape.nodes.borrow()[self.idx].value.map(|v| (v + EPS).ln());
+        let value = self.tape.nodes.borrow()[self.idx]
+            .value
+            .map(|v| (v + EPS).ln());
         self.tape.push(value, Op::Ln(self.idx))
     }
 
@@ -345,20 +402,35 @@ impl Var {
 
     /// Horizontal concatenation (same row counts).
     pub fn concat_cols(parts: &[Var]) -> Var {
-        assert!(!parts.is_empty(), "concat of zero parts");
-        let tape = parts[0].tape.clone();
+        Var::try_concat_cols(parts).unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Var::concat_cols`]: rejects zero parts, cross-tape parts
+    /// and row-count mismatches.
+    pub fn try_concat_cols(parts: &[Var]) -> Result<Var, NnError> {
+        let Some(first) = parts.first() else {
+            return Err(ShapeError::new("concat_cols", "at least one part", "0 parts").into());
+        };
+        let tape = first.tape.clone();
         for p in parts {
-            parts[0].assert_same_tape(p);
+            first.same_tape(p, "concat_cols")?;
         }
         let value = {
             let nodes = tape.nodes.borrow();
-            let rows = nodes[parts[0].idx].value.rows();
+            let rows = nodes[first.idx].value.rows();
             let total: usize = parts.iter().map(|p| nodes[p.idx].value.cols()).sum();
             let mut out = Matrix::zeros(rows, total);
             let mut col0 = 0;
             for p in parts {
                 let v = &nodes[p.idx].value;
-                assert_eq!(v.rows(), rows, "concat_cols row mismatch");
+                if v.rows() != rows {
+                    return Err(ShapeError::new(
+                        "concat_cols",
+                        format!("{rows} rows in every part"),
+                        format!("{:?}", v.shape()),
+                    )
+                    .into());
+                }
                 for r in 0..rows {
                     out.row_mut(r)[col0..col0 + v.cols()].copy_from_slice(v.row(r));
                 }
@@ -366,25 +438,40 @@ impl Var {
             }
             out
         };
-        tape.push(value, Op::ConcatCols(parts.iter().map(|p| p.idx).collect()))
+        Ok(tape.push(value, Op::ConcatCols(parts.iter().map(|p| p.idx).collect())))
     }
 
     /// Vertical concatenation (same column counts).
     pub fn concat_rows(parts: &[Var]) -> Var {
-        assert!(!parts.is_empty(), "concat of zero parts");
-        let tape = parts[0].tape.clone();
+        Var::try_concat_rows(parts).unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Var::concat_rows`]: rejects zero parts, cross-tape parts
+    /// and column-count mismatches.
+    pub fn try_concat_rows(parts: &[Var]) -> Result<Var, NnError> {
+        let Some(first) = parts.first() else {
+            return Err(ShapeError::new("concat_rows", "at least one part", "0 parts").into());
+        };
+        let tape = first.tape.clone();
         for p in parts {
-            parts[0].assert_same_tape(p);
+            first.same_tape(p, "concat_rows")?;
         }
         let value = {
             let nodes = tape.nodes.borrow();
-            let cols = nodes[parts[0].idx].value.cols();
+            let cols = nodes[first.idx].value.cols();
             let total: usize = parts.iter().map(|p| nodes[p.idx].value.rows()).sum();
             let mut out = Matrix::zeros(total, cols);
             let mut row0 = 0;
             for p in parts {
                 let v = &nodes[p.idx].value;
-                assert_eq!(v.cols(), cols, "concat_rows col mismatch");
+                if v.cols() != cols {
+                    return Err(ShapeError::new(
+                        "concat_rows",
+                        format!("{cols} cols in every part"),
+                        format!("{:?}", v.shape()),
+                    )
+                    .into());
+                }
                 for r in 0..v.rows() {
                     out.row_mut(row0 + r).copy_from_slice(v.row(r));
                 }
@@ -392,7 +479,7 @@ impl Var {
             }
             out
         };
-        tape.push(value, Op::ConcatRows(parts.iter().map(|p| p.idx).collect()))
+        Ok(tape.push(value, Op::ConcatRows(parts.iter().map(|p| p.idx).collect())))
     }
 
     /// Column-wise mean over rows (`n x d -> 1 x d`).
@@ -467,12 +554,37 @@ impl Var {
     /// Mean binary cross-entropy with logits against a constant target,
     /// optionally weighted per element (weights need not be normalized).
     pub fn bce_with_logits_mean(&self, target: &Arc<Matrix>, weight: Option<&Arc<Matrix>>) -> Var {
+        self.try_bce_with_logits_mean(target, weight)
+            .unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Var::bce_with_logits_mean`]: the target (and weight, if
+    /// given) must match this variable's shape.
+    pub fn try_bce_with_logits_mean(
+        &self,
+        target: &Arc<Matrix>,
+        weight: Option<&Arc<Matrix>>,
+    ) -> Result<Var, NnError> {
         let value = {
             let nodes = self.tape.nodes.borrow();
             let z = &nodes[self.idx].value;
-            assert_eq!(z.shape(), target.shape(), "bce target shape mismatch");
+            if z.shape() != target.shape() {
+                return Err(ShapeError::new(
+                    "bce target",
+                    format!("{:?}", z.shape()),
+                    format!("{:?}", target.shape()),
+                )
+                .into());
+            }
             if let Some(w) = weight {
-                assert_eq!(z.shape(), w.shape(), "bce weight shape mismatch");
+                if z.shape() != w.shape() {
+                    return Err(ShapeError::new(
+                        "bce weight",
+                        format!("{:?}", z.shape()),
+                        format!("{:?}", w.shape()),
+                    )
+                    .into());
+                }
             }
             let mut total = 0.0f64;
             let mut wsum = 0.0f64;
@@ -487,18 +599,31 @@ impl Var {
             }
             Matrix::scalar((total / wsum.max(EPS as f64)) as f32)
         };
-        self.tape.push(
+        Ok(self.tape.push(
             value,
             Op::BceWithLogitsMean(self.idx, Arc::clone(target), weight.map(Arc::clone)),
-        )
+        ))
     }
 
     /// Mean squared error against a constant target (scalar node).
     pub fn mse_mean(&self, target: &Arc<Matrix>) -> Var {
+        self.try_mse_mean(target).unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Var::mse_mean`]: the target must match this variable's
+    /// shape.
+    pub fn try_mse_mean(&self, target: &Arc<Matrix>) -> Result<Var, NnError> {
         let value = {
             let nodes = self.tape.nodes.borrow();
             let x = &nodes[self.idx].value;
-            assert_eq!(x.shape(), target.shape(), "mse target shape mismatch");
+            if x.shape() != target.shape() {
+                return Err(ShapeError::new(
+                    "mse target",
+                    format!("{:?}", x.shape()),
+                    format!("{:?}", target.shape()),
+                )
+                .into());
+            }
             let mut total = 0.0f64;
             for (a, b) in x.as_slice().iter().zip(target.as_slice()) {
                 let d = a - b;
@@ -506,8 +631,9 @@ impl Var {
             }
             Matrix::scalar((total / x.len().max(1) as f64) as f32)
         };
-        self.tape
-            .push(value, Op::MseMean(self.idx, Arc::clone(target)))
+        Ok(self
+            .tape
+            .push(value, Op::MseMean(self.idx, Arc::clone(target))))
     }
 
     /// Runs reverse-mode differentiation from this node, seeding its gradient
@@ -597,7 +723,9 @@ fn backprop(node: &Node, grad: &Matrix, left: &mut [Node]) {
         Op::Scale(x, c) => grad_of(left, *x).axpy(*c, grad),
         Op::AddScalar(x, _) => grad_of(left, *x).axpy(1.0, grad),
         Op::Relu(x) => {
-            let dx = left[*x].value.zip(grad, |v, g| if v > 0.0 { g } else { 0.0 });
+            let dx = left[*x]
+                .value
+                .zip(grad, |v, g| if v > 0.0 { g } else { 0.0 });
             grad_of(left, *x).axpy(1.0, &dx);
         }
         Op::Sigmoid(x) => {
@@ -707,10 +835,7 @@ fn backprop(node: &Node, grad: &Matrix, left: &mut [Node]) {
         Op::BceWithLogitsMean(x, target, weight) => {
             let g = grad.item();
             let z = &left[*x].value;
-            let wsum: f32 = weight
-                .as_ref()
-                .map_or(z.len() as f32, |w| w.sum())
-                .max(EPS);
+            let wsum: f32 = weight.as_ref().map_or(z.len() as f32, |w| w.sum()).max(EPS);
             let mut dx = Matrix::zeros(z.rows(), z.cols());
             for i in 0..z.len() {
                 let zi = z.as_slice()[i];
@@ -727,8 +852,7 @@ fn backprop(node: &Node, grad: &Matrix, left: &mut [Node]) {
             let n = xv.len().max(1) as f32;
             let mut dx = Matrix::zeros(xv.rows(), xv.cols());
             for i in 0..xv.len() {
-                dx.as_mut_slice()[i] =
-                    g * 2.0 * (xv.as_slice()[i] - target.as_slice()[i]) / n;
+                dx.as_mut_slice()[i] = g * 2.0 * (xv.as_slice()[i] - target.as_slice()[i]) / n;
             }
             grad_of(left, *x).axpy(1.0, &dx);
         }
@@ -736,6 +860,8 @@ fn backprop(node: &Node, grad: &Matrix, left: &mut [Node]) {
 }
 
 #[cfg(test)]
+// Tests may assert exact float values (constructed, not computed).
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 
@@ -840,5 +966,36 @@ mod tests {
         let a = t1.scalar(1.0);
         let b = t2.scalar(1.0);
         let _ = a.add(&b);
+    }
+
+    #[test]
+    fn try_ops_surface_typed_errors() {
+        let t1 = Tape::new();
+        let t2 = Tape::new();
+        let a = t1.scalar(1.0);
+        let b = t2.scalar(1.0);
+        assert!(matches!(
+            a.try_add(&b),
+            Err(NnError::TapeMismatch { op: "add" })
+        ));
+        assert!(a.try_matmul(&b).is_err());
+
+        let x = t1.constant(Matrix::zeros(2, 3));
+        let y = t1.constant(Matrix::zeros(3, 3));
+        assert!(matches!(x.try_add(&y), Err(NnError::Shape(_))));
+        assert!(Var::try_concat_cols(&[x.clone(), y.clone()]).is_err());
+        assert!(Var::try_concat_cols(&[]).is_err());
+        assert!(Var::try_concat_rows(&[x.clone(), t1.constant(Matrix::zeros(1, 2))]).is_err());
+        assert!(x.try_broadcast_row(4).is_err());
+        assert!(x
+            .try_bce_with_logits_mean(&Arc::new(Matrix::zeros(1, 1)), None)
+            .is_err());
+        assert!(x.try_mse_mean(&Arc::new(Matrix::zeros(1, 1))).is_err());
+
+        // Ok paths behave like the panicking wrappers.
+        let ok = x.try_add(&t1.constant(Matrix::zeros(2, 3))).unwrap();
+        assert_eq!(ok.shape(), (2, 3));
+        let cat = Var::try_concat_rows(&[x.clone(), x.clone()]).unwrap();
+        assert_eq!(cat.shape(), (4, 3));
     }
 }

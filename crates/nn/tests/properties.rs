@@ -1,5 +1,10 @@
 //! Property-based tests for the tensor/autograd substrate.
 
+// Test-support helpers sit outside `#[test]` fns, where the
+// `allow-*-in-tests` carve-out does not reach; panicking is the right
+// failure mode in test code.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
 use cpgan_nn::{Matrix, Param, Tape};
 use proptest::prelude::*;
 

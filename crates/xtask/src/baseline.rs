@@ -1,0 +1,265 @@
+//! The ratchet: a checked-in baseline of tolerated pre-existing violations.
+//!
+//! The baseline maps `(file, rule)` to a violation count. `cargo xtask
+//! lint` passes while every current count is at or below its baseline
+//! entry; any growth fails the build and prints the offending findings.
+//! `--update-baseline` rewrites the file from the current state but
+//! refuses to raise any entry — the baseline only ever shrinks, so the
+//! workspace converges on zero.
+//!
+//! Counts (rather than line numbers) keep the file stable under unrelated
+//! edits: inserting a doc comment above a tolerated `unwrap` must not
+//! invalidate the baseline.
+
+use crate::Violation;
+use std::collections::BTreeMap;
+
+/// Tolerated violation counts keyed by `(file, rule-name)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(workspace-relative file, rule name) -> tolerated count`.
+    pub entries: BTreeMap<(String, String), usize>,
+}
+
+/// Outcome of checking current violations against a baseline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Violations above the tolerated count, grouped per `(file, rule)`:
+    /// all current findings for that key are listed so the offender is
+    /// easy to locate.
+    pub new_violations: Vec<Violation>,
+    /// `(file, rule, baseline, current)` where the code now does better
+    /// than the baseline — ripe for `--update-baseline`.
+    pub stale: Vec<(String, String, usize, usize)>,
+    /// Violations covered by the baseline (suppressed).
+    pub suppressed: usize,
+}
+
+impl CheckReport {
+    /// Did the lint pass (no violations beyond the baseline)?
+    pub fn passed(&self) -> bool {
+        self.new_violations.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Aggregates raw violations into baseline-shaped counts.
+    pub fn from_violations(violations: &[Violation]) -> Baseline {
+        let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for v in violations {
+            *entries
+                .entry((v.file.clone(), v.rule.name().to_string()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Parses the `lint-baseline.toml` format (see [`Baseline::render`]).
+    pub fn parse(content: &str) -> Result<Baseline, String> {
+        let mut entries = BTreeMap::new();
+        let mut current: Option<(Option<String>, Option<String>, Option<usize>)> = None;
+        let flush = |cur: &mut Option<(Option<String>, Option<String>, Option<usize>)>,
+                     entries: &mut BTreeMap<(String, String), usize>|
+         -> Result<(), String> {
+            if let Some((file, rule, count)) = cur.take() {
+                match (file, rule, count) {
+                    (Some(f), Some(r), Some(c)) => {
+                        entries.insert((f, r), c);
+                        Ok(())
+                    }
+                    _ => Err("baseline entry missing file, rule or count".to_string()),
+                }
+            } else {
+                Ok(())
+            }
+        };
+        for (idx, raw) in content.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[entry]]" {
+                flush(&mut current, &mut entries)?;
+                current = Some((None, None, None));
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("baseline line {}: expected `key = value`", idx + 1))?;
+            let slot = current
+                .as_mut()
+                .ok_or_else(|| format!("baseline line {}: value outside [[entry]]", idx + 1))?;
+            let value = value.trim();
+            match key.trim() {
+                "file" => slot.0 = Some(unquote(value)?),
+                "rule" => slot.1 = Some(unquote(value)?),
+                "count" => {
+                    slot.2 = Some(value.parse().map_err(|_| {
+                        format!("baseline line {}: count must be an integer", idx + 1)
+                    })?)
+                }
+                other => return Err(format!("baseline line {}: unknown key `{other}`", idx + 1)),
+            }
+        }
+        flush(&mut current, &mut entries)?;
+        Ok(Baseline { entries })
+    }
+
+    /// Renders the baseline in its canonical checked-in form.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# Lint baseline for `cargo xtask lint`: pre-existing violations that are\n\
+             # tolerated while the workspace ratchets toward zero. The lint refuses to\n\
+             # let any entry grow; shrink or remove entries by fixing violations and\n\
+             # running `cargo xtask lint --update-baseline`.\n",
+        );
+        for ((file, rule), count) in &self.entries {
+            out.push_str(&format!(
+                "\n[[entry]]\nfile = \"{file}\"\nrule = \"{rule}\"\ncount = {count}\n"
+            ));
+        }
+        out
+    }
+
+    /// Checks `violations` against the baseline.
+    pub fn check(&self, violations: &[Violation]) -> CheckReport {
+        let current = Baseline::from_violations(violations);
+        let mut report = CheckReport::default();
+        for (key, &count) in &current.entries {
+            let allowed = self.entries.get(key).copied().unwrap_or(0);
+            if count > allowed {
+                report.new_violations.extend(
+                    violations
+                        .iter()
+                        .filter(|v| v.file == key.0 && v.rule.name() == key.1)
+                        .cloned(),
+                );
+            } else {
+                report.suppressed += count;
+                if count < allowed {
+                    report
+                        .stale
+                        .push((key.0.clone(), key.1.clone(), allowed, count));
+                }
+            }
+        }
+        for (key, &allowed) in &self.entries {
+            if !current.entries.contains_key(key) && allowed > 0 {
+                report
+                    .stale
+                    .push((key.0.clone(), key.1.clone(), allowed, 0));
+            }
+        }
+        report
+    }
+
+    /// Computes the replacement baseline for `--update-baseline`: the
+    /// current counts, rejected if any entry would grow past `self`.
+    pub fn ratchet_to(&self, violations: &[Violation]) -> Result<Baseline, String> {
+        let current = Baseline::from_violations(violations);
+        let mut grew: Vec<String> = Vec::new();
+        for ((file, rule), &count) in &current.entries {
+            let allowed = self
+                .entries
+                .get(&(file.clone(), rule.clone()))
+                .copied()
+                .unwrap_or(0);
+            if count > allowed {
+                grew.push(format!("{file}: {rule} {allowed} -> {count}"));
+            }
+        }
+        if grew.is_empty() {
+            Ok(current)
+        } else {
+            Err(format!(
+                "refusing to grow the baseline (fix the new violations instead):\n  {}",
+                grew.join("\n  ")
+            ))
+        }
+    }
+}
+
+fn unquote(value: &str) -> Result<String, String> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(|v| v.to_string())
+        .ok_or_else(|| format!("expected a quoted string, got `{value}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rule;
+
+    fn v(file: &str, line: usize, rule: Rule) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line,
+            rule,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let b = Baseline::from_violations(&[
+            v("a.rs", 1, Rule::NoUnwrap),
+            v("a.rs", 9, Rule::NoUnwrap),
+            v("b.rs", 3, Rule::NoPanic),
+        ]);
+        let parsed = Baseline::parse(&b.render()).expect("round trip");
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn check_suppresses_within_budget_and_flags_growth() {
+        let base = Baseline::from_violations(&[v("a.rs", 1, Rule::NoUnwrap)]);
+        let ok = base.check(&[v("a.rs", 7, Rule::NoUnwrap)]);
+        assert!(ok.passed());
+        assert_eq!(ok.suppressed, 1);
+        let grown = base.check(&[v("a.rs", 7, Rule::NoUnwrap), v("a.rs", 8, Rule::NoUnwrap)]);
+        assert!(!grown.passed());
+        assert_eq!(grown.new_violations.len(), 2);
+    }
+
+    #[test]
+    fn improvement_reported_as_stale() {
+        let base = Baseline::from_violations(&[
+            v("a.rs", 1, Rule::NoUnwrap),
+            v("a.rs", 2, Rule::NoUnwrap),
+        ]);
+        let rep = base.check(&[v("a.rs", 1, Rule::NoUnwrap)]);
+        assert!(rep.passed());
+        assert_eq!(rep.stale.len(), 1);
+        assert_eq!(rep.stale[0].2, 2);
+        assert_eq!(rep.stale[0].3, 1);
+    }
+
+    #[test]
+    fn ratchet_shrinks_but_never_grows() {
+        let base = Baseline::from_violations(&[
+            v("a.rs", 1, Rule::NoUnwrap),
+            v("a.rs", 2, Rule::NoUnwrap),
+        ]);
+        let shrunk = base
+            .ratchet_to(&[v("a.rs", 1, Rule::NoUnwrap)])
+            .expect("shrink ok");
+        assert_eq!(shrunk.entries[&("a.rs".into(), "no-unwrap".into())], 1);
+        let err = base.ratchet_to(&[
+            v("a.rs", 1, Rule::NoUnwrap),
+            v("a.rs", 2, Rule::NoUnwrap),
+            v("a.rs", 3, Rule::NoUnwrap),
+        ]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        assert!(Baseline::parse("[[entry]]\nfile = \"a.rs\"\n").is_err());
+        assert!(Baseline::parse("count = 3\n").is_err());
+        assert!(
+            Baseline::parse("[[entry]]\nfile = \"a\"\nrule = \"no-panic\"\ncount = x\n").is_err()
+        );
+    }
+}

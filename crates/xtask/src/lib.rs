@@ -1,0 +1,134 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Workspace automation tasks, invoked as `cargo xtask <command>`.
+//!
+//! The only command today is `lint`: a custom static analyzer enforcing the
+//! workspace's panic-safety policy (see DESIGN.md, "Error handling & panic
+//! policy"). It is intentionally dependency-free — a line/byte-level scanner
+//! over comment- and string-masked source, not a full parser — so it builds
+//! instantly and runs offline.
+//!
+//! Pipeline:
+//!
+//! 1. [`mask`] blanks comments and literals so patterns never fire inside
+//!    them, preserving byte offsets and line numbers.
+//! 2. [`scan`] finds `#[cfg(test)]`/`#[test]` item spans (exempt) and
+//!    applies the source rules everywhere else.
+//! 3. [`manifest`] checks crate `Cargo.toml` dependency hygiene.
+//! 4. [`baseline`] suppresses pre-existing violations via a checked-in
+//!    ratchet file that is only ever allowed to shrink.
+//! 5. [`walk`] ties it together over `crates/*/src/**/*.rs` plus each
+//!    crate manifest.
+
+pub mod baseline;
+pub mod manifest;
+pub mod mask;
+pub mod scan;
+pub mod walk;
+
+use std::fmt;
+
+/// The rules enforced by `cargo xtask lint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// `.unwrap()` in library (non-test) code.
+    NoUnwrap,
+    /// `.expect(..)` in library (non-test) code.
+    NoExpect,
+    /// `panic!`, `todo!` or `unimplemented!` in library code.
+    NoPanic,
+    /// `==`/`!=` against a floating-point literal.
+    FloatEq,
+    /// `partial_cmp(..).expect(..)`-style comparators.
+    PartialCmpExpect,
+    /// Crate manifests must take dependencies from the workspace table.
+    WorkspaceDeps,
+}
+
+impl Rule {
+    /// Stable kebab-case rule name used in output and the baseline file.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap => "no-unwrap",
+            Rule::NoExpect => "no-expect",
+            Rule::NoPanic => "no-panic",
+            Rule::FloatEq => "float-eq",
+            Rule::PartialCmpExpect => "partial-cmp-expect",
+            Rule::WorkspaceDeps => "workspace-deps",
+        }
+    }
+
+    /// Parses a rule from its [`Rule::name`] form.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "no-unwrap" => Some(Rule::NoUnwrap),
+            "no-expect" => Some(Rule::NoExpect),
+            "no-panic" => Some(Rule::NoPanic),
+            "float-eq" => Some(Rule::FloatEq),
+            "partial-cmp-expect" => Some(Rule::PartialCmpExpect),
+            "workspace-deps" => Some(Rule::WorkspaceDeps),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} — {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+impl Violation {
+    /// Renders the violation as a JSON object (for `--json` mode).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&self.file),
+            self.line,
+            self.rule,
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Minimal JSON string escaping (the lint emits ASCII paths and messages).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}

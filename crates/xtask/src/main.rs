@@ -1,0 +1,135 @@
+#![forbid(unsafe_code)]
+
+//! `cargo xtask` — workspace automation CLI.
+//!
+//! The `.cargo/config.toml` alias makes `cargo xtask lint` run this binary
+//! from anywhere in the workspace.
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xtask::baseline::Baseline;
+use xtask::walk::{find_workspace_root, scan_workspace};
+
+const USAGE: &str = "\
+Usage: cargo xtask <command>
+
+Commands:
+  lint [--json] [--update-baseline]
+      Run the workspace panic-safety lints over crates/*/src and each
+      crate manifest.
+
+      --json             emit findings as a JSON array instead of text
+      --update-baseline  rewrite crates/xtask/lint-baseline.toml from the
+                         current findings (ratchet down only: refuses if
+                         any entry would grow)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(flags: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut update = false;
+    for flag in flags {
+        match flag.as_str() {
+            "--json" => json = true,
+            "--update-baseline" => update = true,
+            other => {
+                eprintln!("xtask lint: unknown flag `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match run_lint(json, update) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_lint(json: bool, update: bool) -> Result<ExitCode, String> {
+    let start = match env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => env::current_dir().map_err(|e| e.to_string())?,
+    };
+    let root = find_workspace_root(&start)?;
+    let baseline_path = root.join("crates/xtask/lint-baseline.toml");
+
+    let violations = scan_workspace(&root)?;
+    let have_baseline = baseline_path.is_file();
+    let baseline = if have_baseline {
+        let content = fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        Baseline::parse(&content)?
+    } else {
+        Baseline::default()
+    };
+
+    if update {
+        // Seeding a missing baseline is unrestricted; after that the file
+        // only ratchets down.
+        let next = if have_baseline {
+            baseline.ratchet_to(&violations)?
+        } else {
+            Baseline::from_violations(&violations)
+        };
+        fs::write(&baseline_path, next.render())
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        println!(
+            "xtask lint: baseline updated ({} entries, {} tolerated violations)",
+            next.entries.len(),
+            next.entries.values().sum::<usize>()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let report = baseline.check(&violations);
+
+    if json {
+        let rows: Vec<String> = report.new_violations.iter().map(|v| v.to_json()).collect();
+        println!("[{}]", rows.join(","));
+    } else {
+        for v in &report.new_violations {
+            println!("{v}");
+        }
+        for (file, rule, allowed, current) in &report.stale {
+            eprintln!(
+                "note: {file}: baseline for `{rule}` is stale ({allowed} tolerated, \
+                 {current} present) — run `cargo xtask lint --update-baseline`"
+            );
+        }
+        if report.passed() {
+            eprintln!(
+                "xtask lint: clean ({} findings suppressed by baseline)",
+                report.suppressed
+            );
+        } else {
+            eprintln!(
+                "xtask lint: {} violation(s) above baseline",
+                report.new_violations.len()
+            );
+        }
+    }
+
+    Ok(if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

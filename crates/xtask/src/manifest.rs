@@ -1,0 +1,146 @@
+//! Workspace-dependency hygiene for crate manifests.
+//!
+//! Every dependency in a `crates/*/Cargo.toml` must be inherited from the
+//! root `[workspace.dependencies]` table (`foo.workspace = true` or
+//! `foo = { workspace = true, ... }`). Locally pinned versions and ad-hoc
+//! `path`/`version` deps drift from the rest of the workspace; the root
+//! table is the single source of truth.
+
+use crate::{Rule, Violation};
+
+/// Scans one crate manifest for dependency entries that bypass the
+/// workspace table. `file` is the label used in reports.
+pub fn scan_manifest(file: &str, content: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut section = Section::Other;
+    // `[dependencies.foo]`-style tables: remember where the header was and
+    // whether a `workspace = true` line showed up before the next header.
+    let mut open_table: Option<(usize, String, bool)> = None;
+
+    let flush_table = |table: &mut Option<(usize, String, bool)>, out: &mut Vec<Violation>| {
+        if let Some((line, name, ok)) = table.take() {
+            if !ok {
+                out.push(dep_violation(file, line, &name));
+            }
+        }
+    };
+
+    for (idx, raw) in content.lines().enumerate() {
+        let line = strip_toml_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        if line.starts_with('[') {
+            flush_table(&mut open_table, &mut out);
+            let header = line.trim_matches(|c| c == '[' || c == ']');
+            section = Section::of(header);
+            if let Section::Deps = section {
+                // `[dependencies.foo]` / `[dev-dependencies.foo]` table.
+                if let Some((_, name)) = header.split_once('.') {
+                    open_table = Some((lineno, name.to_string(), false));
+                }
+            }
+            continue;
+        }
+        match (&section, &mut open_table) {
+            (Section::Deps, Some((_, _, ok)))
+                if line.replace(' ', "").starts_with("workspace=true") =>
+            {
+                *ok = true;
+            }
+            (Section::Deps, None) => {
+                if let Some((key, value)) = line.split_once('=') {
+                    let key = key.trim();
+                    let value = value.trim();
+                    let name = key.split('.').next().unwrap_or(key);
+                    let inherited = key.ends_with(".workspace") && value == "true"
+                        || value.replace(' ', "").contains("workspace=true");
+                    if !inherited {
+                        out.push(dep_violation(file, lineno, name));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    flush_table(&mut open_table, &mut out);
+    out
+}
+
+fn dep_violation(file: &str, line: usize, name: &str) -> Violation {
+    Violation {
+        file: file.to_string(),
+        line,
+        rule: Rule::WorkspaceDeps,
+        message: format!(
+            "dependency `{name}` bypasses the workspace table — use `{name}.workspace = true` \
+             and declare it once in the root `[workspace.dependencies]`"
+        ),
+    }
+}
+
+enum Section {
+    Deps,
+    Other,
+}
+
+impl Section {
+    fn of(header: &str) -> Section {
+        let head = header.split('.').next().unwrap_or(header).trim();
+        match head {
+            "dependencies" | "dev-dependencies" | "build-dependencies" => Section::Deps,
+            _ => Section::Other,
+        }
+    }
+}
+
+/// Strips a `#` comment, respecting quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_str = !in_str,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_deps_pass() {
+        let toml = "[package]\nname = \"x\"\n\n[dependencies]\n\
+                    rand.workspace = true\nserde = { workspace = true, features = [\"derive\"] }\n";
+        assert!(scan_manifest("Cargo.toml", toml).is_empty());
+    }
+
+    #[test]
+    fn pinned_version_flagged() {
+        let toml = "[dependencies]\nrand = \"0.8\"\nfoo = { version = \"1\", path = \"../foo\" }\n";
+        let v = scan_manifest("Cargo.toml", toml);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|v| v.rule == Rule::WorkspaceDeps));
+        assert_eq!(v[0].line, 2);
+        assert!(v[1].message.contains("`foo`"));
+    }
+
+    #[test]
+    fn table_style_dependency_checked() {
+        let bad = "[dependencies.rand]\nversion = \"0.8\"\n";
+        assert_eq!(scan_manifest("Cargo.toml", bad).len(), 1);
+        let good = "[dependencies.rand]\nworkspace = true\n";
+        assert!(scan_manifest("Cargo.toml", good).is_empty());
+    }
+
+    #[test]
+    fn non_dependency_sections_ignored() {
+        let toml = "[package]\nversion = \"0.1.0\"\n[features]\ndefault = []\n";
+        assert!(scan_manifest("Cargo.toml", toml).is_empty());
+    }
+}

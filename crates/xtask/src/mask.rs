@@ -1,0 +1,234 @@
+//! Comment- and string-masking preprocessor.
+//!
+//! Returns a copy of the source where the contents of comments, string
+//! literals and char literals are replaced byte-for-byte with spaces.
+//! Newlines survive, so byte offsets and line numbers in the masked text
+//! line up exactly with the original — downstream rules can report
+//! positions without any mapping table.
+
+/// Blanks comments, strings and char literals out of `source`.
+pub fn mask_comments_and_strings(source: &str) -> String {
+    let bytes = source.as_bytes();
+    let mut out = bytes.to_vec();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    out[i] = b' ';
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let mut depth = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out[i] = b' ';
+                        out[i + 1] = b' ';
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if bytes[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(bytes, i) => {
+                i = mask_raw_string(bytes, &mut out, i);
+            }
+            b'"' => {
+                i = mask_plain_string(bytes, &mut out, i);
+            }
+            b'b' if bytes.get(i + 1) == Some(&b'"') && !prev_is_ident(bytes, i) => {
+                out[i] = b' ';
+                i = mask_plain_string(bytes, &mut out, i + 1);
+            }
+            b'\'' => {
+                if let Some(end) = char_literal_end(bytes, i) {
+                    for cell in out.iter_mut().take(end).skip(i) {
+                        if *cell != b'\n' {
+                            *cell = b' ';
+                        }
+                    }
+                    i = end;
+                } else {
+                    // A lifetime: keep the tick, move on.
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    // The scanner only blanks ASCII bytes in place, so the result is the
+    // same valid UTF-8 length; fall back to lossy just in case.
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// Does a raw string (`r"`, `r#"`, `br#"` ...) start at `i`?
+fn is_raw_string_start(bytes: &[u8], i: usize) -> bool {
+    if prev_is_ident(bytes, i) {
+        return false;
+    }
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&b'"')
+}
+
+/// Masks a raw string starting at `i`; returns the index just past it.
+fn mask_raw_string(bytes: &[u8], out: &mut [u8], i: usize) -> usize {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        out[j] = b' ';
+        j += 1;
+    }
+    out[j] = b' '; // the 'r'
+    j += 1;
+    let mut hashes = 0;
+    while bytes.get(j) == Some(&b'#') {
+        out[j] = b' ';
+        hashes += 1;
+        j += 1;
+    }
+    out[j] = b' '; // opening quote
+    j += 1;
+    while j < bytes.len() {
+        if bytes[j] == b'"'
+            && bytes.len() - (j + 1) >= hashes
+            && bytes[j + 1..j + 1 + hashes].iter().all(|&b| b == b'#')
+        {
+            for cell in out.iter_mut().take(j + 1 + hashes).skip(j) {
+                *cell = b' ';
+            }
+            return j + 1 + hashes;
+        }
+        if bytes[j] != b'\n' {
+            out[j] = b' ';
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Masks a `"..."` string starting at the quote; returns the index past it.
+fn mask_plain_string(bytes: &[u8], out: &mut [u8], i: usize) -> usize {
+    let mut j = i;
+    out[j] = b' ';
+    j += 1;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => {
+                out[j] = b' ';
+                if j + 1 < bytes.len() && bytes[j + 1] != b'\n' {
+                    out[j + 1] = b' ';
+                }
+                j += 2;
+            }
+            b'"' => {
+                out[j] = b' ';
+                return j + 1;
+            }
+            b'\n' => j += 1,
+            _ => {
+                out[j] = b' ';
+                j += 1;
+            }
+        }
+    }
+    j
+}
+
+/// If a char literal starts at `i` (which holds `'`), returns the index
+/// just past its closing quote; `None` means this tick is a lifetime.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let next = *bytes.get(i + 1)?;
+    if next == b'\\' {
+        // Escaped char: scan a bounded window for the closing quote.
+        let mut j = i + 2;
+        while j < bytes.len() && j < i + 16 && bytes[j] != b'\n' {
+            if bytes[j] == b'\'' {
+                return Some(j + 1);
+            }
+            j += 1;
+        }
+        return None;
+    }
+    // Unescaped: exactly one UTF-8 char between the quotes.
+    let width = match next {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    };
+    if bytes.get(i + 1 + width) == Some(&b'\'') {
+        Some(i + 2 + width)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let m = mask_comments_and_strings("let x = 1; // unwrap()\n/* panic! */ let y = 2;");
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("panic"));
+        assert!(m.contains("let x = 1;"));
+        assert!(m.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn masks_strings_but_not_code() {
+        let m = mask_comments_and_strings(r#"call("don't unwrap()"); other.unwrap();"#);
+        assert_eq!(m.matches("unwrap").count(), 1);
+        assert!(m.contains("other.unwrap();"));
+    }
+
+    #[test]
+    fn masks_raw_strings_and_keeps_offsets() {
+        let src = "let s = r#\"panic!\"#; x.expect(1);";
+        let m = mask_comments_and_strings(src);
+        assert_eq!(m.len(), src.len());
+        assert!(!m.contains("panic"));
+        assert!(m.contains(".expect(1);"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_masked() {
+        let m = mask_comments_and_strings("fn f<'a>(x: &'a str, c: char) { if c == 'x' {} }");
+        assert!(m.contains("<'a>"));
+        assert!(!m.contains("'x'"));
+    }
+
+    #[test]
+    fn newlines_preserved_in_masked_regions() {
+        let src = "a\n/* b\nc */\nd";
+        let m = mask_comments_and_strings(src);
+        assert_eq!(m.matches('\n').count(), src.matches('\n').count());
+    }
+}

@@ -1,0 +1,94 @@
+//! Workspace walking: applies the source and manifest rules over every
+//! crate under `crates/` and aggregates the findings.
+
+use crate::manifest::scan_manifest;
+use crate::scan::scan_source;
+use crate::Violation;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Lints the whole workspace rooted at `root`: every
+/// `crates/*/src/**/*.rs` plus every `crates/*/Cargo.toml`. Paths in the
+/// returned violations are workspace-relative with `/` separators, so the
+/// baseline file is portable.
+pub fn scan_workspace(root: &Path) -> Result<Vec<Violation>, String> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = read_dir_sorted(&crates_dir)?
+        .into_iter()
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut violations = Vec::new();
+    for crate_dir in crate_dirs {
+        let manifest = crate_dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let content = read(&manifest)?;
+            violations.extend(scan_manifest(&rel_label(root, &manifest), &content));
+        }
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            for file in rust_files(&src)? {
+                let content = read(&file)?;
+                violations.extend(scan_source(&rel_label(root, &file), &content));
+            }
+        }
+    }
+    Ok(violations)
+}
+
+/// All `.rs` files under `dir`, recursively, sorted.
+pub fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in read_dir_sorted(&d)? {
+            if entry.is_dir() {
+                stack.push(entry);
+            } else if entry.extension().is_some_and(|e| e == "rs") {
+                out.push(entry);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let rd = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut entries = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+fn read(path: &Path) -> Result<String, String> {
+    fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Workspace-relative, forward-slash label for a path.
+fn rel_label(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Finds the workspace root: the nearest ancestor of `start` whose
+/// `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, String> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() && read(&manifest)?.contains("[workspace]") {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(format!("no workspace root found above {}", start.display()));
+        }
+    }
+}

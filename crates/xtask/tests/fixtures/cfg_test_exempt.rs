@@ -1,0 +1,32 @@
+//! Fixture: every violation lives inside test-only items, so the lint
+//! must report nothing.
+
+/// Clean library function so the file has non-test content.
+pub fn library_code(x: u8) -> u8 {
+    x.saturating_add(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_unwrap_and_panic() {
+        assert_eq!(library_code(1), 2);
+        let v: Option<u8> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let x = 0.25f64;
+        assert!(x == 0.25);
+        if false {
+            panic!("unreachable");
+        }
+    }
+}
+
+#[cfg(all(test, feature = "slow-tests"))]
+mod slow_tests {
+    #[test]
+    fn gated_test_is_also_exempt() {
+        None::<u8>.expect("still exempt");
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: idiomatic panic-free library code. The lint must report nothing.
+
+/// Fallible parse returning a typed error.
+pub fn parse_percentage(s: &str) -> Result<f64, String> {
+    let value: f64 = s.parse().map_err(|_| format!("not a number: {s}"))?;
+    if (0.0..=100.0).contains(&value) {
+        Ok(value)
+    } else {
+        Err(format!("out of range: {value}"))
+    }
+}
+
+/// Sorting floats with `total_cmp` — the sanctioned comparator.
+pub fn sorted(mut values: Vec<f64>) -> Vec<f64> {
+    values.sort_by(|a, b| a.total_cmp(b));
+    values
+}
+
+/// Mentions of unwrap() and panic! in comments or "panic! strings" are fine.
+pub fn docs_only() -> &'static str {
+    "call .unwrap() and panic! freely in here"
+}

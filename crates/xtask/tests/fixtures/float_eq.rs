@@ -1,0 +1,16 @@
+//! Fixture: exact float comparisons.
+
+/// Line 5 compares `== 0.0`.
+pub fn is_zero(x: f64) -> bool {
+    x == 0.0
+}
+
+/// Line 10 compares `!= 1.5f32`.
+pub fn not_mid(x: f32) -> bool {
+    x != 1.5f32
+}
+
+/// Non-violations: ordering comparisons and integer equality.
+pub fn fine(x: f64, n: usize) -> bool {
+    x <= 0.5 && x >= -0.5 && n == 0
+}

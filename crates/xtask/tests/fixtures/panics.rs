@@ -1,0 +1,16 @@
+//! Fixture: the panic macro family in library code.
+
+/// Line 5 panics.
+pub fn a() {
+    panic!("boom");
+}
+
+/// Line 10 is a todo.
+pub fn b() {
+    todo!()
+}
+
+/// Line 15 is unimplemented.
+pub fn c() {
+    unimplemented!("later")
+}

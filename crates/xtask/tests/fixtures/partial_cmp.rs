@@ -1,0 +1,16 @@
+//! Fixture: `partial_cmp` comparators unwrapped inline.
+
+/// Line 5 sorts with `partial_cmp(..).expect(..)`.
+pub fn sort_expect(v: &mut [f64]) {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+}
+
+/// Line 10 sorts with `partial_cmp(..).unwrap()`.
+pub fn sort_unwrap(v: &mut [f32]) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+/// Non-violation: `total_cmp` needs no unwrapping.
+pub fn sort_total(v: &mut [f64]) {
+    v.sort_by(|a, b| a.total_cmp(b));
+}

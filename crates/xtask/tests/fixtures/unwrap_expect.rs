@@ -1,0 +1,16 @@
+//! Fixture: `.unwrap()` and `.expect(..)` in library code.
+
+/// Line 5 unwraps.
+pub fn first(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+
+/// Line 10 expects.
+pub fn second(x: Option<u8>) -> u8 {
+    x.expect("always present")
+}
+
+/// Non-violations: the `_or` family is fine.
+pub fn third(x: Option<u8>) -> u8 {
+    x.unwrap_or_default()
+}

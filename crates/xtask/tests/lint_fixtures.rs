@@ -1,0 +1,153 @@
+//! Fixture-driven integration tests for the lint engine: each file under
+//! `tests/fixtures/` exercises one rule class (or its exemption), and the
+//! baseline tests cover the ratchet semantics end to end.
+
+// Integration-test helpers sit outside `#[test]` fns, so the
+// `allow-panic-in-tests` carve-out does not reach them.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
+use std::fs;
+use std::path::PathBuf;
+use xtask::baseline::Baseline;
+use xtask::manifest::scan_manifest;
+use xtask::scan::scan_source;
+use xtask::{Rule, Violation};
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn scan_fixture(name: &str) -> Vec<Violation> {
+    scan_source(name, &fixture(name))
+}
+
+#[test]
+fn clean_fixture_has_no_findings() {
+    let v = scan_fixture("clean.rs");
+    assert!(v.is_empty(), "clean fixture flagged: {v:?}");
+}
+
+#[test]
+fn unwrap_and_expect_fixture() {
+    let v = scan_fixture("unwrap_expect.rs");
+    let rules: Vec<Rule> = v.iter().map(|v| v.rule).collect();
+    assert_eq!(rules, vec![Rule::NoUnwrap, Rule::NoExpect], "{v:?}");
+    assert_eq!(v[0].line, 5);
+    assert_eq!(v[1].line, 10);
+}
+
+#[test]
+fn panic_family_fixture() {
+    let v = scan_fixture("panics.rs");
+    assert_eq!(v.len(), 3, "{v:?}");
+    assert!(v.iter().all(|v| v.rule == Rule::NoPanic));
+    assert_eq!(
+        v.iter().map(|v| v.line).collect::<Vec<_>>(),
+        vec![5, 10, 15]
+    );
+}
+
+#[test]
+fn float_eq_fixture() {
+    let v = scan_fixture("float_eq.rs");
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v.iter().all(|v| v.rule == Rule::FloatEq));
+    assert_eq!(v.iter().map(|v| v.line).collect::<Vec<_>>(), vec![5, 10]);
+}
+
+#[test]
+fn partial_cmp_fixture() {
+    let v = scan_fixture("partial_cmp.rs");
+    // One specific finding per comparator — the generic no-unwrap/no-expect
+    // rules must not double-report the same chain.
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v.iter().all(|v| v.rule == Rule::PartialCmpExpect));
+    assert_eq!(v.iter().map(|v| v.line).collect::<Vec<_>>(), vec![5, 10]);
+}
+
+#[test]
+fn cfg_test_items_are_exempt() {
+    let v = scan_fixture("cfg_test_exempt.rs");
+    assert!(v.is_empty(), "test-only code flagged: {v:?}");
+}
+
+#[test]
+fn manifest_fixtures() {
+    let good = scan_manifest("manifest_good.toml", &fixture("manifest_good.toml"));
+    assert!(good.is_empty(), "good manifest flagged: {good:?}");
+    let bad = scan_manifest("manifest_bad.toml", &fixture("manifest_bad.toml"));
+    assert_eq!(bad.len(), 3, "{bad:?}");
+    assert!(bad.iter().all(|v| v.rule == Rule::WorkspaceDeps));
+    assert_eq!(
+        bad.iter().map(|v| v.line).collect::<Vec<_>>(),
+        vec![8, 9, 12]
+    );
+}
+
+#[test]
+fn violation_display_format() {
+    let v = &scan_fixture("unwrap_expect.rs")[0];
+    let line = v.to_string();
+    assert!(
+        line.starts_with("unwrap_expect.rs:5: no-unwrap — "),
+        "unexpected format: {line}"
+    );
+    let json = v.to_json();
+    assert!(json.contains("\"file\":\"unwrap_expect.rs\""), "{json}");
+    assert!(json.contains("\"line\":5"), "{json}");
+    assert!(json.contains("\"rule\":\"no-unwrap\""), "{json}");
+}
+
+#[test]
+fn baseline_round_trips_through_render_and_parse() {
+    let mut findings = scan_fixture("unwrap_expect.rs");
+    findings.extend(scan_fixture("panics.rs"));
+    findings.extend(scan_fixture("float_eq.rs"));
+    let baseline = Baseline::from_violations(&findings);
+    let reparsed = Baseline::parse(&baseline.render()).expect("canonical render must parse");
+    assert_eq!(reparsed, baseline);
+}
+
+#[test]
+fn baseline_suppresses_exactly_its_budget() {
+    let findings = scan_fixture("panics.rs");
+    let baseline = Baseline::from_violations(&findings);
+    let report = baseline.check(&findings);
+    assert!(report.passed());
+    assert_eq!(report.suppressed, findings.len());
+}
+
+#[test]
+fn baseline_rejects_growth() {
+    let findings = scan_fixture("panics.rs");
+    let baseline = Baseline::from_violations(&findings[..2]);
+    // One more no-panic than the baseline tolerates: check fails...
+    let report = baseline.check(&findings);
+    assert!(!report.passed());
+    assert_eq!(report.new_violations.len(), 3, "{report:?}");
+    // ...and --update-baseline refuses to absorb it.
+    let err = baseline.ratchet_to(&findings);
+    assert!(err.is_err(), "ratchet must refuse growth");
+}
+
+#[test]
+fn baseline_ratchets_down() {
+    let findings = scan_fixture("panics.rs");
+    let baseline = Baseline::from_violations(&findings);
+    let fewer = &findings[..1];
+    let report = baseline.check(fewer);
+    assert!(report.passed());
+    assert_eq!(report.stale.len(), 1, "{report:?}");
+    let next = baseline.ratchet_to(fewer).expect("shrinking is allowed");
+    assert_eq!(next.entries.values().sum::<usize>(), 1);
+}
+
+#[test]
+fn checked_in_workspace_baseline_parses() {
+    let content = fixture("../../lint-baseline.toml");
+    let baseline = Baseline::parse(&content).expect("checked-in baseline must parse");
+    assert!(!baseline.entries.is_empty());
+}

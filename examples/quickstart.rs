@@ -3,6 +3,11 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
+// Examples are demo entry points: aborting with a clear message on a
+// broken invariant is the right behavior here, so the workspace
+// panic-policy lints are relaxed (see DESIGN.md).
+#![allow(clippy::expect_used, clippy::unwrap_used, clippy::panic)]
+
 use cpgan::{CpGan, CpGanConfig};
 use cpgan_community::{louvain, metrics};
 use cpgan_data::planted::{generate, PlantedConfig};
@@ -41,7 +46,11 @@ fn main() {
     // 3. Generate a synthetic twin of the same size.
     let mut rng = StdRng::seed_from_u64(7);
     let synthetic = model.generate(g.n(), g.m(), &mut rng);
-    println!("generated: {} nodes, {} edges", synthetic.n(), synthetic.m());
+    println!(
+        "generated: {} nodes, {} edges",
+        synthetic.n(),
+        synthetic.m()
+    );
 
     // 4. Compare structure and communities.
     let so = GraphStats::compute(g, 64);

@@ -23,12 +23,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..CpGanConfig::default()
     });
     model.fit(g);
-    println!("trained on {} nodes / {} edges ({} parameters)", g.n(), g.m(), model.param_count());
+    println!(
+        "trained on {} nodes / {} edges ({} parameters)",
+        g.n(),
+        g.m(),
+        model.param_count()
+    );
 
     let path = std::env::temp_dir().join("cpgan_demo_model.json");
     model.save(&path)?;
     let bytes = std::fs::metadata(&path)?.len();
-    println!("saved snapshot to {} ({} KiB)", path.display(), bytes / 1024);
+    println!(
+        "saved snapshot to {} ({} KiB)",
+        path.display(),
+        bytes / 1024
+    );
 
     let reloaded = CpGan::load(&path)?;
     let mut rng_a = StdRng::seed_from_u64(1);

@@ -1,0 +1,472 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! range / tuple / `Just` strategies, `prop_map` / `prop_flat_map` /
+//! `prop_shuffle`, `collection::vec`, a deterministic [`test_runner::TestRunner`],
+//! and the [`proptest!`] macro. Failing inputs are **not shrunk** — a failing
+//! case panics with the case index so it can be replayed (runs are fully
+//! deterministic, seeded per test from the test's name).
+//!
+//! The default case count is 64 (real proptest uses 256) to keep the offline
+//! test suite fast; tests override it with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]` exactly as with real
+//! proptest.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub mod strategy {
+    //! Core [`Strategy`] trait and combinator adapters.
+
+    use super::*;
+    use std::ops::Range;
+
+    /// A recipe for generating values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value from the strategy using `rng`.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Draws a value wrapped in a [`ValueTree`] (proptest-compatible
+        /// entry point; this shim does not shrink, so the tree is a leaf).
+        fn new_tree(
+            &self,
+            runner: &mut crate::test_runner::TestRunner,
+        ) -> Result<LeafTree<Self::Value>, crate::test_runner::Reason>
+        where
+            Self::Value: Clone,
+        {
+            Ok(LeafTree {
+                value: self.sample(runner.rng()),
+            })
+        }
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then uses it to pick a follow-up strategy.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Randomly permutes the generated collection (Fisher–Yates).
+        fn prop_shuffle(self) -> Shuffle<Self>
+        where
+            Self: Sized,
+            Self::Value: Shuffleable,
+        {
+            Shuffle { inner: self }
+        }
+    }
+
+    /// A generated value positioned in a (degenerate) shrink tree.
+    pub trait ValueTree {
+        /// The type of the wrapped value.
+        type Value;
+        /// Returns the current value.
+        fn current(&self) -> Self::Value;
+    }
+
+    /// Leaf-only value tree: no simplification steps.
+    #[derive(Debug, Clone)]
+    pub struct LeafTree<T> {
+        value: T,
+    }
+
+    impl<T: Clone> ValueTree for LeafTree<T> {
+        type Value = T;
+        fn current(&self) -> T {
+            self.value.clone()
+        }
+    }
+
+    /// Strategy returning a clone of a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Adapter returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Adapter returned by [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+        fn sample(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// Collections that [`Strategy::prop_shuffle`] can permute.
+    pub trait Shuffleable {
+        /// Permutes the collection in place.
+        fn shuffle_with(&mut self, rng: &mut StdRng);
+    }
+
+    impl<T> Shuffleable for Vec<T> {
+        fn shuffle_with(&mut self, rng: &mut StdRng) {
+            use rand::seq::SliceRandom;
+            self.as_mut_slice().shuffle(rng);
+        }
+    }
+
+    /// Adapter returned by [`Strategy::prop_shuffle`].
+    #[derive(Debug, Clone)]
+    pub struct Shuffle<S> {
+        inner: S,
+    }
+
+    impl<S> Strategy for Shuffle<S>
+    where
+        S: Strategy,
+        S::Value: Shuffleable,
+    {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut StdRng) -> S::Value {
+            let mut value = self.inner.sample(rng);
+            value.shuffle_with(rng);
+            value
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident . $idx:tt),+);)*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+    }
+}
+
+pub mod collection {
+    //! Strategies over collections.
+
+    use super::strategy::Strategy;
+    use super::*;
+    use std::ops::Range;
+
+    /// Number of elements a [`vec`] strategy may produce.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end.max(r.start + 1),
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic test execution state.
+
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Why a strategy failed to produce a value (never produced by this shim;
+    /// present for proptest API compatibility of `new_tree`'s `Result`).
+    pub type Reason = String;
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; the offline shim trims this to
+            // keep the full workspace test run fast.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` random cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Holds the RNG that strategies draw from.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        rng: StdRng,
+    }
+
+    impl TestRunner {
+        /// A runner with a fixed seed: every run draws the same values.
+        pub fn deterministic() -> Self {
+            TestRunner {
+                rng: StdRng::seed_from_u64(0x5eed_c0de),
+            }
+        }
+
+        /// A runner seeded from an arbitrary value (used by [`crate::proptest!`]
+        /// to give each test its own stream).
+        pub fn from_seed_value(seed: u64) -> Self {
+            TestRunner {
+                rng: StdRng::seed_from_u64(seed),
+            }
+        }
+
+        /// The RNG strategies sample from.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.rng
+        }
+    }
+
+    /// FNV-1a hash of a test name, used as its RNG seed.
+    pub fn seed_from_name(name: &str) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        hash
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property; failures panic with the current
+/// case context (this shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { ::std::assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { ::std::assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { ::std::assert_ne!($($tokens)*) };
+}
+
+/// Declares property tests: each `fn name(binding in strategy, ...) { .. }`
+/// becomes a `#[test]` looping over `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal item muncher for [`proptest!`]; expands one test fn per step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr);) => {};
+    (config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            let mut __runner = $crate::test_runner::TestRunner::from_seed_value(
+                $crate::test_runner::seed_from_name(::std::stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                let ($($arg,)+) = (
+                    $($crate::strategy::Strategy::sample(&($strategy), __runner.rng()),)+
+                );
+                let __run = || -> () { $body };
+                if let ::std::result::Result::Err(panic) =
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(__run))
+                {
+                    ::std::eprintln!(
+                        "proptest shim: `{}` failed on case {}/{} (deterministic seed; \
+                         re-run reproduces it)",
+                        ::std::stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::ValueTree;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..10, y in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in crate::collection::vec(0u32..5, 2..7)) {
+            prop_assert!(v.len() >= 2 && v.len() < 7);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn flat_map_threads_dependency(
+            pair in (1usize..6).prop_flat_map(|n| (Just(n), 0..n))
+        ) {
+            prop_assert!(pair.1 < pair.0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_override_applies(x in 0u32..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let strat = Just((0u32..20).collect::<Vec<_>>()).prop_shuffle();
+        let mut runner = crate::test_runner::TestRunner::deterministic();
+        let shuffled = strat.new_tree(&mut runner).unwrap().current();
+        let mut sorted = shuffled.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0u32..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_runner_repeats() {
+        let strat = crate::collection::vec(0u64..1000, 5..6);
+        let a = strat
+            .new_tree(&mut crate::test_runner::TestRunner::deterministic())
+            .unwrap()
+            .current();
+        let b = strat
+            .new_tree(&mut crate::test_runner::TestRunner::deterministic())
+            .unwrap()
+            .current();
+        assert_eq!(a, b);
+    }
+}

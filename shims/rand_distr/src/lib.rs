@@ -1,0 +1,235 @@
+//! Offline stand-in for the [`rand_distr`](https://crates.io/crates/rand_distr)
+//! crate, implementing the distributions this workspace uses: `StandardNormal`,
+//! `Normal`, `Poisson` and `Binomial`.
+//!
+//! Sampling algorithms are textbook (Box–Muller, Knuth's Poisson with a
+//! normal-approximation fallback, Bernoulli-sum Binomial with a
+//! normal-approximation fallback). Streams are deterministic per seed but not
+//! bit-compatible with the real crate.
+
+#![forbid(unsafe_code)]
+
+pub use rand::distributions::Distribution;
+use rand::{Rng, RngCore};
+
+/// Error returned by distribution constructors on invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistrError(&'static str);
+
+impl std::fmt::Display for DistrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for DistrError {}
+
+/// Draws one standard-normal `f64` via Box–Muller (fresh pair each call; the
+/// second value is discarded for simplicity).
+fn standard_normal_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        let u2: f64 = rng.gen();
+        if u1 > f64::MIN_POSITIVE {
+            let r = (-2.0 * u1.ln()).sqrt();
+            return r * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        standard_normal_f64(rng)
+    }
+}
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        standard_normal_f64(rng) as f32
+    }
+}
+
+/// Float types distributions can be parameterized over (`f32` / `f64`).
+pub trait Float: Copy {
+    /// Narrows an `f64` into this type.
+    fn from_f64(x: f64) -> Self;
+    /// Widens this value to `f64`.
+    fn to_f64(self) -> f64;
+}
+
+impl Float for f32 {
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+}
+
+impl Float for f64 {
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+/// The normal distribution `N(mean, std_dev^2)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Normal<F> {
+    mean: F,
+    std_dev: F,
+}
+
+impl<F: Float> Normal<F> {
+    /// Creates a normal distribution; `std_dev` must be finite and
+    /// non-negative.
+    pub fn new(mean: F, std_dev: F) -> Result<Self, DistrError> {
+        let sd = std_dev.to_f64();
+        if !sd.is_finite() || sd < 0.0 {
+            return Err(DistrError("std_dev must be finite and >= 0"));
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl<F: Float> Distribution<F> for Normal<F> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> F {
+        F::from_f64(self.mean.to_f64() + self.std_dev.to_f64() * standard_normal_f64(rng))
+    }
+}
+
+/// The Poisson distribution with rate `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution; `lambda` must be positive and finite.
+    pub fn new(lambda: f64) -> Result<Self, DistrError> {
+        if lambda <= 0.0 || !lambda.is_finite() {
+            return Err(DistrError("lambda must be positive and finite"));
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 30.0 {
+            // Knuth: multiply uniforms until the product drops below e^-λ.
+            let limit = (-self.lambda).exp();
+            let mut product: f64 = rng.gen();
+            let mut count = 0u64;
+            while product > limit {
+                count += 1;
+                product *= rng.gen::<f64>();
+            }
+            count as f64
+        } else {
+            // Normal approximation, adequate for the large-rate block counts
+            // this workspace draws.
+            let draw = self.lambda + self.lambda.sqrt() * standard_normal_f64(rng);
+            draw.round().max(0.0)
+        }
+    }
+}
+
+/// The binomial distribution `B(n, p)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Binomial {
+    n: u64,
+    p: f64,
+}
+
+impl Binomial {
+    /// Creates a binomial distribution; `p` must lie in `[0, 1]`.
+    pub fn new(n: u64, p: f64) -> Result<Self, DistrError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(DistrError("p must lie in [0, 1]"));
+        }
+        Ok(Binomial { n, p })
+    }
+}
+
+impl Distribution<u64> for Binomial {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p == 0.0 || self.n == 0 {
+            return 0;
+        }
+        if self.p == 1.0 {
+            return self.n;
+        }
+        let mean = self.n as f64 * self.p;
+        let var = mean * (1.0 - self.p);
+        if self.n <= 256 || mean < 10.0 || var < 10.0 {
+            // Exact Bernoulli sum for small draws or skewed tails.
+            (0..self.n).filter(|_| rng.gen_bool(self.p)).count() as u64
+        } else {
+            // Normal approximation with continuity correction, clamped to the
+            // support.
+            let draw = mean + var.sqrt() * standard_normal_f64(rng) + 0.5;
+            (draw.max(0.0) as u64).min(self.n)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var = {var}");
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for lambda in [2.5, 80.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let n = 20_000;
+            let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda * 0.05 + 0.1,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_mean_small_and_large() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for (n_trials, p) in [(40u64, 0.3), (5_000u64, 0.2)] {
+            let d = Binomial::new(n_trials, p).unwrap();
+            let reps = 5_000;
+            let mean = (0..reps).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / reps as f64;
+            let expect = n_trials as f64 * p;
+            assert!(
+                (mean - expect).abs() < expect * 0.05,
+                "B({n_trials},{p}): mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(Normal::new(0.0, -1.0f64).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Binomial::new(10, 1.5).is_err());
+    }
+}

@@ -1,0 +1,279 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the two
+//! item shapes this workspace uses: structs with named fields and enums whose
+//! variants are all unit variants. The derives target the `serde` *shim*'s
+//! value-model traits (`to_value` / `from_value`), not real serde.
+//!
+//! Parsing is done directly over `proc_macro::TokenStream` (no `syn`/`quote`
+//! available offline): we locate the `struct`/`enum` keyword, the item name,
+//! and the brace-delimited body, then extract field or variant identifiers
+//! while skipping attributes and tracking angle-bracket depth so commas inside
+//! generic types are not mistaken for field separators.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of item the derive input is.
+enum Item {
+    /// Named-field struct with the given field names.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum with the given unit-variant names.
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .unwrap_or_default()
+}
+
+/// Parses the derive input into an [`Item`], or an error message.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes (`#[...]`) and visibility / other leading idents until
+    // the `struct` or `enum` keyword.
+    let mut kind: Option<&'static str> = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                kind = Some("struct");
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                kind = Some("enum");
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = kind.ok_or("expected `struct` or `enum`")?;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected item name".into()),
+    };
+    i += 1;
+    // Reject generics: the shim derive only supports plain items.
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the offline serde shim derive does not support generic item `{name}`"
+            ));
+        }
+    }
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or_else(|| format!("expected a brace-delimited body for `{name}`"))?;
+
+    if kind == "struct" {
+        Ok(Item::Struct {
+            name,
+            fields: parse_struct_fields(body)?,
+        })
+    } else {
+        Ok(Item::Enum {
+            name,
+            variants: parse_enum_variants(body)?,
+        })
+    }
+}
+
+/// Extracts field names from a named-field struct body.
+fn parse_struct_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut angle_depth: i32 = 0;
+    let mut in_type = false; // between `:` and the next top-level `,`
+    let mut prev_ident: Option<String> = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' && !in_type => {
+                i += 2; // attribute
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ':' && !in_type && angle_depth == 0 => {
+                // `::` paths never follow a bare field ident at depth 0 here;
+                // a single `:` ends the field name.
+                let double = matches!(
+                    tokens.get(i + 1),
+                    Some(TokenTree::Punct(q)) if q.as_char() == ':'
+                );
+                if !double {
+                    if let Some(name) = prev_ident.take() {
+                        fields.push(name);
+                    }
+                    in_type = true;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                in_type = false;
+                prev_ident = None;
+            }
+            TokenTree::Ident(id) if !in_type => prev_ident = Some(id.to_string()),
+            _ => {}
+        }
+        i += 1;
+    }
+    if fields.is_empty() {
+        return Err("the offline serde shim derive requires named fields".into());
+    }
+    Ok(fields)
+}
+
+/// Extracts variant names from an enum body, rejecting payload variants.
+fn parse_enum_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2;
+                continue;
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                if let Some(TokenTree::Group(_)) = tokens.get(i + 1) {
+                    return Err(format!(
+                        "the offline serde shim derive only supports unit variants \
+                         (variant `{name}` has a payload)"
+                    ));
+                }
+                variants.push(name);
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    if variants.is_empty() {
+        return Err("enum has no variants".into());
+    }
+    Ok(variants)
+}
+
+/// `#[derive(Serialize)]`: emits an `impl serde::Serialize` targeting the
+/// serde shim's `to_value` model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(::std::string::String::from(\
+                             match self {{ {arms} }}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .unwrap_or_else(|_| compile_error("serde shim derive produced invalid code"))
+}
+
+/// `#[derive(Deserialize)]`: emits an `impl serde::Deserialize` targeting the
+/// serde shim's `from_value` model.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             value.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                             .map_err(|e| ::serde::de::Error::custom(\
+                                 ::std::format!(\"field `{f}` of `{name}`: {{e}}\")))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Object(_) => \
+                                 ::std::result::Result::Ok({name} {{ {inits} }}),\n\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::de::Error::custom(::std::format!(\
+                                     \"expected object for `{name}`, found {{}}\", \
+                                     other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(value: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::de::Error> {{\n\
+                         match value {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(\
+                                     ::serde::de::Error::custom(::std::format!(\
+                                         \"unknown variant `{{other}}` of `{name}`\"))),\n\
+                             }},\n\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::de::Error::custom(::std::format!(\
+                                     \"expected string variant for `{name}`, found {{}}\", \
+                                     other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse()
+        .unwrap_or_else(|_| compile_error("serde shim derive produced invalid code"))
+}

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Umbrella crate re-exporting the full CPGAN reproduction workspace.
 //!
 //! Downstream users typically depend on the individual crates; this package

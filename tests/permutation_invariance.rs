@@ -2,6 +2,11 @@
 //! pipeline and every evaluation metric must be invariant to node
 //! relabelling.
 
+// Test-support helpers sit outside `#[test]` fns, where the
+// `allow-*-in-tests` carve-out does not reach; panicking is the right
+// failure mode in test code.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
 use cpgan::config::CpGanConfig;
 use cpgan::encoder::{AdjInput, LadderEncoder};
 use cpgan_data::planted::{generate, PlantedConfig};

@@ -1,6 +1,11 @@
 //! Integration tests for the table/figure pipelines at smoke scale: every
 //! experiment renderer must produce a complete, well-formed table.
 
+// Test-support helpers sit outside `#[test]` fns, where the
+// `allow-*-in-tests` carve-out does not reach; panicking is the right
+// failure mode in test code.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
 use cpgan_eval::pipelines::{ablation, community, efficiency, quality, reconstruction};
 use cpgan_eval::EvalConfig;
 
@@ -44,7 +49,11 @@ fn table3_facebook_column_has_oom_rows() {
         .iter()
         .find(|r| r[0] == "CPGAN")
         .expect("CPGAN row");
-    assert!(!cpgan_row[1].contains("OOM"), "CPGAN cell: {}", cpgan_row[1]);
+    assert!(
+        !cpgan_row[1].contains("OOM"),
+        "CPGAN cell: {}",
+        cpgan_row[1]
+    );
 }
 
 #[test]
