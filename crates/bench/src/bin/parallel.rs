@@ -1,0 +1,149 @@
+//! Serial-vs-parallel wall-clock for the hot kernels wired onto the
+//! cpgan-parallel runtime, written to `results/BENCH_parallel.json`.
+//!
+//! Usage: `cargo run --release -p bench --bin parallel [--threads N]`
+//!
+//! Each kernel runs pinned to one thread and then to `N` threads (default:
+//! `available_parallelism`) via `with_thread_count`; the best of several
+//! repetitions is reported. Because the runtime is deterministic, both runs
+//! produce bit-identical values — only the wall-clock differs.
+
+use cpgan_graph::{mmd, spectral, stats::clustering, stats::path, Graph};
+use cpgan_nn::{Csr, Matrix};
+use cpgan_parallel::with_thread_count;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn best_of<R>(reps: usize, f: impl Fn() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Ring + strided chords: deterministic, triangle-rich benchmark graph.
+fn bench_graph(n: u32) -> Graph {
+    let mut edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    for (stride, jump) in [(1u32, 2u32), (2, 3), (3, 5), (5, 7), (7, 11)] {
+        edges.extend((0..n).step_by(stride as usize).map(|i| (i, (i + jump) % n)));
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::from_edges(n as usize, edges).unwrap_or_else(|e| {
+        eprintln!("bench graph construction failed: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn seed_matrix(rows: usize, cols: usize, offset: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((r * cols + c) as f32 * 0.37 + offset).sin()
+    })
+}
+
+/// A named, owned benchmark closure.
+type Kernel = Box<dyn Fn()>;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(hw)
+        .max(1);
+    eprintln!("benchmarking kernels at 1 vs {threads} thread(s) ({hw} cores visible)...");
+
+    let mm_a = seed_matrix(448, 448, 0.1);
+    let mm_b = seed_matrix(448, 448, 0.7);
+    let g_big = bench_graph(60_000);
+    let g_mid = bench_graph(4_000);
+    let csr = Csr::normalized_adjacency(&bench_graph(20_000));
+    let feats = seed_matrix(20_000, 64, 0.3);
+    let hists_a: Vec<Vec<f64>> = (0..128)
+        .map(|i| mmd::clustering_histogram_normalized(&bench_graph(300 + 11 * i)))
+        .collect();
+    let hists_b: Vec<Vec<f64>> = (0..128)
+        .map(|i| mmd::clustering_histogram_normalized(&bench_graph(310 + 13 * i)))
+        .collect();
+
+    let kernels: Vec<(&str, Kernel)> = vec![
+        (
+            "matmul",
+            Box::new(move || {
+                std::hint::black_box(mm_a.matmul(&mm_b));
+            }),
+        ),
+        (
+            "mmd",
+            Box::new(move || {
+                std::hint::black_box(mmd::mmd_squared(&hists_a, &hists_b, 1.0));
+            }),
+        ),
+        (
+            "clustering",
+            Box::new(move || {
+                std::hint::black_box(clustering::local_clustering(&g_big));
+            }),
+        ),
+        ("cpl", {
+            let g = g_mid.clone();
+            Box::new(move || {
+                std::hint::black_box(path::characteristic_path_length(&g, 128));
+            })
+        }),
+        (
+            "spmm",
+            Box::new(move || {
+                std::hint::black_box(csr.matmul_dense(&feats));
+            }),
+        ),
+        (
+            "spectral",
+            Box::new(move || {
+                std::hint::black_box(spectral::spectral_embedding(&g_mid, 8, 7));
+            }),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, f) in &kernels {
+        let serial = with_thread_count(1, || best_of(3, f));
+        let parallel = with_thread_count(threads, || best_of(3, f));
+        let speedup = serial / parallel.max(1e-12);
+        eprintln!(
+            "{name:>10}: serial {serial:.4}s  parallel {parallel:.4}s  speedup {speedup:.2}x"
+        );
+        rows.push((*name, serial, parallel, speedup));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"available_parallelism\": {hw},");
+    let _ = writeln!(json, "  \"threads_parallel\": {threads},");
+    json.push_str("  \"kernels\": [\n");
+    for (i, (name, serial, parallel, speedup)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{name}\", \"serial_s\": {serial:.6}, \
+             \"parallel_s\": {parallel:.6}, \"speedup\": {speedup:.3}}}{comma}"
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = "results/BENCH_parallel.json";
+    if let Err(e) = std::fs::create_dir_all("results").and_then(|()| std::fs::write(out, &json)) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {out}");
+}

@@ -125,7 +125,16 @@ fn aggregate(lg: &LevelGraph, comm: &[usize], k: usize) -> LevelGraph {
             }
         }
     }
-    let adj: Vec<Vec<(usize, f64)>> = maps.into_iter().map(|m| m.into_iter().collect()).collect();
+    // HashMap iteration order is seeded per process; sort so the aggregated
+    // graph (and thus local-move tie-breaking) is run-to-run deterministic.
+    let adj: Vec<Vec<(usize, f64)>> = maps
+        .into_iter()
+        .map(|m| {
+            let mut edges: Vec<(usize, f64)> = m.into_iter().collect();
+            edges.sort_unstable_by_key(|&(c, _)| c);
+            edges
+        })
+        .collect();
     let total_w = self_w.iter().sum::<f64>()
         + adj
             .iter()

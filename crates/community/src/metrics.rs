@@ -71,10 +71,14 @@ pub fn entropy(x: &[usize]) -> f64 {
     for &l in x {
         *counts.entry(l).or_insert(0usize) += 1;
     }
+    // Sum in label order: HashMap iteration order is seeded per process, and
+    // float addition is order-sensitive in the low bits.
+    let mut counts: Vec<(usize, usize)> = counts.into_iter().collect();
+    counts.sort_unstable_by_key(|&(l, _)| l);
     let n = x.len() as f64;
     counts
-        .values()
-        .map(|&c| {
+        .iter()
+        .map(|&(_, c)| {
             let p = c as f64 / n;
             -p * p.ln()
         })

@@ -38,14 +38,21 @@ pub fn evaluate_cell(kind: ModelKind, spec: &datasets::DatasetSpec, cfg: &EvalCo
     if kind == ModelKind::GraphRnnS && ds.graph.n() > 4 * cfg.dense_node_cap {
         return Cell::SkippedCpu;
     }
-    let mut acc: Vec<QualityDiff> = Vec::with_capacity(cfg.seeds);
-    for s in 0..cfg.seeds {
-        let seed = cfg.seed.wrapping_add(s as u64 * 104_729);
-        let model = fit_model(kind, &ds.graph, cfg, seed);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x4444);
-        let generated = model.generate(&mut rng);
-        acc.push(quality_diff(&ds.graph, &generated, CPL_SOURCES));
-    }
+    // Each seed's fit+generate+measure run is independent and owns its RNG,
+    // so the repetitions fan out across the persistent pool; results come
+    // back in seed order, so the mean below is thread-count independent.
+    let seeds: Vec<u64> = (0..cfg.seeds)
+        .map(|s| cfg.seed.wrapping_add(s as u64 * 104_729))
+        .collect();
+    let graph = std::sync::Arc::new(ds.graph);
+    let cfg_owned = cfg.clone();
+    let acc: Vec<QualityDiff> =
+        cpgan_parallel::Pool::global().par_map_owned(seeds, move |_, seed| {
+            let model = fit_model(kind, &graph, &cfg_owned, seed);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x4444);
+            let generated = model.generate(&mut rng);
+            quality_diff(&graph, &generated, CPL_SOURCES)
+        });
     let collect = |f: fn(&QualityDiff) -> f64| mean(&acc.iter().map(f).collect::<Vec<_>>());
     Cell::Measured(QualityDiff {
         deg: collect(|q| q.deg),

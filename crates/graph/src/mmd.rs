@@ -48,16 +48,29 @@ pub fn mmd_squared(xs: &[Vec<f64>], ys: &[Vec<f64>], sigma: f64) -> f64 {
 
 /// [`mmd_squared`] with the EMD measured in units of `bin_width`.
 pub fn mmd_squared_scaled(xs: &[Vec<f64>], ys: &[Vec<f64>], sigma: f64, bin_width: f64) -> f64 {
+    /// Rows of `a` per parallel chunk of the kernel-matrix sum. Fixed (not
+    /// thread-dependent) so partial sums combine identically at every
+    /// `CPGAN_THREADS` setting.
+    const ROW_CHUNK: usize = 4;
     fn mean_kernel(a: &[Vec<f64>], b: &[Vec<f64>], sigma: f64, w: f64) -> f64 {
         if a.is_empty() || b.is_empty() {
             return 0.0;
         }
-        let mut total = 0.0;
-        for p in a {
-            for q in b {
-                total += gaussian_emd_kernel_scaled(p, q, sigma, w);
-            }
-        }
+        let total = cpgan_parallel::par_reduce(
+            a.len(),
+            ROW_CHUNK,
+            |rows| {
+                let mut partial = 0.0;
+                for p in &a[rows] {
+                    for q in b {
+                        partial += gaussian_emd_kernel_scaled(p, q, sigma, w);
+                    }
+                }
+                partial
+            },
+            |x, y| x + y,
+        )
+        .unwrap_or(0.0);
         total / (a.len() * b.len()) as f64
     }
     let v = mean_kernel(xs, xs, sigma, bin_width) + mean_kernel(ys, ys, sigma, bin_width)

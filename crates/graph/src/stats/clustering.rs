@@ -27,20 +27,27 @@ fn triangles_at(g: &Graph, v: NodeId) -> usize {
     count
 }
 
+/// Nodes per parallel block for the per-node statistics. Fixed (not
+/// thread-dependent) so results are identical at every `CPGAN_THREADS`
+/// setting.
+const NODE_CHUNK: usize = 256;
+
 /// Local clustering coefficient per node: `2T(v) / (deg(v)(deg(v)-1))`,
-/// defined as 0 for degree < 2.
+/// defined as 0 for degree < 2. Node-blocked across the pool (each
+/// coefficient is independent, so the output is thread-count independent).
 pub fn local_clustering(g: &Graph) -> Vec<f64> {
-    (0..g.n())
-        .map(|v| {
-            let d = g.degree(v as NodeId);
-            if d < 2 {
-                0.0
-            } else {
-                let t = triangles_at(g, v as NodeId);
-                2.0 * t as f64 / (d * (d - 1)) as f64
+    let mut out = vec![0.0f64; g.n()];
+    cpgan_parallel::par_chunks_mut(&mut out, NODE_CHUNK, |ci, chunk| {
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            let v = (ci * NODE_CHUNK + k) as NodeId;
+            let d = g.degree(v);
+            if d >= 2 {
+                let t = triangles_at(g, v);
+                *slot = 2.0 * t as f64 / (d * (d - 1)) as f64;
             }
-        })
-        .collect()
+        }
+    });
+    out
 }
 
 /// Mean local clustering coefficient (0 for the empty graph).
@@ -53,10 +60,15 @@ pub fn mean_clustering(g: &Graph) -> f64 {
 
 /// Total number of triangles in the graph.
 pub fn triangle_count(g: &Graph) -> usize {
-    // Each triangle is counted at all three vertices.
-    (0..g.n())
-        .map(|v| triangles_at(g, v as NodeId))
-        .sum::<usize>()
+    // Each triangle is counted at all three vertices. Integer partial sums
+    // are exact, so any ordered combine reproduces the serial count.
+    cpgan_parallel::par_reduce(
+        g.n(),
+        NODE_CHUNK,
+        |nodes| nodes.map(|v| triangles_at(g, v as NodeId)).sum::<usize>(),
+        |a, b| a + b,
+    )
+    .unwrap_or(0)
         / 3
 }
 

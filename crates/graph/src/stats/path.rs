@@ -40,16 +40,27 @@ pub fn characteristic_path_length(g: &Graph, max_sources: usize) -> f64 {
             .map(|i| (i as f64 * step) as usize as NodeId)
             .collect()
     };
-    let mut total = 0u64;
-    let mut pairs = 0u64;
-    for &s in &sources {
-        for (v, &d) in bfs_distances(g, s).iter().enumerate() {
-            if d != usize::MAX && v != s as usize {
-                total += d as u64;
-                pairs += 1;
+    // BFS fan-out: one independent traversal per source, integer partials
+    // combined in source order (exact, so thread-count independent).
+    let (total, pairs) = cpgan_parallel::par_reduce(
+        sources.len(),
+        1,
+        |range| {
+            let mut total = 0u64;
+            let mut pairs = 0u64;
+            for &s in &sources[range] {
+                for (v, &d) in bfs_distances(g, s).iter().enumerate() {
+                    if d != usize::MAX && v != s as usize {
+                        total += d as u64;
+                        pairs += 1;
+                    }
+                }
             }
-        }
-    }
+            (total, pairs)
+        },
+        |(t1, p1), (t2, p2)| (t1 + t2, p1 + p2),
+    )
+    .unwrap_or((0, 0));
     if pairs == 0 {
         0.0
     } else {

@@ -1,0 +1,178 @@
+//! Golden-file regression test: graph statistics pinned bit-for-bit.
+//!
+//! `tests/golden/fixture.edges` is a checked-in deterministic graph and
+//! `tests/golden/expected.stats` records its statistics, with floats stored
+//! as hex `f64::to_bits` so the comparison is exact, not tolerance-based.
+//! Any change to the statistic kernels (including the parallel chunking —
+//! the determinism contract says thread count must never shift a bit) shows
+//! up as a diff here.
+//!
+//! After an *intended* numerical change, regenerate with:
+//!
+//! ```text
+//! cargo test -p cpgan-graph --test golden -- --ignored regenerate
+//! ```
+
+// Test-support helpers sit outside `#[test]` fns, where the
+// `allow-*-in-tests` carve-out does not reach.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
+use cpgan_graph::stats::{clustering, degree, gini, path, powerlaw};
+use cpgan_graph::{io, Graph};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// The fixture: a 500-node ring with strided chords and a few hub spokes —
+/// triangles, skewed degrees, and non-trivial path lengths.
+fn build_fixture() -> Graph {
+    let n = 500u32;
+    let mut edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    edges.extend((0..n).step_by(3).map(|i| (i, (i + 2) % n)));
+    edges.extend((0..n).step_by(7).map(|i| (i, (i + 5) % n)));
+    // Hub spokes: node 0 connects to every 25th node.
+    edges.extend((25..n).step_by(25).map(|i| (0, i)));
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::from_edges(n as usize, edges).unwrap()
+}
+
+struct GoldenStats {
+    degree_histogram: Vec<usize>,
+    triangle_count: usize,
+    mean_clustering: f64,
+    cpl: f64,
+    gini: f64,
+    powerlaw_exponent: f64,
+}
+
+fn measure(g: &Graph) -> GoldenStats {
+    let degrees: Vec<usize> = (0..g.n()).map(|v| g.degree(v as u32)).collect();
+    GoldenStats {
+        degree_histogram: degree::degree_histogram(g),
+        triangle_count: clustering::triangle_count(g),
+        mean_clustering: clustering::mean_clustering(g),
+        cpl: path::characteristic_path_length(g, usize::MAX),
+        gini: gini::gini_coefficient(&degrees),
+        powerlaw_exponent: powerlaw::powerlaw_exponent(&degrees),
+    }
+}
+
+/// Serializes stats: integers in decimal, floats as hex bit patterns with a
+/// human-readable decimal in a trailing comment.
+fn render(s: &GoldenStats) -> String {
+    let mut out = String::new();
+    out.push_str("# Golden statistics for fixture.edges. Floats are f64::to_bits in hex.\n");
+    out.push_str("# Regenerate: cargo test -p cpgan-graph --test golden -- --ignored regenerate\n");
+    out.push_str("degree_histogram");
+    for c in &s.degree_histogram {
+        let _ = write!(out, " {c}");
+    }
+    out.push('\n');
+    let _ = writeln!(out, "triangle_count {}", s.triangle_count);
+    for (key, v) in [
+        ("mean_clustering", s.mean_clustering),
+        ("cpl", s.cpl),
+        ("gini", s.gini),
+        ("powerlaw_exponent", s.powerlaw_exponent),
+    ] {
+        let _ = writeln!(out, "{key} {:016x} # {v}", v.to_bits());
+    }
+    out
+}
+
+fn parse(text: &str) -> GoldenStats {
+    let mut degree_histogram = Vec::new();
+    let mut ints = std::collections::HashMap::new();
+    let mut floats = std::collections::HashMap::new();
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let key = it.next().unwrap();
+        match key {
+            "degree_histogram" => {
+                degree_histogram = it.map(|t| t.parse().unwrap()).collect();
+            }
+            "triangle_count" => {
+                ints.insert(key, it.next().unwrap().parse::<usize>().unwrap());
+            }
+            _ => {
+                let bits = u64::from_str_radix(it.next().unwrap(), 16).unwrap();
+                floats.insert(key.to_string(), f64::from_bits(bits));
+            }
+        }
+    }
+    GoldenStats {
+        degree_histogram,
+        triangle_count: ints["triangle_count"],
+        mean_clustering: floats["mean_clustering"],
+        cpl: floats["cpl"],
+        gini: floats["gini"],
+        powerlaw_exponent: floats["powerlaw_exponent"],
+    }
+}
+
+#[test]
+fn fixture_file_matches_builder() {
+    // Guards the checked-in edge list itself against corruption or drift in
+    // the edge-list reader.
+    let loaded = io::load(golden_dir().join("fixture.edges")).unwrap();
+    assert_eq!(
+        loaded,
+        build_fixture(),
+        "fixture.edges drifted from builder"
+    );
+}
+
+#[test]
+fn statistics_match_golden_file() {
+    let g = io::load(golden_dir().join("fixture.edges")).unwrap();
+    let expected = parse(&std::fs::read_to_string(golden_dir().join("expected.stats")).unwrap());
+    let got = measure(&g);
+    let ctx = "statistic drifted from tests/golden/expected.stats; if the change \
+               is intended, regenerate (see file header)";
+    assert_eq!(
+        got.degree_histogram, expected.degree_histogram,
+        "degree_histogram: {ctx}"
+    );
+    assert_eq!(
+        got.triangle_count, expected.triangle_count,
+        "triangle_count: {ctx}"
+    );
+    for (key, got_v, exp_v) in [
+        (
+            "mean_clustering",
+            got.mean_clustering,
+            expected.mean_clustering,
+        ),
+        ("cpl", got.cpl, expected.cpl),
+        ("gini", got.gini, expected.gini),
+        (
+            "powerlaw_exponent",
+            got.powerlaw_exponent,
+            expected.powerlaw_exponent,
+        ),
+    ] {
+        assert_eq!(
+            got_v.to_bits(),
+            exp_v.to_bits(),
+            "{key}: got {got_v}, expected {exp_v} — {ctx}"
+        );
+    }
+}
+
+#[test]
+#[ignore = "writes tests/golden/; run explicitly after an intended numerical change"]
+fn regenerate() {
+    let dir = golden_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let g = build_fixture();
+    io::save(&g, dir.join("fixture.edges")).unwrap();
+    std::fs::write(dir.join("expected.stats"), render(&measure(&g))).unwrap();
+}

@@ -1,0 +1,104 @@
+//! Serial-equivalence suite: every parallelized graph statistic must produce
+//! bit-identical output at any thread count.
+//!
+//! Companion to `crates/nn/tests/parallel_equivalence.rs` — see there for the
+//! determinism contract being asserted. Floating-point results are compared
+//! as raw bit patterns, not within a tolerance.
+
+// Test-support helpers sit outside `#[test]` fns, where the
+// `allow-*-in-tests` carve-out does not reach.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
+use cpgan_graph::stats::{clustering, path};
+use cpgan_graph::{mmd, spectral, Graph};
+use cpgan_parallel::with_thread_count;
+
+/// A deterministic graph with triangles, hubs, and varied path lengths:
+/// `n`-ring plus chords at two strides.
+fn fixture_graph(n: u32) -> Graph {
+    let mut edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    edges.extend((0..n).step_by(3).map(|i| (i, (i + 2) % n)));
+    edges.extend((0..n / 4).map(|i| (i, i + n / 2)));
+    edges.sort_unstable();
+    edges.dedup();
+    let g = Graph::from_edges(n as usize, edges).unwrap();
+    assert!(
+        clustering::triangle_count(&g) > 0,
+        "fixture needs triangles"
+    );
+    g
+}
+
+fn assert_equivalent_f64(what: &str, f: impl Fn() -> Vec<f64>) {
+    let serial = with_thread_count(1, &f);
+    for threads in [2, 4, 8] {
+        let parallel = with_thread_count(threads, &f);
+        assert_eq!(serial.len(), parallel.len(), "{what}: length mismatch");
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{what}[{i}] differs at {threads} threads: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn clustering_bitwise_equal_across_thread_counts() {
+    // 600 nodes spans several 256-node blocks.
+    let g = fixture_graph(600);
+    assert_equivalent_f64("local_clustering", || clustering::local_clustering(&g));
+    assert_equivalent_f64("mean_clustering", || vec![clustering::mean_clustering(&g)]);
+    let serial = with_thread_count(1, || clustering::triangle_count(&g));
+    for threads in [2, 4, 8] {
+        let parallel = with_thread_count(threads, || clustering::triangle_count(&g));
+        assert_eq!(serial, parallel, "triangle_count at {threads} threads");
+    }
+}
+
+#[test]
+fn cpl_bitwise_equal_across_thread_counts() {
+    let g = fixture_graph(300);
+    assert_equivalent_f64("cpl_exact", || {
+        vec![path::characteristic_path_length(&g, usize::MAX)]
+    });
+    assert_equivalent_f64("cpl_sampled", || {
+        vec![path::characteristic_path_length(&g, 64)]
+    });
+    let serial = with_thread_count(1, || path::diameter_lower_bound(&g, usize::MAX));
+    for threads in [2, 4, 8] {
+        let parallel = with_thread_count(threads, || path::diameter_lower_bound(&g, usize::MAX));
+        assert_eq!(serial, parallel, "diameter at {threads} threads");
+    }
+}
+
+#[test]
+fn mmd_bitwise_equal_across_thread_counts() {
+    // Sample sets large enough to span several 4-row kernel chunks.
+    let graphs_a: Vec<Graph> = (0..12).map(|i| fixture_graph(60 + 7 * i)).collect();
+    let graphs_b: Vec<Graph> = (0..12).map(|i| fixture_graph(64 + 5 * i)).collect();
+    assert_equivalent_f64("degree_mmd_sets", || {
+        vec![mmd::degree_mmd_sets(&graphs_a, &graphs_b)]
+    });
+    let g = fixture_graph(200);
+    let h = fixture_graph(210);
+    assert_equivalent_f64("clustering_mmd", || vec![mmd::clustering_mmd(&g, &h)]);
+}
+
+#[test]
+fn spectral_embedding_bitwise_equal_across_thread_counts() {
+    let g = fixture_graph(240);
+    let serial = with_thread_count(1, || spectral::spectral_embedding(&g, 6, 17));
+    for threads in [2, 4, 8] {
+        let parallel = with_thread_count(threads, || spectral::spectral_embedding(&g, 6, 17));
+        assert_eq!(serial.len(), parallel.len());
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "spectral[{i}] differs at {threads} threads: {a} vs {b}"
+            );
+        }
+    }
+}

@@ -7,7 +7,36 @@
 
 use crate::error::{nn_panic, NnError, ShapeError};
 use crate::memory;
+use cpgan_parallel::{par_chunks_mut, par_reduce};
 use std::fmt;
+
+/// Target number of `f32` elements per parallel chunk. Chunk boundaries
+/// depend only on the matrix shape — never on the thread count — which is
+/// what keeps every kernel bit-identical across `CPGAN_THREADS` settings
+/// (see DESIGN.md §8).
+const PAR_GRAIN: usize = 4096;
+
+/// Fixed rows-per-chunk for a row-blocked kernel over `cols`-wide rows.
+#[inline]
+fn rows_per_chunk(cols: usize) -> usize {
+    (PAR_GRAIN / cols.max(1)).max(1)
+}
+
+/// Runs `f(row_index, out_row)` over every row of `out`, in parallel over
+/// fixed row blocks. Each row is written exactly once, so results are
+/// independent of the thread count.
+fn par_rows(out: &mut Matrix, f: impl Fn(usize, &mut [f32]) + Sync) {
+    let cols = out.cols;
+    if cols == 0 {
+        return;
+    }
+    let block = rows_per_chunk(cols);
+    par_chunks_mut(&mut out.data, block * cols, |ci, chunk| {
+        for (local, row) in chunk.chunks_mut(cols).enumerate() {
+            f(ci * block + local, row);
+        }
+    });
+}
 
 /// A dense row-major `f32` matrix.
 pub struct Matrix {
@@ -167,11 +196,10 @@ impl Matrix {
             )
             .into());
         }
-        let (n, m) = (self.rows, other.cols);
-        let mut out = Matrix::zeros(n, m);
-        for i in 0..n {
+        let m = other.cols;
+        let mut out = Matrix::zeros(self.rows, m);
+        par_rows(&mut out, |i, out_row| {
             let a_row = self.row(i);
-            let out_row = &mut out.data[i * m..(i + 1) * m];
             for (kk, &a) in a_row.iter().enumerate() {
                 if a == 0.0 {
                     continue;
@@ -181,7 +209,7 @@ impl Matrix {
                     *o += a * b;
                 }
             }
-        }
+        });
         Ok(out)
     }
 
@@ -202,19 +230,21 @@ impl Matrix {
         }
         let (k, n, m) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(n, m);
-        for kk in 0..k {
-            let a_row = self.row(kk);
-            let b_row = other.row(kk);
-            for (i, &a) in a_row.iter().enumerate() {
+        // Row-blocked over the *output* (each out row i reads column i of
+        // self); the k-ascending accumulation order per element matches the
+        // previous kk-outer loop bit for bit.
+        par_rows(&mut out, |i, out_row| {
+            for kk in 0..k {
+                let a = self.data[kk * n + i];
                 if a == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[i * m..(i + 1) * m];
+                let b_row = other.row(kk);
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += a * b;
                 }
             }
-        }
+        });
         Ok(out)
     }
 
@@ -233,11 +263,10 @@ impl Matrix {
             )
             .into());
         }
-        let (n, k, m) = (self.rows, self.cols, other.rows);
-        let mut out = Matrix::zeros(n, m);
-        for i in 0..n {
+        let (k, m) = (self.cols, other.rows);
+        let mut out = Matrix::zeros(self.rows, m);
+        par_rows(&mut out, |i, out_row| {
             let a_row = self.row(i);
-            let out_row = &mut out.data[i * m..(i + 1) * m];
             for (j, o) in out_row.iter_mut().enumerate() {
                 let b_row = &other.data[j * k..(j + 1) * k];
                 let mut acc = 0.0f32;
@@ -246,7 +275,7 @@ impl Matrix {
                 }
                 *o = acc;
             }
-        }
+        });
         Ok(out)
     }
 
@@ -262,33 +291,40 @@ impl Matrix {
     }
 
     /// Elementwise map into a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
         let mut out = self.clone();
-        for v in out.data.iter_mut() {
-            *v = f(*v);
-        }
+        out.map_inplace(f);
         out
     }
 
     /// In-place elementwise map.
-    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
-        for v in self.data.iter_mut() {
-            *v = f(*v);
-        }
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32 + Sync) {
+        par_chunks_mut(&mut self.data, PAR_GRAIN, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v = f(*v);
+            }
+        });
     }
 
     /// Elementwise combination of two same-shape matrices.
-    pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+    pub fn zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
         self.try_zip(other, f).unwrap_or_else(|e| nn_panic(e))
     }
 
     /// Fallible [`Matrix::zip`]: rejects shape mismatches.
-    pub fn try_zip(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Result<Matrix, NnError> {
+    pub fn try_zip(
+        &self,
+        other: &Matrix,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Result<Matrix, NnError> {
         same_shape("zip", self, other)?;
         let mut out = self.clone();
-        for (o, &b) in out.data.iter_mut().zip(&other.data) {
-            *o = f(*o, b);
-        }
+        par_chunks_mut(&mut out.data, PAR_GRAIN, |ci, chunk| {
+            let base = ci * PAR_GRAIN;
+            for (k, o) in chunk.iter_mut().enumerate() {
+                *o = f(*o, other.data[base + k]);
+            }
+        });
         Ok(out)
     }
 
@@ -300,20 +336,37 @@ impl Matrix {
     /// Fallible [`Matrix::axpy`]: rejects shape mismatches.
     pub fn try_axpy(&mut self, alpha: f32, other: &Matrix) -> Result<(), NnError> {
         same_shape("axpy", self, other)?;
-        for (o, &b) in self.data.iter_mut().zip(&other.data) {
-            *o += alpha * b;
-        }
+        par_chunks_mut(&mut self.data, PAR_GRAIN, |ci, chunk| {
+            let base = ci * PAR_GRAIN;
+            for (k, o) in chunk.iter_mut().enumerate() {
+                *o += alpha * other.data[base + k];
+            }
+        });
         Ok(())
     }
 
-    /// Sum of all elements.
+    /// Sum of all elements, accumulated over fixed chunks combined in index
+    /// order (bit-identical for every thread count).
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        par_reduce(
+            self.data.len(),
+            PAR_GRAIN,
+            |r| self.data[r].iter().sum::<f32>(),
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0)
     }
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f32 {
-        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+        par_reduce(
+            self.data.len(),
+            PAR_GRAIN,
+            |r| self.data[r].iter().map(|v| v * v).sum::<f32>(),
+            |a, b| a + b,
+        )
+        .unwrap_or(0.0)
+        .sqrt()
     }
 
     /// Sets all elements to zero, keeping the allocation.

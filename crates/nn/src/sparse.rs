@@ -128,22 +128,33 @@ impl Csr {
             .zip(self.values[range].iter().copied())
     }
 
-    /// Sparse x dense product `self * x`.
+    /// Sparse x dense product `self * x`, row-blocked across the pool.
+    ///
+    /// Each output row accumulates its own CSR row in index order, so the
+    /// result is bit-identical for every `CPGAN_THREADS` setting.
     pub fn matmul_dense(&self, x: &Matrix) -> Matrix {
         assert_eq!(self.cols, x.rows(), "spmm shape mismatch");
         let d = x.cols();
         let mut out = Matrix::zeros(self.rows, d);
-        for r in 0..self.rows {
-            let out_row = &mut out.as_mut_slice()[r * d..(r + 1) * d];
-            for i in self.offsets[r]..self.offsets[r + 1] {
-                let c = self.indices[i] as usize;
-                let v = self.values[i];
-                let x_row = &x.as_slice()[c * d..(c + 1) * d];
-                for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                    *o += v * xv;
+        if d == 0 {
+            return out;
+        }
+        // Fixed row blocks (~4096 output elements each), independent of the
+        // thread count.
+        let block = (4096 / d).max(1);
+        cpgan_parallel::par_chunks_mut(out.as_mut_slice(), block * d, |ci, chunk| {
+            for (local, out_row) in chunk.chunks_mut(d).enumerate() {
+                let r = ci * block + local;
+                for i in self.offsets[r]..self.offsets[r + 1] {
+                    let c = self.indices[i] as usize;
+                    let v = self.values[i];
+                    let x_row = &x.as_slice()[c * d..(c + 1) * d];
+                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                        *o += v * xv;
+                    }
                 }
             }
-        }
+        });
         out
     }
 

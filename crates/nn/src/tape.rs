@@ -371,23 +371,29 @@ impl Var {
         self.mul(self)
     }
 
-    /// Row-wise softmax.
+    /// Row-wise softmax, row-blocked across the pool (each row normalizes
+    /// independently, so the result is thread-count independent).
     pub fn softmax_rows(&self) -> Var {
         let value = {
             let nodes = self.tape.nodes.borrow();
             let x = &nodes[self.idx].value;
             let mut out = x.clone();
-            for i in 0..out.rows() {
-                let row = out.row_mut(i);
-                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let mut sum = 0.0;
-                for v in row.iter_mut() {
-                    *v = (*v - max).exp();
-                    sum += *v;
-                }
-                for v in row.iter_mut() {
-                    *v /= sum;
-                }
+            let d = out.cols();
+            if let Some(block) = 4096usize.checked_div(d) {
+                let block = block.max(1);
+                cpgan_parallel::par_chunks_mut(out.as_mut_slice(), block * d, |_, chunk| {
+                    for row in chunk.chunks_mut(d) {
+                        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                        let mut sum = 0.0;
+                        for v in row.iter_mut() {
+                            *v = (*v - max).exp();
+                            sum += *v;
+                        }
+                        for v in row.iter_mut() {
+                            *v /= sum;
+                        }
+                    }
+                });
             }
             out
         };

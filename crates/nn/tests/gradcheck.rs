@@ -11,6 +11,7 @@
 
 use cpgan_graph::Graph;
 use cpgan_nn::{Csr, Matrix, Param, Tape, Var};
+use cpgan_parallel::with_thread_count;
 use std::sync::Arc;
 
 /// Checks `d loss / d param` analytically vs numerically.
@@ -234,6 +235,89 @@ fn grad_composite_gcn_like_stack() {
         let s = z.softmax_rows();
         let pooled = s.transpose().matmul(&z); // DiffPool-style S^T Z
         pooled.square().sum_all()
+    });
+}
+
+// ---- Parallel-path coverage ----------------------------------------------
+//
+// The shapes above produce single-chunk kernels, so the checks exercise the
+// serial code path regardless of thread count. The checks below pin four
+// threads and route each op through intermediates wide enough to span
+// several parallel chunks (elementwise grain 4096; one output row per chunk
+// at width `WIDE`), so both the analytic backward pass and every numeric
+// forward evaluation run the threaded kernels. Parameters stay small — the
+// width comes from constants — to keep the finite-difference loop cheap.
+
+/// Wide enough that a 2-row matrix spans multiple 4096-entry chunks.
+const WIDE: usize = 2100;
+
+#[test]
+fn grad_matmul_parallel_path() {
+    with_thread_count(4, || {
+        gradcheck("matmul_par", seed_matrix(2, 6, 0.15), |t, x| {
+            let w = t.constant(seed_matrix(6, WIDE, 0.6));
+            x.matmul(&w).square().sum_all()
+        });
+        gradcheck("matmul_rhs_par", seed_matrix(6, 4, 0.25), |t, x| {
+            // Left operand spans chunks; x's gradient flows through the
+            // parallel matmul_tn kernel.
+            let a = t.constant(seed_matrix(WIDE / 2, 6, 0.45));
+            a.matmul(x).square().sum_all()
+        });
+    });
+}
+
+#[test]
+fn grad_spmm_parallel_path() {
+    // 5 nodes x 840 features: CSR x dense splits into 4-row blocks.
+    let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]).unwrap();
+    let adj = Arc::new(Csr::normalized_adjacency(&g));
+    with_thread_count(4, move || {
+        gradcheck("spmm_par", seed_matrix(5, 3, 0.2), move |t, x| {
+            let w = t.constant(seed_matrix(3, 840, 0.7));
+            x.matmul(&w).spmm(&adj).square().sum_all()
+        });
+    });
+}
+
+#[test]
+fn grad_softmax_parallel_path() {
+    with_thread_count(4, || {
+        gradcheck("softmax_par", seed_matrix(2, 8, 0.2), |t, x| {
+            let w = t.constant(seed_matrix(8, WIDE, 0.9));
+            let m = t.constant(seed_matrix(2, WIDE, 1.4));
+            x.matmul(&w).softmax_rows().mul(&m).sum_all()
+        });
+    });
+}
+
+#[test]
+fn grad_concat_parallel_path() {
+    with_thread_count(4, || {
+        gradcheck("concat_cols_par", seed_matrix(2, 5, 0.1), |t, x| {
+            let w = t.constant(seed_matrix(5, WIDE / 2, 0.5));
+            let c = t.constant(seed_matrix(2, WIDE / 2, 0.8));
+            Var::concat_cols(&[x.matmul(&w), c]).square().sum_all()
+        });
+        gradcheck("concat_rows_par", seed_matrix(2, 5, 0.3), |t, x| {
+            let w = t.constant(seed_matrix(5, WIDE / 2, 0.2));
+            let c = t.constant(seed_matrix(2, WIDE / 2, 0.6));
+            Var::concat_rows(&[c, x.matmul(&w)]).square().sum_all()
+        });
+    });
+}
+
+#[test]
+fn grad_reductions_parallel_path() {
+    with_thread_count(4, || {
+        gradcheck("mean_all_par", seed_matrix(3, 7, 0.2), |t, x| {
+            let w = t.constant(seed_matrix(7, WIDE / 3, 0.4));
+            x.matmul(&w).square().mean_all()
+        });
+        gradcheck("mean_rows_par", seed_matrix(2, 6, 0.4), |t, x| {
+            let w = t.constant(seed_matrix(6, WIDE, 0.3));
+            x.matmul(&w).mean_rows().square().sum_all()
+        });
     });
 }
 

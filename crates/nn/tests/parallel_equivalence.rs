@@ -1,0 +1,113 @@
+//! Serial-equivalence suite: every parallelized nn kernel must produce
+//! bit-identical f32 output at any thread count.
+//!
+//! The determinism contract (crates/parallel) promises that chunk boundaries
+//! depend only on problem shape and partials combine in chunk-index order, so
+//! `CPGAN_THREADS=1` and `CPGAN_THREADS=4` runs are exactly equal — not just
+//! within a tolerance. These tests pin the thread count per run via
+//! [`with_thread_count`] and compare raw bit patterns.
+
+// Test-support helpers sit outside `#[test]` fns, where the
+// `allow-*-in-tests` carve-out does not reach.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
+use cpgan_graph::Graph;
+use cpgan_nn::{Csr, Matrix, Tape};
+use cpgan_parallel::with_thread_count;
+
+/// Deterministic, sign-mixed values with no special structure.
+fn seed_matrix(rows: usize, cols: usize, offset: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((r * cols + c) as f32 * 0.371 + offset).sin() * 1.3
+    })
+}
+
+fn assert_bits_eq(serial: &Matrix, parallel: &Matrix, what: &str, threads: usize) {
+    assert_eq!(serial.shape(), parallel.shape(), "{what}: shape mismatch");
+    for (i, (a, b)) in serial
+        .as_slice()
+        .iter()
+        .zip(parallel.as_slice())
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{what}[{i}] differs at {threads} threads: {a} vs {b}"
+        );
+    }
+}
+
+/// Runs `f` at 1 thread and at each of {2, 4, 8}, asserting bitwise equality.
+fn assert_equivalent(what: &str, f: impl Fn() -> Matrix) {
+    let serial = with_thread_count(1, &f);
+    for threads in [2, 4, 8] {
+        let parallel = with_thread_count(threads, &f);
+        assert_bits_eq(&serial, &parallel, what, threads);
+    }
+}
+
+// Shapes below are chosen so every kernel spans several parallel chunks
+// (elementwise grain is 4096 entries; matmul blocks are ~4096-output rows).
+
+#[test]
+fn matmul_bitwise_equal_across_thread_counts() {
+    let a = seed_matrix(64, 48, 0.1);
+    let b = seed_matrix(48, 80, 0.7);
+    assert_equivalent("matmul", || a.matmul(&b));
+}
+
+#[test]
+fn matmul_tn_bitwise_equal_across_thread_counts() {
+    let a = seed_matrix(48, 64, 0.2);
+    let b = seed_matrix(48, 80, 0.9);
+    assert_equivalent("matmul_tn", || a.matmul_tn(&b));
+}
+
+#[test]
+fn matmul_nt_bitwise_equal_across_thread_counts() {
+    let a = seed_matrix(64, 48, 0.3);
+    let b = seed_matrix(80, 48, 0.4);
+    assert_equivalent("matmul_nt", || a.matmul_nt(&b));
+}
+
+#[test]
+fn elementwise_ops_bitwise_equal_across_thread_counts() {
+    let a = seed_matrix(96, 70, 0.5); // 6720 entries: two 4096-entry chunks
+    let b = seed_matrix(96, 70, 1.1);
+    assert_equivalent("map", || a.map(|v| v.tanh() * 0.3 + v));
+    assert_equivalent("zip", || a.zip(&b, |x, y| x * y + 0.25 * x));
+    assert_equivalent("axpy", || {
+        let mut out = a.clone();
+        out.axpy(-0.75, &b);
+        out
+    });
+}
+
+#[test]
+fn reductions_bitwise_equal_across_thread_counts() {
+    let a = seed_matrix(96, 70, 0.6);
+    assert_equivalent("sum", || Matrix::scalar(a.sum()));
+    assert_equivalent("frobenius_norm", || Matrix::scalar(a.frobenius_norm()));
+}
+
+#[test]
+fn spmm_bitwise_equal_across_thread_counts() {
+    // Ring + chords: enough rows that the CSR×dense row blocks split.
+    let n = 200u32;
+    let mut edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    edges.extend((0..n / 2).map(|i| (i, i + n / 2)));
+    let g = Graph::from_edges(n as usize, edges).unwrap();
+    let s = Csr::normalized_adjacency(&g);
+    let x = seed_matrix(n as usize, 24, 0.8);
+    assert_equivalent("spmm", || s.matmul_dense(&x));
+}
+
+#[test]
+fn softmax_rows_bitwise_equal_across_thread_counts() {
+    let x = seed_matrix(96, 70, 0.9);
+    assert_equivalent("softmax_rows", || {
+        let tape = Tape::new();
+        tape.constant(x.clone()).softmax_rows().value()
+    });
+}

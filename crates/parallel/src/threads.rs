@@ -1,0 +1,94 @@
+//! Thread-count resolution: `CPGAN_THREADS`, per-thread overrides, and the
+//! `available_parallelism` default.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+thread_local! {
+    /// Per-thread override installed by [`with_thread_count`].
+    static OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The process-wide default, resolved once: `CPGAN_THREADS` if set and
+/// parseable as a positive integer, else `available_parallelism`, else 1.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("CPGAN_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The number of threads parallel primitives may use on this thread right
+/// now: the innermost [`with_thread_count`] override if one is active, else
+/// the process default (`CPGAN_THREADS` / `available_parallelism`).
+pub fn current_threads() -> usize {
+    OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(default_threads)
+        .max(1)
+}
+
+/// Runs `f` with the calling thread's parallelism pinned to `n`.
+///
+/// The override is per-thread and restored on exit (including on unwind), so
+/// concurrently running tests do not interfere. Because every primitive is
+/// deterministic, `with_thread_count(1, f)` and `with_thread_count(4, f)`
+/// must produce bit-identical results — the serial-equivalence suites assert
+/// exactly that.
+pub fn with_thread_count<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            OVERRIDE.with(|c| c.set(prev));
+        }
+    }
+    let prev = OVERRIDE.with(|c| c.replace(Some(n.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_is_scoped_and_restored() {
+        let base = current_threads();
+        let inner = with_thread_count(3, || {
+            let mid = current_threads();
+            let nested = with_thread_count(7, current_threads);
+            assert_eq!(nested, 7);
+            mid
+        });
+        assert_eq!(inner, 3);
+        assert_eq!(current_threads(), base);
+    }
+
+    #[test]
+    fn zero_override_clamps_to_one() {
+        assert_eq!(with_thread_count(0, current_threads), 1);
+    }
+
+    #[test]
+    fn override_restored_on_unwind() {
+        let base = current_threads();
+        let caught = std::panic::catch_unwind(|| {
+            with_thread_count(5, || {
+                assert_eq!(current_threads(), 5);
+                std::panic::panic_any("boom");
+            })
+        });
+        assert!(caught.is_err());
+        assert_eq!(current_threads(), base);
+    }
+}

@@ -44,6 +44,8 @@ pub enum Rule {
     PartialCmpExpect,
     /// Crate manifests must take dependencies from the workspace table.
     WorkspaceDeps,
+    /// Direct `std::thread` spawning outside the `cpgan-parallel` runtime.
+    AdHocThreading,
 }
 
 impl Rule {
@@ -56,6 +58,7 @@ impl Rule {
             Rule::FloatEq => "float-eq",
             Rule::PartialCmpExpect => "partial-cmp-expect",
             Rule::WorkspaceDeps => "workspace-deps",
+            Rule::AdHocThreading => "ad-hoc-threading",
         }
     }
 
@@ -68,6 +71,7 @@ impl Rule {
             "float-eq" => Some(Rule::FloatEq),
             "partial-cmp-expect" => Some(Rule::PartialCmpExpect),
             "workspace-deps" => Some(Rule::WorkspaceDeps),
+            "ad-hoc-threading" => Some(Rule::AdHocThreading),
             _ => None,
         }
     }

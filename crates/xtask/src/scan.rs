@@ -81,6 +81,34 @@ pub fn scan_source(file: &str, source: &str) -> Vec<Violation> {
         }
     }
 
+    // All threading must go through the cpgan-parallel runtime so the
+    // determinism contract (fixed chunking, ordered combining) holds
+    // everywhere. Only the runtime itself may touch `std::thread` spawning
+    // APIs; `thread::available_parallelism` etc. remain fine anywhere.
+    if !file.starts_with("crates/parallel/") {
+        for off in find_word(bytes, b"thread") {
+            if in_test(off) {
+                continue;
+            }
+            let rest = &bytes[off + b"thread".len()..];
+            let spawning = [&b"::spawn"[..], b"::scope", b"::Builder"]
+                .iter()
+                .any(|p| rest.starts_with(p));
+            if !spawning {
+                continue;
+            }
+            out.push(Violation {
+                file: file.to_string(),
+                line: line_of(&line_starts, off),
+                rule: Rule::AdHocThreading,
+                message: "ad-hoc `std::thread` use outside `crates/parallel` — route \
+                          through the cpgan-parallel primitives so chunking stays \
+                          deterministic"
+                    .to_string(),
+            });
+        }
+    }
+
     for (off, lit) in float_eq_sites(&masked) {
         if in_test(off) {
             continue;
@@ -477,6 +505,38 @@ mod tests {
     fn total_cmp_comparator_is_clean() {
         let src = "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.total_cmp(b)); }\n";
         assert!(scan_source("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn thread_spawn_flagged_outside_parallel_crate() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n\
+                   fn g() { std::thread::scope(|_| {}); }\n\
+                   fn h() { std::thread::Builder::new(); }\n";
+        let v = scan_source("crates/nn/src/matrix.rs", src);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == Rule::AdHocThreading));
+    }
+
+    #[test]
+    fn parallel_crate_may_spawn_threads() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert!(scan_source("crates/parallel/src/pool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_spawning_thread_apis_are_clean() {
+        let src = "fn f() -> usize {\n\
+                   std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)\n\
+                   }\n\
+                   thread_local! { static X: u8 = 0; }\n";
+        let v = scan_source("crates/nn/src/matrix.rs", src);
+        assert!(v.iter().all(|v| v.rule != Rule::AdHocThreading), "{v:?}");
+    }
+
+    #[test]
+    fn thread_spawn_in_tests_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { std::thread::spawn(|| {}); } }\n";
+        assert!(scan_source("crates/nn/src/matrix.rs", src).is_empty());
     }
 
     #[test]

@@ -39,6 +39,7 @@ fn quick_eval_cfg() -> EvalConfig {
 }
 
 #[test]
+#[ignore = "multi-minute full training run; exercised by the CI --ignored job"]
 fn cpgan_end_to_end_preserves_communities() {
     let (g, labels) = observed();
     let mut model = CpGan::new(CpGanConfig {
@@ -112,6 +113,7 @@ fn ablation_variants_all_train_and_generate() {
 }
 
 #[test]
+#[ignore = "multi-minute full training run; exercised by the CI --ignored job"]
 fn community_preserving_models_beat_er_on_planted_graph() {
     // The core qualitative claim of Table III, checked end-to-end on a
     // strongly community-structured graph: community-aware generators must
