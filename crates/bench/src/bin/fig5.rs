@@ -12,4 +12,5 @@ fn main() {
         let table = sensitivity::run(&cfg, dataset);
         println!("{}", table.render());
     }
+    cpgan_obs::finish(Some("results/obs.fig5.jsonl"));
 }

@@ -11,4 +11,5 @@ fn main() {
     let table = robustness::run(&cfg, "Citeseer");
     println!("{}", table.render());
     cpgan_eval::report::maybe_write_json(&args, &table);
+    cpgan_obs::finish(Some("results/obs.fig6.jsonl"));
 }

@@ -8,6 +8,7 @@
 //! repetitions is reported. Because the runtime is deterministic, both runs
 //! produce bit-identical values — only the wall-clock differs.
 
+use bench::BenchMeta;
 use cpgan_graph::{mmd, spectral, stats::clustering, stats::path, Graph};
 use cpgan_nn::{Csr, Matrix};
 use cpgan_parallel::with_thread_count;
@@ -60,6 +61,7 @@ fn main() {
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or(hw)
         .max(1);
+    let meta = BenchMeta::capture(threads);
     eprintln!("benchmarking kernels at 1 vs {threads} thread(s) ({hw} cores visible)...");
 
     let mm_a = seed_matrix(448, 448, 0.1);
@@ -127,8 +129,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"available_parallelism\": {hw},");
-    let _ = writeln!(json, "  \"threads_parallel\": {threads},");
+    json.push_str(&meta.json_fields("  "));
     json.push_str("  \"kernels\": [\n");
     for (i, (name, serial, parallel, speedup)) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };

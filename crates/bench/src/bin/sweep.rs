@@ -14,4 +14,5 @@ fn main() {
     println!("{}", tables.generation.render());
     println!("{}", tables.training.render());
     println!("{}", tables.memory.render());
+    cpgan_obs::finish(Some("results/obs.sweep.jsonl"));
 }

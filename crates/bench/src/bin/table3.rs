@@ -14,4 +14,5 @@ fn main() {
     let table = community::run(&cfg, &[]);
     println!("{}", table.render());
     cpgan_eval::report::maybe_write_json(&args, &table);
+    cpgan_obs::finish(Some("results/obs.table3.jsonl"));
 }

@@ -11,4 +11,5 @@ fn main() {
     let table = quality::run(&cfg, &[]);
     println!("{}", table.render());
     cpgan_eval::report::maybe_write_json(&args, &table);
+    cpgan_obs::finish(Some("results/obs.table4.jsonl"));
 }

@@ -11,4 +11,5 @@ fn main() {
     let table = reconstruction::run(&cfg);
     println!("{}", table.render());
     cpgan_eval::report::maybe_write_json(&args, &table);
+    cpgan_obs::finish(Some("results/obs.table5.jsonl"));
 }

@@ -11,4 +11,5 @@ fn main() {
     eprintln!("running Table VII over sizes {sizes:?}...");
     let tables = efficiency::run(&cfg, &sizes);
     println!("{}", tables.generation.render());
+    cpgan_obs::finish(Some("results/obs.table7.jsonl"));
 }

@@ -11,4 +11,5 @@ fn main() {
     eprintln!("running Table VIII over sizes {sizes:?}...");
     let tables = efficiency::run(&cfg, &sizes);
     println!("{}", tables.training.render());
+    cpgan_obs::finish(Some("results/obs.table8.jsonl"));
 }

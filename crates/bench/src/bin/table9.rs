@@ -11,4 +11,5 @@ fn main() {
     eprintln!("running Table IX over sizes {sizes:?}...");
     let tables = efficiency::run(&cfg, &sizes);
     println!("{}", tables.memory.render());
+    cpgan_obs::finish(Some("results/obs.table9.jsonl"));
 }

@@ -1,2 +1,77 @@
 #![forbid(unsafe_code)]
-//! Placeholder; implemented later in the build plan.
+#![warn(missing_docs)]
+//! Shared benchmark plumbing.
+//!
+//! Every bench binary that writes a `results/BENCH_*.json` report embeds the
+//! same run metadata via [`BenchMeta`], so reports from different machines
+//! and revisions are comparable without guessing at the environment.
+
+/// Environment metadata captured once per benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchMeta {
+    /// Hardware threads visible to the process.
+    pub available_parallelism: usize,
+    /// Worker threads the benchmark actually used.
+    pub threads: usize,
+    /// The raw `CPGAN_THREADS` setting, if any.
+    pub cpgan_threads_env: Option<String>,
+    /// Short git revision of the workspace, or `"unknown"` outside a repo.
+    pub git_rev: String,
+}
+
+impl BenchMeta {
+    /// Captures the current environment; `threads` is the worker count the
+    /// benchmark resolved (after flags/env defaulting).
+    pub fn capture(threads: usize) -> Self {
+        let available_parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let git_rev = std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string());
+        BenchMeta {
+            available_parallelism,
+            threads,
+            cpgan_threads_env: std::env::var("CPGAN_THREADS").ok(),
+            git_rev,
+        }
+    }
+
+    /// Renders the metadata as JSON object fields (no surrounding braces),
+    /// one per line, each line ending in a comma, indented by `indent`.
+    pub fn json_fields(&self, indent: &str) -> String {
+        let env = match &self.cpgan_threads_env {
+            Some(v) => format!("\"{}\"", v.replace(['"', '\\'], "_")),
+            None => "null".to_string(),
+        };
+        format!(
+            "{indent}\"available_parallelism\": {},\n\
+             {indent}\"threads\": {},\n\
+             {indent}\"cpgan_threads_env\": {env},\n\
+             {indent}\"git_rev\": \"{}\",\n",
+            self.available_parallelism, self.threads, self.git_rev
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_and_render() {
+        let meta = BenchMeta::capture(4);
+        assert!(meta.available_parallelism >= 1);
+        assert_eq!(meta.threads, 4);
+        let fields = meta.json_fields("  ");
+        assert!(fields.contains("\"threads\": 4,"));
+        assert!(fields.contains("\"git_rev\": \""));
+        // Must be valid inside a JSON object: every line ends with a comma.
+        assert!(fields.lines().all(|l| l.ends_with(',')));
+    }
+}

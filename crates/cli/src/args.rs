@@ -34,6 +34,11 @@ impl Args {
             .ok_or_else(|| format!("missing required flag --{key}"))
     }
 
+    /// An optional string flag.
+    pub fn get(&self, key: &str) -> Option<String> {
+        self.values.get(key).cloned()
+    }
+
     /// An optional usize flag.
     pub fn get_usize(&self, key: &str) -> Result<Option<usize>, String> {
         self.values

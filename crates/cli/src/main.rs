@@ -40,19 +40,30 @@ fn usage() -> &'static str {
      cpgan fit      --input <edge-list> --model <model.json> [--epochs N] [--sample-size N] [--seed S]\n  \
      cpgan generate --model <model.json> --output <edge-list> [--nodes N] [--edges M] [--seed S]\n  \
      cpgan stats    --input <edge-list>\n  \
-     cpgan eval     --observed <edge-list> --generated <edge-list>"
+     cpgan eval     --observed <edge-list> --generated <edge-list>\n\n\
+     any subcommand also accepts --obs-out <path> (write observability\n\
+     JSONL there and print a summary tree; see DESIGN.md §9)"
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
     let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
     let args = Args::parse(rest)?;
-    match cmd.as_str() {
+    // `--obs-out <path>` turns on observability collection and names the
+    // JSONL sink (equivalent to CPGAN_OBS=1 CPGAN_OBS_OUT=<path>).
+    let obs_out = args.get("obs-out");
+    if obs_out.is_some() {
+        cpgan_obs::set_enabled(true);
+    }
+    let result = match cmd.as_str() {
         "fit" => fit(&args),
         "generate" => generate(&args),
         "stats" => show_stats(&args),
         "eval" => eval(&args),
         other => Err(format!("unknown subcommand '{other}'")),
-    }
+    };
+    // Flush even on error so partial runs still leave telemetry behind.
+    cpgan_obs::finish(obs_out.as_deref());
+    result
 }
 
 fn load_graph(path: &str) -> Result<Graph, String> {

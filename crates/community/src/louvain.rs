@@ -49,6 +49,7 @@ impl LevelGraph {
 /// One local-moving phase. Returns the node->community assignment (compact)
 /// and whether any node moved.
 fn local_moving(lg: &LevelGraph, rng: &mut StdRng) -> (Vec<usize>, bool) {
+    let _span = cpgan_obs::span("community.local_moving");
     let n = lg.n;
     let two_w = 2.0 * lg.total_w;
     let mut comm: Vec<usize> = (0..n).collect();
@@ -63,6 +64,7 @@ fn local_moving(lg: &LevelGraph, rng: &mut StdRng) -> (Vec<usize>, bool) {
     let mut weights_to: Vec<f64> = vec![0.0; n];
     let mut touched: Vec<usize> = Vec::new();
     loop {
+        cpgan_obs::counter_add("community.local_move_passes", 1);
         let mut moved = false;
         for &i in &order {
             let ci = comm[i];
@@ -109,6 +111,7 @@ fn local_moving(lg: &LevelGraph, rng: &mut StdRng) -> (Vec<usize>, bool) {
 
 /// Aggregates `lg` by the assignment, producing the coarser graph.
 fn aggregate(lg: &LevelGraph, comm: &[usize], k: usize) -> LevelGraph {
+    let _span = cpgan_obs::span("community.aggregate");
     let mut self_w = vec![0.0f64; k];
     let mut maps: Vec<std::collections::HashMap<usize, f64>> =
         vec![std::collections::HashMap::new(); k];
@@ -153,6 +156,7 @@ fn aggregate(lg: &LevelGraph, comm: &[usize], k: usize) -> LevelGraph {
 /// expressed over the original nodes. The last entry is the final (highest
 /// modularity) partition. Deterministic for a given `(g, seed)`.
 pub fn louvain_hierarchy(g: &Graph, seed: u64) -> Vec<Partition> {
+    let _span = cpgan_obs::span("community.louvain");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut levels: Vec<Partition> = Vec::new();
     if g.n() == 0 {
@@ -164,6 +168,8 @@ pub fn louvain_hierarchy(g: &Graph, seed: u64) -> Vec<Partition> {
     let mut lg = LevelGraph::from_graph(g);
     let mut current = Partition::singletons(g.n());
     loop {
+        let _level_span = cpgan_obs::span("community.level");
+        cpgan_obs::counter_add("community.levels", 1);
         let (comm, improved) = local_moving(&lg, &mut rng);
         let level = Partition::from_labels(&comm);
         let composed = current.compose(level.labels());

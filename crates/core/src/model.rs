@@ -231,6 +231,7 @@ impl CpGan {
 
         // ---- Discriminator step (Eq. 17) ----
         let (d_loss_v, clus_v) = {
+            let _span = cpgan_obs::span("core.d_step");
             let tape = Tape::new();
             let x = tape.constant(feats.clone());
             let enc_real = self
@@ -274,6 +275,9 @@ impl CpGan {
             let mut d_side = ParamStore::new();
             d_side.extend(&self.enc_params);
             d_side.extend(&self.disc_params);
+            if cpgan_obs::enabled() {
+                cpgan_obs::series_record("train.grad_norm_d", epoch as u64, d_side.grad_norm());
+            }
             opt_d.step(&d_side);
             values
         };
@@ -289,6 +293,7 @@ impl CpGan {
         // likelihood signal under Adam's per-parameter normalization.
         let adv_this_epoch = self.cfg.adv_weight > 0.0 && epoch.is_multiple_of(5);
         let (g_loss_v, kl_v, recon_v) = {
+            let _span = cpgan_obs::span("core.g_step");
             let tape = Tape::new();
             let x = tape.constant(feats);
             let enc_real = self
@@ -349,6 +354,9 @@ impl CpGan {
             let mut g_side = ParamStore::new();
             g_side.extend(&self.enc_params);
             g_side.extend(&self.gen_params);
+            if cpgan_obs::enabled() {
+                cpgan_obs::series_record("train.grad_norm_g", epoch as u64, g_side.grad_norm());
+            }
             opt_g.step(&g_side);
             values
         };
@@ -366,6 +374,8 @@ impl CpGan {
     /// Trains on one observed graph (paper's single-graph setting) using
     /// degree-proportional subgraph sampling per epoch.
     pub fn fit(&mut self, g: &Graph) -> TrainStats {
+        let _span = cpgan_obs::span("core.fit");
+        cpgan_obs::gauge_set("core.param_count", self.param_count() as f64);
         let mut stats = TrainStats::default();
         let decay = StepDecay {
             lr0: self.cfg.learning_rate,
@@ -382,6 +392,7 @@ impl CpGan {
         // epochs.
         let full_feats = self.features(g, self.cfg.seed);
         for epoch in 0..epochs {
+            let _epoch_span = cpgan_obs::span("core.epoch");
             let lr = decay.at(epoch);
             opt_d.set_learning_rate(lr);
             opt_g.set_learning_rate(lr);
@@ -402,7 +413,21 @@ impl CpGan {
                 .into_iter()
                 .map(|p| p.labels().to_vec())
                 .collect();
+            if cpgan_obs::enabled() {
+                if let Some(finest) = truth.first() {
+                    cpgan_obs::series_record(
+                        "train.modularity_q",
+                        epoch as u64,
+                        cpgan_community::modularity::modularity(&sub, finest),
+                    );
+                }
+            }
             let es = self.train_step(&sub, sub_feats, &truth, &mut opt_d, &mut opt_g, epoch);
+            cpgan_obs::series_record("train.d_loss", epoch as u64, f64::from(es.d_loss));
+            cpgan_obs::series_record("train.g_loss", epoch as u64, f64::from(es.g_loss));
+            cpgan_obs::series_record("train.clus_loss", epoch as u64, f64::from(es.clus_loss));
+            cpgan_obs::series_record("train.kl_loss", epoch as u64, f64::from(es.kl_loss));
+            cpgan_obs::series_record("train.recon_loss", epoch as u64, f64::from(es.recon_loss));
             stats.epochs.push(es);
         }
         // Simulation state: encode the whole observed graph once (this is
@@ -439,6 +464,7 @@ impl CpGan {
     /// Table III's NMI/ARI measure. For other sizes, latents come from the
     /// standard-normal prior (Eq. 16's `Z_s` path).
     pub fn generate(&self, n: usize, m: usize, rng: &mut StdRng) -> Graph {
+        let _span = cpgan_obs::span("core.generate");
         let ns = self.cfg.sample_size.min(n).max(2);
         let mut asm = GraphAssembler::new(n, m);
         if let Some(state) = self.sim_state.as_ref().filter(|s| s.mu.rows() == n) {

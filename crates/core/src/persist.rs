@@ -151,6 +151,78 @@ mod tests {
     }
 
     #[test]
+    fn save_load_save_is_bitwise_stable() {
+        let g = small_graph();
+        let mut model = CpGan::new(CpGanConfig {
+            epochs: 4,
+            sample_size: 36,
+            ..CpGanConfig::tiny()
+        });
+        model.fit(&g);
+        let dir = std::env::temp_dir().join("cpgan_persist_bitwise_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let first = dir.join("first.json");
+        let second = dir.join("second.json");
+        model.save(&first).unwrap();
+        let loaded = CpGan::load(&first).unwrap();
+        loaded.save(&second).unwrap();
+        let a = std::fs::read(&first).unwrap();
+        let b = std::fs::read(&second).unwrap();
+        assert_eq!(a, b, "save -> load -> save must be bitwise identical");
+        std::fs::remove_file(&first).ok();
+        std::fs::remove_file(&second).ok();
+    }
+
+    #[test]
+    fn truncated_and_corrupt_snapshots_error_readably() {
+        let g = small_graph();
+        let mut model = CpGan::new(CpGanConfig {
+            epochs: 2,
+            sample_size: 36,
+            ..CpGanConfig::tiny()
+        });
+        model.fit(&g);
+        let dir = std::env::temp_dir().join("cpgan_persist_corrupt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        model.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Truncated at half length: must be a Json error, not a panic.
+        let truncated = dir.join("truncated.json");
+        std::fs::write(&truncated, &bytes[..bytes.len() / 2]).unwrap();
+        let Err(err) = CpGan::load(&truncated) else {
+            panic!("truncated snapshot must not load");
+        };
+        assert!(matches!(err, PersistError::Json(_)), "got {err:?}");
+        assert!(
+            err.to_string().starts_with("serialization error:"),
+            "unreadable message: {err}"
+        );
+
+        // Arbitrary garbage bytes: likewise a readable Json error.
+        let corrupt = dir.join("corrupt.json");
+        std::fs::write(&corrupt, b"\x00\xffnot json at all{{{").unwrap();
+        let Err(err) = CpGan::load(&corrupt) else {
+            panic!("corrupt snapshot must not load");
+        };
+        assert!(matches!(err, PersistError::Json(_)), "got {err:?}");
+        assert!(!err.to_string().is_empty());
+
+        // Missing file: a readable Io error.
+        let missing = dir.join("does_not_exist.json");
+        let Err(err) = CpGan::load(&missing) else {
+            panic!("missing file must not load");
+        };
+        assert!(matches!(err, PersistError::Io(_)), "got {err:?}");
+        assert!(err.to_string().starts_with("i/o error:"));
+
+        for p in [path, truncated, corrupt] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
     fn version_mismatch_rejected() {
         let model = CpGan::new(CpGanConfig::tiny());
         let mut snap = model.snapshot();

@@ -80,6 +80,8 @@ pub fn run(cfg: &EvalConfig, dataset_filter: &[&str]) -> Table {
 
 /// Evaluates one (model, dataset) cell.
 pub fn evaluate_cell(kind: ModelKind, spec: &datasets::DatasetSpec, cfg: &EvalConfig) -> Cell {
+    let _span = cpgan_obs::span("eval.community.cell");
+    cpgan_obs::counter_add("eval.community.cells", 1);
     if budget::would_oom(kind, spec.n) {
         return Cell::Oom;
     }

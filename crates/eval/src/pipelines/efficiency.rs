@@ -12,9 +12,9 @@ use crate::report::Table;
 use crate::{budget, paper, EvalConfig};
 use cpgan_data::sweep;
 use cpgan_nn::memory;
+use cpgan_obs::Stopwatch;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 /// One model's measurements at one size.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +56,8 @@ fn locally_infeasible(kind: ModelKind, n: usize, cfg: &EvalConfig) -> bool {
 
 /// Measures one (model, size) sweep cell.
 pub fn evaluate_cell(kind: ModelKind, n: usize, cfg: &EvalConfig) -> Cell {
+    let _span = cpgan_obs::span("eval.efficiency.cell");
+    cpgan_obs::counter_add("eval.efficiency.cells", 1);
     if budget::would_oom(kind, n) {
         return Cell::Oom;
     }
@@ -80,16 +82,16 @@ pub fn evaluate_cell(kind: ModelKind, n: usize, cfg: &EvalConfig) -> Cell {
     };
     memory::reset_peak();
     let live_before = memory::live_bytes();
-    let t0 = Instant::now();
+    let t0 = Stopwatch::start();
     let model = fit_model(kind, &pg.graph, &measure_cfg, cfg.seed);
-    let train_secs = t0.elapsed().as_secs_f64() * extrapolation;
+    let train_secs = t0.elapsed_secs() * extrapolation;
     let peak = memory::peak_bytes().saturating_sub(live_before);
 
     // Generation: one timed sample.
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x1234);
-    let t1 = Instant::now();
+    let t1 = Stopwatch::start();
     let out = model.generate(&mut rng);
-    let generation_secs = t1.elapsed().as_secs_f64();
+    let generation_secs = t1.elapsed_secs();
     debug_assert_eq!(out.n(), n);
 
     Cell::Measured(SweepMeasurement {

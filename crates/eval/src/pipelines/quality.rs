@@ -27,6 +27,8 @@ pub enum Cell {
 
 /// Evaluates one (model, dataset) cell.
 pub fn evaluate_cell(kind: ModelKind, spec: &datasets::DatasetSpec, cfg: &EvalConfig) -> Cell {
+    let _span = cpgan_obs::span("eval.quality.cell");
+    cpgan_obs::counter_add("eval.quality.cells", 1);
     if budget::would_oom(kind, spec.n) {
         return Cell::Oom;
     }
@@ -48,6 +50,9 @@ pub fn evaluate_cell(kind: ModelKind, spec: &datasets::DatasetSpec, cfg: &EvalCo
     let cfg_owned = cfg.clone();
     let acc: Vec<QualityDiff> =
         cpgan_parallel::Pool::global().par_map_owned(seeds, move |_, seed| {
+            // Pool jobs run under a root span scope (see cpgan-parallel), so
+            // this path is `eval.quality.seed/...` at every thread count.
+            let _span = cpgan_obs::span("eval.quality.seed");
             let model = fit_model(kind, &graph, &cfg_owned, seed);
             let mut rng = StdRng::seed_from_u64(seed ^ 0x4444);
             let generated = model.generate(&mut rng);

@@ -48,6 +48,8 @@ pub fn mmd_squared(xs: &[Vec<f64>], ys: &[Vec<f64>], sigma: f64) -> f64 {
 
 /// [`mmd_squared`] with the EMD measured in units of `bin_width`.
 pub fn mmd_squared_scaled(xs: &[Vec<f64>], ys: &[Vec<f64>], sigma: f64, bin_width: f64) -> f64 {
+    let _span = cpgan_obs::span("graph.mmd");
+    cpgan_obs::hist_record("graph.mmd.pairs", (xs.len() * ys.len()) as f64);
     /// Rows of `a` per parallel chunk of the kernel-matrix sum. Fixed (not
     /// thread-dependent) so partial sums combine identically at every
     /// `CPGAN_THREADS` setting.

@@ -64,6 +64,7 @@ fn gram_schmidt(cols: &mut [Vec<f64>], reseed: &mut u64) {
 /// Deterministic for a given `(g, d, seed)`. For `d = 0` or an empty graph an
 /// empty vector is returned.
 pub fn spectral_embedding(g: &Graph, d: usize, seed: u64) -> Vec<f32> {
+    let _span = cpgan_obs::span("graph.spectral");
     let n = g.n();
     if n == 0 || d == 0 {
         return Vec::new();

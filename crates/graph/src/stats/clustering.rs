@@ -36,6 +36,7 @@ const NODE_CHUNK: usize = 256;
 /// defined as 0 for degree < 2. Node-blocked across the pool (each
 /// coefficient is independent, so the output is thread-count independent).
 pub fn local_clustering(g: &Graph) -> Vec<f64> {
+    let _span = cpgan_obs::span("graph.clustering");
     let mut out = vec![0.0f64; g.n()];
     cpgan_parallel::par_chunks_mut(&mut out, NODE_CHUNK, |ci, chunk| {
         for (k, slot) in chunk.iter_mut().enumerate() {

@@ -28,6 +28,7 @@ pub fn bfs_distances(g: &Graph, src: NodeId) -> Vec<usize> {
 /// estimator the paper's evaluation scripts rely on for the larger graphs,
 /// deterministic here so repeated runs agree.
 pub fn characteristic_path_length(g: &Graph, max_sources: usize) -> f64 {
+    let _span = cpgan_obs::span("graph.cpl");
     let n = g.n();
     if n < 2 {
         return 0.0;

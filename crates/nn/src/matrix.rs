@@ -196,6 +196,11 @@ impl Matrix {
             )
             .into());
         }
+        let _span = cpgan_obs::span("nn.matmul");
+        cpgan_obs::hist_record(
+            "nn.matmul.flops",
+            2.0 * self.rows as f64 * self.cols as f64 * other.cols as f64,
+        );
         let m = other.cols;
         let mut out = Matrix::zeros(self.rows, m);
         par_rows(&mut out, |i, out_row| {
@@ -228,6 +233,11 @@ impl Matrix {
             )
             .into());
         }
+        let _span = cpgan_obs::span("nn.matmul_tn");
+        cpgan_obs::hist_record(
+            "nn.matmul.flops",
+            2.0 * self.rows as f64 * self.cols as f64 * other.cols as f64,
+        );
         let (k, n, m) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(n, m);
         // Row-blocked over the *output* (each out row i reads column i of
@@ -263,6 +273,11 @@ impl Matrix {
             )
             .into());
         }
+        let _span = cpgan_obs::span("nn.matmul_nt");
+        cpgan_obs::hist_record(
+            "nn.matmul.flops",
+            2.0 * self.rows as f64 * self.cols as f64 * other.rows as f64,
+        );
         let (k, m) = (self.cols, other.rows);
         let mut out = Matrix::zeros(self.rows, m);
         par_rows(&mut out, |i, out_row| {

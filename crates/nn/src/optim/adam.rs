@@ -42,6 +42,7 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &ParamStore) {
+        let _span = cpgan_obs::span("nn.optim.adam_step");
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t);
         let bc2 = 1.0 - self.beta2.powi(self.t);

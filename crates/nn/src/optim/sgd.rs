@@ -26,6 +26,7 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &ParamStore) {
+        let _span = cpgan_obs::span("nn.optim.sgd_step");
         for p in params.params() {
             let id = p.id();
             let mut data = p.lock();

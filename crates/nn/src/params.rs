@@ -103,6 +103,19 @@ impl ParamStore {
         self.params.iter().map(Param::param_count).sum()
     }
 
+    /// Global L2 norm over every accumulated gradient, in f64 so the value
+    /// does not depend on parameter registration chunking (training
+    /// telemetry: `train.grad_norm_*` series).
+    pub fn grad_norm(&self) -> f64 {
+        let mut total = 0.0f64;
+        for p in &self.params {
+            for &g in p.lock().grad.as_slice() {
+                total += f64::from(g) * f64::from(g);
+            }
+        }
+        total.sqrt()
+    }
+
     /// Zeroes every gradient.
     pub fn zero_grad(&self) {
         for p in &self.params {

@@ -134,6 +134,9 @@ impl Csr {
     /// result is bit-identical for every `CPGAN_THREADS` setting.
     pub fn matmul_dense(&self, x: &Matrix) -> Matrix {
         assert_eq!(self.cols, x.rows(), "spmm shape mismatch");
+        let _span = cpgan_obs::span("nn.spmm");
+        cpgan_obs::hist_record("nn.spmm.nnz", self.nnz() as f64);
+        cpgan_obs::hist_record("nn.spmm.flops", 2.0 * self.nnz() as f64 * x.cols() as f64);
         let d = x.cols();
         let mut out = Matrix::zeros(self.rows, d);
         if d == 0 {

@@ -646,6 +646,7 @@ impl Var {
     /// with ones. Parameter gradients are *accumulated* into their shared
     /// storage (call [`crate::ParamStore::zero_grad`] between steps).
     pub fn backward(&self) {
+        let _span = cpgan_obs::span("nn.backward");
         let mut nodes = self.tape.nodes.borrow_mut();
         let root = &mut nodes[self.idx];
         let (r, c) = root.value.shape();

@@ -1,0 +1,133 @@
+//! Per-thread collectors and the index-ordered global registry.
+//!
+//! Every thread that records anything owns one [`Collector`] behind an
+//! `Arc<Mutex<..>>`; the arc is registered once in a process-global vector
+//! in first-touch order. Recording locks only the calling thread's own
+//! mutex (uncontended in steady state); snapshotting walks the registry in
+//! index order and folds each collector in with commutative combines, so
+//! the merged result does not depend on registration order or thread count.
+
+use crate::metrics::Hist;
+use crate::report::Report;
+use std::cell::OnceCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Aggregated statistics of one span path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SpanStat {
+    /// Number of completed guard drops.
+    pub count: u64,
+    /// Total wall-clock across those drops, nanoseconds.
+    pub total_ns: u64,
+}
+
+/// One thread's private store of everything it recorded.
+#[derive(Debug, Default)]
+pub(crate) struct Collector {
+    /// Span path (`a/b/c`) -> aggregated stat.
+    pub spans: BTreeMap<String, SpanStat>,
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges as `(write sequence, value)`; the merge keeps the latest write.
+    pub gauges: BTreeMap<String, (u64, f64)>,
+    /// Log-bucket streaming histograms.
+    pub hists: BTreeMap<String, Hist>,
+    /// Scalar series as `(step, value)` points in record order.
+    pub series: BTreeMap<String, Vec<(u64, f64)>>,
+}
+
+impl Collector {
+    fn clear(&mut self) {
+        self.spans.clear();
+        self.counters.clear();
+        self.gauges.clear();
+        self.hists.clear();
+        self.series.clear();
+    }
+}
+
+type Shared = Arc<Mutex<Collector>>;
+
+fn registry() -> &'static Mutex<Vec<Shared>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Shared>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Locks a mutex, recovering the data on poison (a panicking recorder must
+/// not take observability down with it).
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+thread_local! {
+    /// This thread's collector handle, registered globally on first use.
+    static LOCAL: OnceCell<Shared> = const { OnceCell::new() };
+}
+
+/// Runs `f` against the calling thread's collector.
+pub(crate) fn with_collector(f: impl FnOnce(&mut Collector)) {
+    LOCAL.with(|cell| {
+        let shared = cell.get_or_init(|| {
+            let shared: Shared = Arc::new(Mutex::new(Collector::default()));
+            lock(registry()).push(Arc::clone(&shared));
+            shared
+        });
+        f(&mut lock(shared));
+    });
+}
+
+/// Next gauge write sequence number (process-global, so "latest write wins"
+/// is well defined across threads).
+pub(crate) fn next_gauge_seq() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    SEQ.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Merges every registered collector, in registration-index order, into one
+/// [`Report`]. All combines are commutative (integer adds, bucket adds,
+/// latest-sequence gauge writes) except series concatenation, which is made
+/// order-independent by the stable `(step, value-bits)` sort in
+/// [`Report::normalize`].
+pub(crate) fn merged() -> Report {
+    let handles: Vec<Shared> = lock(registry()).clone();
+    let mut report = Report::default();
+    for shared in &handles {
+        let c = lock(shared);
+        for (path, stat) in &c.spans {
+            let e = report.spans.entry(path.clone()).or_default();
+            e.count += stat.count;
+            e.total_ns += stat.total_ns;
+        }
+        for (name, v) in &c.counters {
+            *report.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, &(seq, v)) in &c.gauges {
+            let e = report.gauges.entry(name.clone()).or_insert((seq, v));
+            if seq >= e.0 {
+                *e = (seq, v);
+            }
+        }
+        for (name, h) in &c.hists {
+            report.hists.entry(name.clone()).or_default().merge(h);
+        }
+        for (name, points) in &c.series {
+            report
+                .series
+                .entry(name.clone())
+                .or_default()
+                .extend_from_slice(points);
+        }
+    }
+    report.normalize();
+    report
+}
+
+/// Clears every registered collector in place.
+pub(crate) fn reset() {
+    let handles: Vec<Shared> = lock(registry()).clone();
+    for shared in &handles {
+        lock(shared).clear();
+    }
+}

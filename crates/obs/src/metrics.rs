@@ -1,0 +1,179 @@
+//! Counters, gauges, log-bucket histograms, and scalar series.
+
+use crate::collect::{next_gauge_seq, with_collector};
+
+/// Number of histogram buckets; bucket `i` holds values in `[2^i, 2^(i+1))`
+/// (bucket 0 additionally absorbs everything below 1, including negatives).
+pub const HIST_BUCKETS: usize = 64;
+
+/// A fixed log-bucket streaming histogram.
+///
+/// Buckets are powers of two, so the bucket of a value depends only on the
+/// value — recording is order-independent and two histograms merge by adding
+/// bucket counts, which keeps merged output identical at any thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hist {
+    /// Per-bucket sample counts.
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total number of samples.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample (`+inf` when empty).
+    pub min: f64,
+    /// Largest sample (`-inf` when empty).
+    pub max: f64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Hist {
+    /// The bucket index of `v`: `floor(log2(v))` clamped to the table
+    /// (values below 1, negative or non-finite-low all land in bucket 0).
+    pub fn bucket_of(v: f64) -> usize {
+        if v.is_nan() || v < 1.0 {
+            return 0;
+        }
+        let b = v.log2() as usize; // v >= 1 so log2 >= 0; cast truncates
+        b.min(HIST_BUCKETS - 1)
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` into `self`. Commutative and associative, so the merge
+    /// order across per-thread collectors cannot change the result.
+    pub fn merge(&mut self, other: &Hist) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Adds `delta` to the counter `name`. By workspace convention a counter
+/// whose name ends in `_ns` holds wall-clock nanoseconds and is exempt from
+/// the determinism contract; every other counter must be thread-count
+/// invariant (DESIGN.md §9).
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_collector(|c| *c.counters.entry(name.to_string()).or_insert(0) += delta);
+}
+
+/// Sets the gauge `name` to `value` (latest write wins, ordered by a
+/// process-global sequence). Set gauges from deterministic contexts only.
+#[inline]
+pub fn gauge_set(name: &'static str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    let seq = next_gauge_seq();
+    with_collector(|c| {
+        c.gauges.insert(name.to_string(), (seq, value));
+    });
+}
+
+/// Records `value` into the histogram `name`.
+#[inline]
+pub fn hist_record(name: &'static str, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_collector(|c| c.hists.entry(name.to_string()).or_default().record(value));
+}
+
+/// Appends `(step, value)` to the scalar series `name` (training telemetry:
+/// losses, grad norms, modularity-Q per epoch).
+#[inline]
+pub fn series_record(name: &'static str, step: u64, value: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_collector(|c| {
+        c.series
+            .entry(name.to_string())
+            .or_default()
+            .push((step, value));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Hist::bucket_of(-3.0), 0);
+        assert_eq!(Hist::bucket_of(0.0), 0);
+        assert_eq!(Hist::bucket_of(0.5), 0);
+        assert_eq!(Hist::bucket_of(1.0), 0);
+        assert_eq!(Hist::bucket_of(1.99), 0);
+        assert_eq!(Hist::bucket_of(2.0), 1);
+        assert_eq!(Hist::bucket_of(1024.0), 10);
+        assert_eq!(Hist::bucket_of(f64::MAX), HIST_BUCKETS - 1);
+        assert_eq!(Hist::bucket_of(f64::NAN), 0);
+    }
+
+    #[test]
+    fn merge_matches_serial_reference() {
+        // Record a value set split across two histograms in interleaved
+        // order; merging must reproduce the single-histogram reference
+        // exactly (the per-thread merge discipline in miniature).
+        let values: Vec<f64> = (0..200).map(|i| ((i * 37) % 97) as f64 * 1.37).collect();
+        let mut reference = Hist::default();
+        for &v in &values {
+            reference.record(v);
+        }
+        let mut a = Hist::default();
+        let mut b = Hist::default();
+        for (i, &v) in values.iter().enumerate() {
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut merged_ab = a.clone();
+        merged_ab.merge(&b);
+        let mut merged_ba = b.clone();
+        merged_ba.merge(&a);
+        assert_eq!(merged_ab.buckets, reference.buckets);
+        assert_eq!(merged_ab.count, reference.count);
+        assert_eq!(merged_ab.min.to_bits(), reference.min.to_bits());
+        assert_eq!(merged_ab.max.to_bits(), reference.max.to_bits());
+        // Bucket counts and extrema are order-independent both ways.
+        assert_eq!(merged_ba.buckets, reference.buckets);
+        assert_eq!(merged_ba.count, reference.count);
+    }
+
+    #[test]
+    fn empty_merge_is_identity() {
+        let mut h = Hist::default();
+        h.record(5.0);
+        let snapshot = h.clone();
+        h.merge(&Hist::default());
+        assert_eq!(h, snapshot);
+    }
+}

@@ -1,0 +1,306 @@
+//! Merged report: JSONL sink and human-readable summary tree.
+
+use crate::collect::SpanStat;
+use crate::metrics::Hist;
+use std::collections::BTreeMap;
+
+/// A merged snapshot of everything every thread recorded.
+///
+/// Produced by [`crate::snapshot`]; all maps are `BTreeMap`s so iteration
+/// (and therefore both sinks) is deterministically ordered. Fields whose
+/// JSONL key ends in `_ns` hold wall-clock durations and are the only
+/// thread-count-dependent values in the report (histogram `sum` stays
+/// invariant because recorded samples are integer-valued work sizes, whose
+/// f64 additions are exact and hence order-independent below 2^53).
+#[derive(Debug, Default)]
+pub struct Report {
+    pub(crate) spans: BTreeMap<String, SpanStat>,
+    pub(crate) counters: BTreeMap<String, u64>,
+    pub(crate) gauges: BTreeMap<String, (u64, f64)>,
+    pub(crate) hists: BTreeMap<String, Hist>,
+    pub(crate) series: BTreeMap<String, Vec<(u64, f64)>>,
+}
+
+impl Report {
+    /// Canonicalizes order-dependent pieces: each series is stable-sorted by
+    /// `(step, value)` so concatenating per-thread segments in any order
+    /// yields the same point list.
+    pub(crate) fn normalize(&mut self) {
+        for points in self.series.values_mut() {
+            points.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.total_cmp(&b.1)));
+        }
+    }
+
+    /// Aggregated `(count, total_ns)` of a span path, if recorded.
+    pub fn span_stat(&self, path: &str) -> Option<(u64, u64)> {
+        self.spans.get(path).map(|s| (s.count, s.total_ns))
+    }
+
+    /// Value of a counter, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Latest value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).map(|&(_, v)| v)
+    }
+
+    /// A histogram by name, if recorded.
+    pub fn hist(&self, name: &str) -> Option<&Hist> {
+        self.hists.get(name)
+    }
+
+    /// The points of a scalar series, sorted by `(step, value)`.
+    pub fn series(&self, name: &str) -> Option<&[(u64, f64)]> {
+        self.series.get(name).map(Vec::as_slice)
+    }
+
+    /// Renders the report as JSONL: one `meta` line, then one line per span
+    /// path, counter, gauge, histogram, and series, each tagged with `"t"`.
+    ///
+    /// Everything except `_ns`-suffixed fields and the `meta` line is
+    /// thread-count invariant; the determinism suite strips exactly those.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let threads = std::env::var("CPGAN_THREADS").unwrap_or_default();
+        out.push_str(&format!(
+            "{{\"t\":\"meta\",\"cpgan_threads\":{}}}\n",
+            json_str(&threads)
+        ));
+        for (path, s) in &self.spans {
+            out.push_str(&format!(
+                "{{\"t\":\"span\",\"path\":{},\"count\":{},\"total_ns\":{}}}\n",
+                json_str(path),
+                s.count,
+                s.total_ns
+            ));
+        }
+        for (name, v) in &self.counters {
+            out.push_str(&format!(
+                "{{\"t\":\"counter\",\"name\":{},\"value\":{}}}\n",
+                json_str(name),
+                v
+            ));
+        }
+        for (name, &(_, v)) in &self.gauges {
+            out.push_str(&format!(
+                "{{\"t\":\"gauge\",\"name\":{},\"value\":{}}}\n",
+                json_str(name),
+                json_f64(v)
+            ));
+        }
+        for (name, h) in &self.hists {
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(i, c)| format!("[{i},{c}]"))
+                .collect();
+            out.push_str(&format!(
+                "{{\"t\":\"hist\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}\n",
+                json_str(name),
+                h.count,
+                json_f64(h.sum),
+                json_f64(h.min),
+                json_f64(h.max),
+                buckets.join(",")
+            ));
+        }
+        for (name, points) in &self.series {
+            let pts: Vec<String> = points
+                .iter()
+                .map(|&(step, v)| format!("[{},{}]", step, json_f64(v)))
+                .collect();
+            out.push_str(&format!(
+                "{{\"t\":\"series\",\"name\":{},\"points\":[{}]}}\n",
+                json_str(name),
+                pts.join(",")
+            ));
+        }
+        out
+    }
+
+    /// Renders a deterministic human-readable summary: spans as an indented
+    /// tree (durations included — those vary run to run, the structure does
+    /// not), then counters, gauges, histograms, and series extents.
+    pub fn summary_tree(&self) -> String {
+        let mut out = String::from("== cpgan-obs summary ==\n");
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            for (path, s) in &self.spans {
+                let depth = path.matches('/').count();
+                let leaf = path.rsplit('/').next().unwrap_or(path);
+                let label = format!("{}{}", "  ".repeat(depth + 1), leaf);
+                out.push_str(&format!(
+                    "{label:<40} count={:<8} total={}\n",
+                    s.count,
+                    fmt_dur(s.total_ns)
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                if name.ends_with("_ns") {
+                    out.push_str(&format!("  {name:<38} {}\n", fmt_dur(*v)));
+                } else {
+                    out.push_str(&format!("  {name:<38} {v}\n"));
+                }
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, &(_, v)) in &self.gauges {
+                out.push_str(&format!("  {name:<38} {v}\n"));
+            }
+        }
+        if !self.hists.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.hists {
+                out.push_str(&format!(
+                    "  {name:<38} count={} min={} max={} mean={}\n",
+                    h.count,
+                    h.min,
+                    h.max,
+                    if h.count > 0 {
+                        h.sum / h.count as f64
+                    } else {
+                        0.0
+                    }
+                ));
+            }
+        }
+        if !self.series.is_empty() {
+            out.push_str("series:\n");
+            for (name, points) in &self.series {
+                let last = points.last().map(|&(s, v)| format!("last=({s}, {v})"));
+                out.push_str(&format!(
+                    "  {name:<38} points={} {}\n",
+                    points.len(),
+                    last.unwrap_or_default()
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Flushes observability at program exit: when collection is enabled, merges
+/// all collectors, writes the JSONL report to `CPGAN_OBS_OUT` (falling back
+/// to `default_out`), and prints the summary tree to stderr. A no-op when
+/// collection is disabled; sink I/O errors are reported to stderr, never
+/// panicked on.
+pub fn finish(default_out: Option<&str>) {
+    if !crate::enabled() {
+        return;
+    }
+    let report = crate::snapshot();
+    let env_out = std::env::var("CPGAN_OBS_OUT").ok();
+    let out_path = env_out.as_deref().or(default_out);
+    if let Some(path) = out_path {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("cpgan-obs: cannot create {}: {e}", parent.display());
+                }
+            }
+        }
+        match std::fs::write(path, report.to_jsonl()) {
+            Ok(()) => eprintln!("cpgan-obs: wrote {path}"),
+            Err(e) => eprintln!("cpgan-obs: cannot write {path}: {e}"),
+        }
+    }
+    eprint!("{}", report.summary_tree());
+}
+
+/// JSON string literal (quotes + escapes) for a key/name.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Canonical JSON rendering of an f64 (shortest round-trip form; non-finite
+/// values become `null` since JSON has no representation for them).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Human-readable duration from nanoseconds.
+fn fmt_dur(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_helpers() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn normalize_sorts_series_points() {
+        let mut r = Report::default();
+        r.series.insert(
+            "loss".to_string(),
+            vec![(2, 0.5), (0, 1.0), (1, 0.7), (1, 0.2)],
+        );
+        r.normalize();
+        assert_eq!(
+            r.series("loss"),
+            Some(&[(0, 1.0), (1, 0.2), (1, 0.7), (2, 0.5)][..])
+        );
+    }
+
+    #[test]
+    fn jsonl_shape_and_tree() {
+        let mut r = Report::default();
+        r.spans.insert(
+            "a/b".to_string(),
+            crate::collect::SpanStat {
+                count: 3,
+                total_ns: 1500,
+            },
+        );
+        r.counters.insert("jobs".to_string(), 7);
+        let jsonl = r.to_jsonl();
+        assert!(jsonl.contains("\"t\":\"meta\""));
+        assert!(jsonl.contains("{\"t\":\"span\",\"path\":\"a/b\",\"count\":3,\"total_ns\":1500}"));
+        assert!(jsonl.contains("{\"t\":\"counter\",\"name\":\"jobs\",\"value\":7}"));
+        let tree = r.summary_tree();
+        assert!(tree.contains("spans:"));
+        assert!(tree.contains("b"));
+        assert!(tree.contains("jobs"));
+    }
+}

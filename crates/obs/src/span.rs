@@ -1,0 +1,74 @@
+//! Hierarchical span timers: RAII guards over a thread-local name stack.
+
+use crate::collect::with_collector;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// The stack of currently open span names on this thread. Joined with
+    /// `/` it is the aggregation key of the innermost span.
+    static STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span. Dropping it records `(count += 1, total_ns += elapsed)`
+/// under the full path of open spans at creation time.
+#[must_use = "a span measures the scope it is bound to; binding it to `_` drops it immediately"]
+pub struct SpanGuard {
+    start: Option<Instant>,
+}
+
+/// Opens a span named `name` under the currently open spans of this thread.
+///
+/// When collection is disabled this is one relaxed atomic load and a branch;
+/// the returned guard is inert.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { start: None };
+    }
+    STACK.with(|s| s.borrow_mut().push(name));
+    SpanGuard {
+        start: Some(Instant::now()),
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let path = STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        with_collector(|c| {
+            let stat = c.spans.entry(path).or_default();
+            stat.count += 1;
+            stat.total_ns += elapsed_ns;
+        });
+    }
+}
+
+/// Runs `f` with an empty span stack, restoring the caller's stack after.
+///
+/// Work that migrates between threads (e.g. `cpgan-parallel` pool jobs) runs
+/// under a root scope in **both** its serial-inline and worker-thread
+/// executions, so span paths do not depend on the thread count.
+pub fn with_root_scope<R>(f: impl FnOnce() -> R) -> R {
+    if !crate::enabled() {
+        return f();
+    }
+    struct Restore(Vec<&'static str>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let saved = std::mem::take(&mut self.0);
+            STACK.with(|s| *s.borrow_mut() = saved);
+        }
+    }
+    let saved = STACK.with(|s| std::mem::take(&mut *s.borrow_mut()));
+    let _restore = Restore(saved);
+    f()
+}

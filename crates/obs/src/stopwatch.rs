@@ -1,0 +1,34 @@
+//! The sanctioned always-on timing primitive.
+//!
+//! Measurement code outside `cpgan-obs` and `cpgan-bench` (efficiency
+//! pipelines, pool queue-wait accounting) must time through [`Stopwatch`]
+//! rather than raw `std::time::Instant` — the `ad-hoc-timing` xtask lint
+//! enforces this, keeping every timing site discoverable in one place.
+
+use std::time::Instant;
+
+/// A started wall-clock timer. Unlike spans, a stopwatch is always on and
+/// never records anything itself; callers read it and decide what to do.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a stopwatch now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`] (saturating).
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}

@@ -1,0 +1,42 @@
+//! Disabled-mode contract: with collection off, every instrumentation call
+//! is a no-op and the snapshot stays empty. Runs in its own process (one
+//! integration-test binary) so the enabled flag is never toggled by other
+//! tests.
+
+#[test]
+fn disabled_mode_records_nothing() {
+    cpgan_obs::set_enabled(false);
+    assert!(!cpgan_obs::enabled());
+
+    {
+        let _outer = cpgan_obs::span("outer");
+        let _inner = cpgan_obs::span("inner");
+        cpgan_obs::counter_add("jobs", 3);
+        cpgan_obs::gauge_set("params", 42.0);
+        cpgan_obs::hist_record("flops", 1024.0);
+        cpgan_obs::series_record("loss", 0, 0.5);
+    }
+    cpgan_obs::with_root_scope(|| {
+        let _s = cpgan_obs::span("rooted");
+    });
+
+    let report = cpgan_obs::snapshot();
+    assert_eq!(report.span_stat("outer"), None);
+    assert_eq!(report.span_stat("outer/inner"), None);
+    assert_eq!(report.counter("jobs"), None);
+    assert_eq!(report.gauge("params"), None);
+    assert!(report.hist("flops").is_none());
+    assert!(report.series("loss").is_none());
+
+    // The JSONL sink still renders (just the meta line) and finish() with no
+    // output path is a silent no-op.
+    let jsonl = report.to_jsonl();
+    let lines: Vec<&str> = jsonl.lines().collect();
+    assert_eq!(lines.len(), 1);
+    assert!(lines[0].contains("\"t\":\"meta\""));
+    cpgan_obs::finish(None);
+
+    // The Stopwatch primitive is always on, independent of the flag.
+    let sw = cpgan_obs::Stopwatch::start();
+    assert!(sw.elapsed_secs() >= 0.0);
+}

@@ -1,0 +1,98 @@
+//! Enabled-mode end-to-end: spans nest into paths, metrics aggregate, data
+//! recorded on spawned threads merges into one report, and both sinks render
+//! the result. A single `#[test]` because everything here shares the
+//! process-global collector registry.
+
+#[test]
+fn enabled_pipeline_end_to_end() {
+    cpgan_obs::set_enabled(true);
+    cpgan_obs::reset();
+
+    // Nested spans on the main thread: paths join with `/`.
+    {
+        let _fit = cpgan_obs::span("fit");
+        for _ in 0..3 {
+            let _epoch = cpgan_obs::span("epoch");
+            cpgan_obs::hist_record("flops", 2048.0);
+        }
+    }
+    cpgan_obs::counter_add("jobs", 2);
+    cpgan_obs::counter_add("jobs", 3);
+    cpgan_obs::gauge_set("params", 10.0);
+    cpgan_obs::gauge_set("params", 20.0); // latest write wins
+    cpgan_obs::series_record("loss", 1, 0.25);
+
+    // Worker threads record under a root scope (as pool jobs do) so their
+    // span paths are independent of where the closure runs.
+    let handles: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                cpgan_obs::with_root_scope(|| {
+                    let _job = cpgan_obs::span("job");
+                    cpgan_obs::counter_add("jobs", 1);
+                    cpgan_obs::hist_record("flops", 2048.0);
+                    cpgan_obs::series_record("loss", 1 + i, 0.5);
+                });
+            })
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let report = cpgan_obs::snapshot();
+    assert_eq!(report.span_stat("fit").map(|(c, _)| c), Some(1));
+    assert_eq!(report.span_stat("fit/epoch").map(|(c, _)| c), Some(3));
+    assert_eq!(report.span_stat("job").map(|(c, _)| c), Some(4));
+    assert_eq!(report.counter("jobs"), Some(2 + 3 + 4));
+    assert_eq!(report.gauge("params"), Some(20.0));
+    let flops = report.hist("flops").unwrap();
+    assert_eq!(flops.count, 7);
+    assert_eq!(flops.buckets[11], 7); // 2048 = 2^11
+                                      // Series points are concatenated across threads then sorted by
+                                      // (step, value), so the merged order is deterministic.
+    assert_eq!(
+        report.series("loss"),
+        Some(&[(1, 0.25), (1, 0.5), (2, 0.5), (3, 0.5), (4, 0.5)][..])
+    );
+
+    let jsonl = report.to_jsonl();
+    assert!(jsonl.contains("\"path\":\"fit/epoch\",\"count\":3"));
+    assert!(jsonl.contains("\"t\":\"counter\",\"name\":\"jobs\",\"value\":9"));
+    assert!(jsonl.contains("\"t\":\"hist\",\"name\":\"flops\",\"count\":7"));
+    assert!(jsonl.contains("[11,7]"));
+    assert!(jsonl.contains("\"t\":\"series\",\"name\":\"loss\""));
+    let tree = report.summary_tree();
+    assert!(tree.contains("spans:"));
+    assert!(tree.contains("epoch"));
+    assert!(tree.contains("series:"));
+
+    // with_root_scope restores the caller's stack even on panic-free return.
+    {
+        let _outer = cpgan_obs::span("outer");
+        cpgan_obs::with_root_scope(|| {
+            let _rooted = cpgan_obs::span("rooted");
+        });
+        let _back = cpgan_obs::span("back");
+    }
+    let report = cpgan_obs::snapshot();
+    assert_eq!(report.span_stat("rooted").map(|(c, _)| c), Some(1));
+    assert_eq!(report.span_stat("outer/back").map(|(c, _)| c), Some(1));
+
+    // finish() honors CPGAN_OBS_OUT over the default path.
+    let dir = std::env::temp_dir().join(format!("cpgan_obs_test_{}", std::process::id()));
+    let path = dir.join("obs.jsonl");
+    std::env::set_var("CPGAN_OBS_OUT", &path);
+    cpgan_obs::finish(Some("ignored-default.jsonl"));
+    std::env::remove_var("CPGAN_OBS_OUT");
+    let written = std::fs::read_to_string(&path).unwrap();
+    assert!(written.contains("\"path\":\"fit/epoch\""));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // reset() clears data but keeps collecting afterwards.
+    cpgan_obs::reset();
+    let empty = cpgan_obs::snapshot();
+    assert_eq!(empty.counter("jobs"), None);
+    cpgan_obs::counter_add("jobs", 1);
+    assert_eq!(cpgan_obs::snapshot().counter("jobs"), Some(1));
+}

@@ -80,11 +80,14 @@ impl Pool {
     {
         let n = items.len();
         let workers = current_threads().min(n);
+        // The jobs counter is bumped on the caller in BOTH execution paths,
+        // so its value is thread-count invariant (obs determinism contract).
+        cpgan_obs::counter_add("parallel.pool.jobs", n as u64);
         if workers <= 1 {
             return items
                 .into_iter()
                 .enumerate()
-                .map(|(i, t)| f(i, t))
+                .map(|(i, t)| run_job(&f, i, t))
                 .collect();
         }
         self.ensure_workers(workers);
@@ -95,8 +98,12 @@ impl Pool {
             for (i, item) in items.into_iter().enumerate() {
                 let f = Arc::clone(&f);
                 let done = done_tx.clone();
+                let queued = cpgan_obs::enabled().then(cpgan_obs::Stopwatch::start);
                 let job: Job = Box::new(move || {
-                    let out = catch_unwind(AssertUnwindSafe(|| f(i, item)));
+                    if let Some(q) = queued {
+                        cpgan_obs::counter_add("parallel.pool.queue_wait_ns", q.elapsed_ns());
+                    }
+                    let out = catch_unwind(AssertUnwindSafe(|| run_job(f.as_ref(), i, item)));
                     // The batch channel outlives the job; a send can only
                     // fail if the caller already panicked and dropped the
                     // receiver, in which case the result is moot.
@@ -121,6 +128,23 @@ impl Pool {
         results.sort_unstable_by_key(|&(i, _)| i);
         results.into_iter().map(|(_, r)| r).collect()
     }
+}
+
+/// Runs one pool job under an empty observability span stack — in both the
+/// serial-inline and worker-thread paths — so span paths recorded inside the
+/// job never depend on where (or whether) it was scheduled. Worker busy time
+/// accumulates in the `parallel.pool.busy_ns` counter.
+fn run_job<T, R>(f: &(impl Fn(usize, T) -> R + Sync), i: usize, item: T) -> R {
+    cpgan_obs::with_root_scope(|| {
+        if cpgan_obs::enabled() {
+            let busy = cpgan_obs::Stopwatch::start();
+            let r = f(i, item);
+            cpgan_obs::counter_add("parallel.pool.busy_ns", busy.elapsed_ns());
+            r
+        } else {
+            f(i, item)
+        }
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,100 @@
+//! Thread-count invariance of the observability report.
+//!
+//! The cpgan-obs contract: everything in the JSONL output except
+//! duration-valued fields (keys ending `_ns`) and the meta line is
+//! bit-identical regardless of how many worker threads collected it. This
+//! suite runs one instrumented workload at 1, 2, and 4 threads and compares
+//! the scrubbed reports byte for byte.
+
+// Integration-test helpers sit outside `#[test]` fns, so the
+// allow-panic-in-tests carve-out does not reach them.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
+use cpgan_parallel::{with_thread_count, Pool};
+
+/// An instrumented workload touching every metric kind: pool jobs under
+/// spans, histograms over integer-valued work sizes, counters, gauges, and
+/// per-step series.
+fn workload() -> Vec<u64> {
+    let _fit = cpgan_obs::span("work.fit");
+    cpgan_obs::gauge_set("work.param_count", 1234.0);
+    let mut out = Vec::new();
+    for epoch in 0..3u64 {
+        let _epoch = cpgan_obs::span("work.epoch");
+        cpgan_obs::counter_add("work.epochs", 1);
+        let items: Vec<u64> = (0..32).collect();
+        let mapped = Pool::global().par_map_owned(items, move |i, x| {
+            let _job = cpgan_obs::span("work.job");
+            cpgan_obs::hist_record("work.job.size", (x % 7 + 1) as f64);
+            cpgan_obs::series_record("work.step_val", epoch * 32 + i as u64, (x * x) as f64);
+            x * 2 + epoch
+        });
+        out.extend(mapped);
+    }
+    out
+}
+
+/// Renders the current obs report as JSONL with all timing stripped: the
+/// meta line and `_ns`-named counters are dropped, span `total_ns` values
+/// are zeroed.
+fn scrubbed_jsonl() -> String {
+    let report = cpgan_obs::snapshot();
+    let mut kept = Vec::new();
+    for line in report.to_jsonl().lines() {
+        if line.contains("\"t\":\"meta\"") {
+            continue;
+        }
+        if line.contains("\"t\":\"counter\"") && line.contains("_ns\"") {
+            continue;
+        }
+        kept.push(zero_field(line, "\"total_ns\":"));
+    }
+    kept.join("\n")
+}
+
+/// Replaces the numeric run after `key` with `0`, leaving other text alone.
+fn zero_field(line: &str, key: &str) -> String {
+    let Some(start) = line.find(key) else {
+        return line.to_string();
+    };
+    let digits_at = start + key.len();
+    let rest = &line[digits_at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    format!("{}0{}", &line[..digits_at], &rest[end..])
+}
+
+#[test]
+fn report_is_identical_across_thread_counts() {
+    let mut reports = Vec::new();
+    let mut values = Vec::new();
+    for threads in [1usize, 2, 4] {
+        cpgan_obs::reset();
+        cpgan_obs::set_enabled(true);
+        let out = with_thread_count(threads, workload);
+        values.push(out);
+        reports.push((threads, scrubbed_jsonl()));
+    }
+    cpgan_obs::reset();
+    cpgan_obs::set_enabled(false);
+
+    let (_, baseline) = &reports[0];
+    assert!(
+        baseline.contains("\"t\":\"span\"") && baseline.contains("work.fit"),
+        "workload produced no span lines:\n{baseline}"
+    );
+    assert!(baseline.contains("\"t\":\"hist\""), "no hist lines");
+    assert!(baseline.contains("\"t\":\"series\""), "no series lines");
+    assert!(baseline.contains("\"t\":\"counter\""), "no counter lines");
+    for (threads, report) in &reports[1..] {
+        assert_eq!(
+            report, baseline,
+            "scrubbed obs report differs at {threads} threads"
+        );
+    }
+    assert!(
+        values.iter().all(|v| v == &values[0]),
+        "workload results must also be thread-count invariant"
+    );
+}

@@ -46,6 +46,9 @@ pub enum Rule {
     WorkspaceDeps,
     /// Direct `std::thread` spawning outside the `cpgan-parallel` runtime.
     AdHocThreading,
+    /// Raw `Instant::now()`/`SystemTime::now()` timing outside `cpgan-obs`
+    /// and `cpgan-bench`.
+    AdHocTiming,
 }
 
 impl Rule {
@@ -59,6 +62,7 @@ impl Rule {
             Rule::PartialCmpExpect => "partial-cmp-expect",
             Rule::WorkspaceDeps => "workspace-deps",
             Rule::AdHocThreading => "ad-hoc-threading",
+            Rule::AdHocTiming => "ad-hoc-timing",
         }
     }
 
@@ -72,6 +76,7 @@ impl Rule {
             "partial-cmp-expect" => Some(Rule::PartialCmpExpect),
             "workspace-deps" => Some(Rule::WorkspaceDeps),
             "ad-hoc-threading" => Some(Rule::AdHocThreading),
+            "ad-hoc-timing" => Some(Rule::AdHocTiming),
             _ => None,
         }
     }

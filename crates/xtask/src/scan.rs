@@ -109,6 +109,35 @@ pub fn scan_source(file: &str, source: &str) -> Vec<Violation> {
         }
     }
 
+    // Wall-clock measurement must go through `cpgan_obs` (spans for
+    // aggregated timings, `Stopwatch` for values the caller consumes) so
+    // every timing site stays discoverable and obs-gated. Only the
+    // observability crate itself and the benchmark harness may read the
+    // clock directly.
+    if !(file.starts_with("crates/obs/") || file.starts_with("crates/bench/")) {
+        for name in [&b"Instant"[..], b"SystemTime"] {
+            for off in find_word(bytes, name) {
+                if in_test(off) {
+                    continue;
+                }
+                let rest = &bytes[off + name.len()..];
+                if !rest.starts_with(b"::now") {
+                    continue;
+                }
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: line_of(&line_starts, off),
+                    rule: Rule::AdHocTiming,
+                    message: format!(
+                        "ad-hoc `{}::now()` outside cpgan-obs/cpgan-bench — time through \
+                         `cpgan_obs::span` or `cpgan_obs::Stopwatch` instead",
+                        String::from_utf8_lossy(name)
+                    ),
+                });
+            }
+        }
+    }
+
     for (off, lit) in float_eq_sites(&masked) {
         if in_test(off) {
             continue;
@@ -536,6 +565,31 @@ mod tests {
     #[test]
     fn thread_spawn_in_tests_is_exempt() {
         let src = "#[cfg(test)]\nmod tests { fn t() { std::thread::spawn(|| {}); } }\n";
+        assert!(scan_source("crates/nn/src/matrix.rs", src).is_empty());
+    }
+
+    #[test]
+    fn clock_reads_flagged_outside_obs_and_bench() {
+        let src = "fn f() { let _ = std::time::Instant::now(); }\n\
+                   fn g() { let _ = std::time::SystemTime::now(); }\n";
+        let v = scan_source("crates/eval/src/pipelines/efficiency.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == Rule::AdHocTiming));
+        assert!(scan_source("crates/obs/src/span.rs", src).is_empty());
+        assert!(scan_source("crates/bench/src/bin/parallel.rs", src).is_empty());
+    }
+
+    #[test]
+    fn non_clock_time_apis_are_clean() {
+        let src = "fn f(t: std::time::Instant) -> std::time::Duration { t.elapsed() }\n\
+                   fn g() -> u64 { std::time::Duration::from_secs(1).as_secs() }\n";
+        let v = scan_source("crates/nn/src/matrix.rs", src);
+        assert!(v.iter().all(|v| v.rule != Rule::AdHocTiming), "{v:?}");
+    }
+
+    #[test]
+    fn clock_reads_in_tests_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests { fn t() { std::time::Instant::now(); } }\n";
         assert!(scan_source("crates/nn/src/matrix.rs", src).is_empty());
     }
 

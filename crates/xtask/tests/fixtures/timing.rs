@@ -1,0 +1,27 @@
+//! Fixture: ad-hoc wall-clock reads.
+
+/// Line 5 reads `Instant::now()` directly.
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+/// Line 10 reads `SystemTime::now()` directly.
+pub fn wall() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+/// Non-violations: type mentions without a clock read, and the sanctioned
+/// wrappers.
+pub fn fine(t: std::time::Instant) -> u64 {
+    let sw = cpgan_obs::Stopwatch::start();
+    let _ = t;
+    sw.elapsed_ns()
+}
+
+#[cfg(test)]
+mod tests {
+    /// Tests may time things directly.
+    fn bench_ok() -> std::time::Instant {
+        std::time::Instant::now()
+    }
+}

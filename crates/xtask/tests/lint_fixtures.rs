@@ -69,6 +69,23 @@ fn partial_cmp_fixture() {
 }
 
 #[test]
+fn timing_fixture() {
+    let v = scan_fixture("timing.rs");
+    assert_eq!(v.len(), 2, "{v:?}");
+    assert!(v.iter().all(|v| v.rule == Rule::AdHocTiming));
+    assert_eq!(v.iter().map(|v| v.line).collect::<Vec<_>>(), vec![5, 10]);
+    // The observability crate and the bench harness are allowed to read the
+    // clock directly.
+    for exempt in ["crates/obs/src/span.rs", "crates/bench/src/bin/x.rs"] {
+        let v = scan_source(exempt, &fixture("timing.rs"));
+        assert!(
+            v.iter().all(|v| v.rule != Rule::AdHocTiming),
+            "{exempt} flagged: {v:?}"
+        );
+    }
+}
+
+#[test]
 fn cfg_test_items_are_exempt() {
     let v = scan_fixture("cfg_test_exempt.rs");
     assert!(v.is_empty(), "test-only code flagged: {v:?}");
