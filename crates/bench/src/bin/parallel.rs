@@ -54,14 +54,32 @@ fn main() {
     let hw = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let threads = args
+    let flag_threads = args
         .iter()
         .position(|a| a == "--threads")
         .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(hw)
-        .max(1);
+        .and_then(|v| v.parse::<usize>().ok());
+    // On a single-core box `available_parallelism() == 1` and defaulting the
+    // "parallel" leg to it silently benchmarks serial-vs-serial, reporting
+    // speedups below 1.0 (pure overhead). Force an explicit oversubscribed
+    // thread count instead and flag the run loudly: the numbers then measure
+    // scheduling overhead, not scaling.
+    let (threads, warning) = match flag_threads {
+        Some(t) => (t.max(1), None),
+        None if hw > 1 => (hw, None),
+        None => (
+            4,
+            Some(
+                "available_parallelism() == 1: parallel leg forced to 4 \
+                 oversubscribed threads; speedups measure overhead, not scaling",
+            ),
+        ),
+    };
     let meta = BenchMeta::capture(threads);
+    if let Some(w) = warning {
+        eprintln!("WARNING: {w}");
+        eprintln!("WARNING: do not read this report as a scaling result");
+    }
     eprintln!("benchmarking kernels at 1 vs {threads} thread(s) ({hw} cores visible)...");
 
     let mm_a = seed_matrix(448, 448, 0.1);
@@ -130,6 +148,12 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&meta.json_fields("  "));
+    match warning {
+        Some(w) => {
+            let _ = writeln!(json, "  \"warning\": \"{w}\",");
+        }
+        None => json.push_str("  \"warning\": null,\n"),
+    }
     json.push_str("  \"kernels\": [\n");
     for (i, (name, serial, parallel, speedup)) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };

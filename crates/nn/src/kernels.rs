@@ -1,0 +1,519 @@
+//! Cache-blocked, register-tiled dense matmul microkernels.
+//!
+//! The three dense products ([`Matrix::matmul`](crate::Matrix::matmul) and
+//! its fused-transpose variants) bottom out here. Each kernel processes a
+//! contiguous *row block* of the output — the parallel tier in
+//! `matrix.rs` hands out fixed, shape-determined row blocks — and within a
+//! block runs an MC×KC×NC blocking scheme with an MR×NR register tile:
+//!
+//! * **MC** — the caller's row block (the parallel chunk),
+//! * **KC** ([`KC`]) — the inner-dimension cache block; the `out` block is
+//!   re-read/re-written once per KC slab so a `KC × NC` panel of `b` stays
+//!   cache-resident,
+//! * **NC** ([`NC`]) — the output-column cache block,
+//! * **MR×NR** ([`MR`], [`NR`]) — the register tile: MR output rows by NR
+//!   output columns accumulated in fixed-size local arrays, written as
+//!   slice-chunk loops the compiler can autovectorize (8 lanes matches one
+//!   AVX2 `f32` vector).
+//!
+//! # Determinism contract (DESIGN.md §10)
+//!
+//! Every output element accumulates its `k`-products in **ascending `k`
+//! order**, regardless of block sizes, ragged edges, or which thread owns
+//! the row block — so results are bit-identical at every thread count. For
+//! [`gemm_nn`] / [`gemm_tn`] this order equals the classic scalar i-k-j
+//! loop, so the blocked kernels are bit-identical to the retained seed
+//! references ([`matmul_naive`], [`matmul_tn_naive`]) for inputs whose left
+//! operand has no exact zeros (see their docs). [`gemm_nt`] reduces
+//! each dot product in a fixed 8-lane split (lane `l` owns `k ≡ l mod 8`,
+//! lanes summed in index order, then the ragged tail in ascending order) —
+//! still fixed for a given shape, but intentionally *not* the scalar
+//! order, so [`matmul_nt_naive`] comparisons are tolerance-based.
+//!
+//! There is deliberately no `a == 0.0` skip in the dense path: the branch
+//! defeats autovectorization, and sparse operands route through
+//! [`crate::Csr::matmul_dense`] instead.
+
+use crate::Matrix;
+
+/// Register-tile height: output rows accumulated together.
+pub const MR: usize = 4;
+/// Register-tile width / vector lanes: output columns per inner loop.
+pub const NR: usize = 8;
+/// Cache block over the inner (`k`) dimension.
+pub const KC: usize = 256;
+/// Cache block over the output-column (`n`) dimension.
+pub const NC: usize = 1024;
+
+/// `out = a * b` for a row block: `a` is `rb x k` (the block's rows of the
+/// left operand), `b` is `k x n` (full), `out` is `rb x n`.
+///
+/// `out` is overwritten (it does not need to be zeroed first). Each element
+/// accumulates in ascending-`k` order — bit-identical to [`matmul_naive`].
+pub fn gemm_nn(a: &[f32], b: &[f32], out: &mut [f32], rb: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), rb * k, "gemm_nn: lhs block size");
+    assert_eq!(out.len(), rb * n, "gemm_nn: out block size");
+    assert!(b.len() >= k * n, "gemm_nn: rhs size");
+    if rb == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let mut k0 = 0;
+    while k0 < k {
+        let kb = KC.min(k - k0);
+        let first = k0 == 0;
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = NC.min(n - j0);
+            let mut i0 = 0;
+            while i0 < rb {
+                let ib = MR.min(rb - i0);
+                nn_tile(a, b, out, (i0, ib), (k0, kb), (j0, jb), k, n, first);
+                i0 += ib;
+            }
+            j0 += jb;
+        }
+        k0 += kb;
+    }
+}
+
+/// One MR-row strip of [`gemm_nn`]: rows `i0..i0+ib`, k-slab `k0..k0+kb`,
+/// column panel `j0..j0+jb`. When `first`, accumulators start from zero;
+/// otherwise they resume from the partial sums already in `out`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn nn_tile(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    (i0, ib): (usize, usize),
+    (k0, kb): (usize, usize),
+    (j0, jb): (usize, usize),
+    k: usize,
+    n: usize,
+    first: bool,
+) {
+    let mut j = j0;
+    if ib == MR {
+        // Full-height fast path: every loop bound below is a compile-time
+        // constant (MR/NR), so the accumulator tile unrolls into registers
+        // and the per-k row loads come from pre-sliced, bounds-check-free
+        // iterators.
+        let ar: [&[f32]; MR] = std::array::from_fn(|r| {
+            let base = (i0 + r) * k + k0;
+            &a[base..base + kb]
+        });
+        let bp = &b[k0 * n..(k0 + kb) * n];
+        while j + NR <= j0 + jb {
+            let mut acc = [[0.0f32; NR]; MR];
+            if !first {
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let base = (i0 + r) * n + j;
+                    accr.copy_from_slice(&out[base..base + NR]);
+                }
+            }
+            // k unrolled by two; within a pair the products still land in
+            // ascending-k order, so bit-exactness holds.
+            let mut pairs = bp.chunks_exact(2 * n);
+            let mut kk = 0;
+            for bpair in &mut pairs {
+                let (brow0, brow1) = bpair.split_at(n);
+                let mut bv0 = [0.0f32; NR];
+                bv0.copy_from_slice(&brow0[j..j + NR]);
+                let mut bv1 = [0.0f32; NR];
+                bv1.copy_from_slice(&brow1[j..j + NR]);
+                let av0: [f32; MR] = std::array::from_fn(|r| ar[r][kk]);
+                let av1: [f32; MR] = std::array::from_fn(|r| ar[r][kk + 1]);
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    for (l, o) in accr.iter_mut().enumerate() {
+                        *o += av0[r] * bv0[l];
+                        *o += av1[r] * bv1[l];
+                    }
+                }
+                kk += 2;
+            }
+            for brow in pairs.remainder().chunks_exact(n) {
+                let mut bv = [0.0f32; NR];
+                bv.copy_from_slice(&brow[j..j + NR]);
+                let av: [f32; MR] = std::array::from_fn(|r| ar[r][kk]);
+                for (accr, &avr) in acc.iter_mut().zip(&av) {
+                    for (o, &x) in accr.iter_mut().zip(&bv) {
+                        *o += avr * x;
+                    }
+                }
+                kk += 1;
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                let base = (i0 + r) * n + j;
+                out[base..base + NR].copy_from_slice(accr);
+            }
+            j += NR;
+        }
+    }
+    // Ragged row tail (ib < MR) and, after the fast path, nothing: the
+    // runtime `take(ib)` bound keeps this generic but unregistered.
+    while ib < MR && j + NR <= j0 + jb {
+        let mut acc = [[0.0f32; NR]; MR];
+        if !first {
+            for (r, accr) in acc.iter_mut().enumerate().take(ib) {
+                let base = (i0 + r) * n + j;
+                accr.copy_from_slice(&out[base..base + NR]);
+            }
+        }
+        for kk in k0..k0 + kb {
+            let mut bv = [0.0f32; NR];
+            bv.copy_from_slice(&b[kk * n + j..kk * n + j + NR]);
+            for (r, accr) in acc.iter_mut().enumerate().take(ib) {
+                let av = a[(i0 + r) * k + kk];
+                for (o, &x) in accr.iter_mut().zip(&bv) {
+                    *o += av * x;
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate().take(ib) {
+            let base = (i0 + r) * n + j;
+            out[base..base + NR].copy_from_slice(accr);
+        }
+        j += NR;
+    }
+    // Ragged column tail (< NR wide): scalar, same ascending-k order.
+    for jj in j..j0 + jb {
+        for r in 0..ib {
+            let arow = &a[(i0 + r) * k + k0..(i0 + r) * k + k0 + kb];
+            let mut s = if first { 0.0 } else { out[(i0 + r) * n + jj] };
+            for (kk, &av) in arow.iter().enumerate() {
+                s += av * b[(k0 + kk) * n + jj];
+            }
+            out[(i0 + r) * n + jj] = s;
+        }
+    }
+}
+
+/// `out = a^T * b` for a row block of the output: `a` is `k x m` (full),
+/// `b` is `k x n` (full), `out` holds rows `row0..row0+rb` of the `m x n`
+/// product (so `out.len() == rb * n`).
+///
+/// Output row `row0 + r` reads column `row0 + r` of `a`; per `k` the MR
+/// needed elements `a[kk*m + row0+i0 ..]` are contiguous, so the tile loads
+/// stay vector-friendly. Accumulation is ascending-`k`, bit-identical to
+/// [`matmul_tn_naive`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_tn(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    rb: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    assert!(a.len() >= k * m, "gemm_tn: lhs size");
+    assert!(b.len() >= k * n, "gemm_tn: rhs size");
+    assert_eq!(out.len(), rb * n, "gemm_tn: out block size");
+    assert!(row0 + rb <= m, "gemm_tn: row block in range");
+    if rb == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let mut k0 = 0;
+    while k0 < k {
+        let kb = KC.min(k - k0);
+        let first = k0 == 0;
+        let mut j0 = 0;
+        while j0 < n {
+            let jb = NC.min(n - j0);
+            let mut i0 = 0;
+            while i0 < rb {
+                let ib = MR.min(rb - i0);
+                tn_tile(a, b, out, row0, (i0, ib), (k0, kb), (j0, jb), m, n, first);
+                i0 += ib;
+            }
+            j0 += jb;
+        }
+        k0 += kb;
+    }
+}
+
+/// One MR-row strip of [`gemm_tn`]; like [`nn_tile`] but the left operand
+/// is read column-wise (`a[kk*m + row0 + i0 + r]`, contiguous in `r`).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn tn_tile(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    (i0, ib): (usize, usize),
+    (k0, kb): (usize, usize),
+    (j0, jb): (usize, usize),
+    m: usize,
+    n: usize,
+    first: bool,
+) {
+    let mut j = j0;
+    if ib == MR {
+        // Full-height fast path: constant MR/NR bounds keep the tile in
+        // registers; the MR left-operand elements per `k` are contiguous
+        // (`a[kk*m + row0+i0 ..]`) and load as one fixed-size copy.
+        let ap = &a[k0 * m..(k0 + kb) * m];
+        while j + NR <= j0 + jb {
+            let mut acc = [[0.0f32; NR]; MR];
+            if !first {
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let base = (i0 + r) * n + j;
+                    accr.copy_from_slice(&out[base..base + NR]);
+                }
+            }
+            let bp = &b[k0 * n..(k0 + kb) * n];
+            for (arow, brow) in ap.chunks_exact(m).zip(bp.chunks_exact(n)) {
+                let mut bv = [0.0f32; NR];
+                bv.copy_from_slice(&brow[j..j + NR]);
+                let mut av = [0.0f32; MR];
+                av.copy_from_slice(&arow[row0 + i0..row0 + i0 + MR]);
+                for (accr, &avr) in acc.iter_mut().zip(&av) {
+                    for (o, &x) in accr.iter_mut().zip(&bv) {
+                        *o += avr * x;
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                let base = (i0 + r) * n + j;
+                out[base..base + NR].copy_from_slice(accr);
+            }
+            j += NR;
+        }
+    }
+    while ib < MR && j + NR <= j0 + jb {
+        let mut acc = [[0.0f32; NR]; MR];
+        if !first {
+            for (r, accr) in acc.iter_mut().enumerate().take(ib) {
+                let base = (i0 + r) * n + j;
+                accr.copy_from_slice(&out[base..base + NR]);
+            }
+        }
+        for kk in k0..k0 + kb {
+            let mut bv = [0.0f32; NR];
+            bv.copy_from_slice(&b[kk * n + j..kk * n + j + NR]);
+            let abase = kk * m + row0 + i0;
+            for (r, accr) in acc.iter_mut().enumerate().take(ib) {
+                let av = a[abase + r];
+                for (o, &x) in accr.iter_mut().zip(&bv) {
+                    *o += av * x;
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate().take(ib) {
+            let base = (i0 + r) * n + j;
+            out[base..base + NR].copy_from_slice(accr);
+        }
+        j += NR;
+    }
+    for jj in j..j0 + jb {
+        for r in 0..ib {
+            let mut s = if first { 0.0 } else { out[(i0 + r) * n + jj] };
+            for kk in k0..k0 + kb {
+                s += a[kk * m + row0 + i0 + r] * b[kk * n + jj];
+            }
+            out[(i0 + r) * n + jj] = s;
+        }
+    }
+}
+
+/// `out = a * b^T` for a row block: `a` is `rb x k` (the block's rows),
+/// `b` is `mb x k` (full), `out` is `rb x mb`.
+///
+/// Each element is an independent dot product reduced by [`dot_lanes`] —
+/// fixed 8-lane split, deterministic for a given `k` at every thread count.
+pub fn gemm_nt(a: &[f32], b: &[f32], out: &mut [f32], rb: usize, k: usize, mb: usize) {
+    assert_eq!(a.len(), rb * k, "gemm_nt: lhs block size");
+    assert!(b.len() >= mb * k, "gemm_nt: rhs size");
+    assert_eq!(out.len(), rb * mb, "gemm_nt: out block size");
+    for i in 0..rb {
+        let arow = &a[i * k..(i + 1) * k];
+        for (j, o) in out[i * mb..(i + 1) * mb].iter_mut().enumerate() {
+            *o = dot_lanes(arow, &b[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// Dot product with a fixed 8-lane accumulation split: lane `l` sums the
+/// elements at indices `≡ l (mod NR)` of the leading `NR`-aligned prefix,
+/// lanes are combined in index order, and the ragged tail is added last in
+/// ascending order. The split depends only on `a.len()`, never on threads.
+#[inline]
+pub fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; NR];
+    let mut ca = a.chunks_exact(NR);
+    let mut cb = b.chunks_exact(NR);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for ((o, &x), &y) in acc.iter_mut().zip(xa).zip(xb) {
+            *o += x * y;
+        }
+    }
+    let mut s: f32 = acc.iter().sum();
+    for (&x, &y) in ca.remainder().iter().zip(cb.remainder()) {
+        s += x * y;
+    }
+    s
+}
+
+/// Reference `a * b`: the pre-blocking seed kernel, retained verbatim — the
+/// serial i-k-j loop *with* the branchy `a == 0.0` skip that defeats
+/// autovectorization. Ground truth for the property tests and the baseline
+/// of the `bench matmul` speedup gate (the gate measures blocked kernels
+/// against exactly the code they replaced).
+///
+/// Bit-identical to the blocked [`gemm_nn`] path whenever the left operand
+/// contains no exact `±0.0` (the skip elides `+0.0` additions, which can
+/// only matter for signed-zero or `0.0 * inf/NaN` corner cases).
+pub fn matmul_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul_naive shape mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a.as_slice()[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b.as_slice()[kk * n..(kk + 1) * n];
+            for (o, &bv) in out.row_mut(i).iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Reference `a^T * b`: the retained seed kernel (serial, ascending-`k`,
+/// with the `a == 0.0` skip). Bit-identical to the blocked [`gemm_tn`] path
+/// under the same no-exact-zero proviso as [`matmul_naive`].
+pub fn matmul_tn_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "matmul_tn_naive shape mismatch");
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a.as_slice()[kk * m + i];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b.as_slice()[kk * n..(kk + 1) * n];
+            for (o, &bv) in out.row_mut(i).iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+/// Reference scalar `a * b^T` (sequential ascending-`k` dot products).
+/// The blocked [`gemm_nt`] uses a lane-split reduction, so comparisons
+/// against this reference are tolerance-based, not bitwise.
+pub fn matmul_nt_naive(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_nt_naive shape mismatch");
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        for j in 0..n {
+            let brow = &b.as_slice()[j * k..(j + 1) * k];
+            let mut s = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                s += x * y;
+            }
+            out.set(i, j, s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+// Tests may assert exact float values (the determinism contract is bitwise).
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    fn seed(rows: usize, cols: usize, offset: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            ((r * cols + c) as f32 * 0.371 + offset).sin() * 1.3
+        })
+    }
+
+    #[test]
+    fn gemm_nn_matches_naive_bitwise_across_blocks() {
+        // k crosses two KC boundaries, n crosses NC; ragged everywhere.
+        for &(m, k, n) in &[(5, 517, 1050), (3, 256, 8), (7, 37, 17), (1, 1, 1)] {
+            let a = seed(m, k, 0.2);
+            let b = seed(k, n, 0.9);
+            let naive = matmul_naive(&a, &b);
+            let mut out = vec![f32::NAN; m * n];
+            gemm_nn(a.as_slice(), b.as_slice(), &mut out, m, k, n);
+            assert_eq!(out, naive.as_slice(), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn gemm_tn_matches_naive_bitwise_with_row_offset() {
+        let (k, m, n) = (300, 13, 29);
+        let a = seed(k, m, 0.4);
+        let b = seed(k, n, 0.1);
+        let naive = matmul_tn_naive(&a, &b);
+        // Compute rows 5..13 only, as the parallel tier would.
+        let (row0, rb) = (5, 8);
+        let mut out = vec![f32::NAN; rb * n];
+        gemm_tn(a.as_slice(), b.as_slice(), &mut out, row0, rb, k, m, n);
+        assert_eq!(out, &naive.as_slice()[row0 * n..(row0 + rb) * n]);
+    }
+
+    #[test]
+    fn gemm_nt_matches_naive_within_tolerance() {
+        let (m, k, n) = (9, 83, 11);
+        let a = seed(m, k, 0.3);
+        let b = seed(n, k, 0.6);
+        let naive = matmul_nt_naive(&a, &b);
+        let mut out = vec![f32::NAN; m * n];
+        gemm_nt(a.as_slice(), b.as_slice(), &mut out, m, k, n);
+        for (i, (x, y)) in out.iter().zip(naive.as_slice()).enumerate() {
+            assert!((x - y).abs() < 1e-4 * (1.0 + y.abs()), "[{i}] {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn zero_k_zeroes_output() {
+        let mut out = vec![f32::NAN; 6];
+        gemm_nn(&[], &[], &mut out, 2, 0, 3);
+        assert_eq!(out, vec![0.0; 6]);
+        let mut out = vec![f32::NAN; 6];
+        gemm_tn(&[], &[], &mut out, 0, 2, 0, 2, 3);
+        assert_eq!(out, vec![0.0; 6]);
+        let mut out = vec![f32::NAN; 6];
+        gemm_nt(&[], &[], &mut out, 2, 0, 3);
+        assert_eq!(out, vec![0.0; 6]);
+    }
+
+    #[test]
+    fn empty_dims_are_fine() {
+        let mut out = Vec::new();
+        gemm_nn(&[], &[], &mut out, 0, 4, 0);
+        gemm_tn(&[0.0; 8], &[], &mut out, 0, 0, 4, 2, 0);
+        gemm_nt(&[], &[0.0; 12], &mut out, 0, 4, 3);
+    }
+
+    #[test]
+    fn dot_lanes_handles_short_and_ragged() {
+        assert_eq!(dot_lanes(&[], &[]), 0.0);
+        assert_eq!(dot_lanes(&[2.0], &[3.0]), 6.0);
+        let a: Vec<f32> = (0..19).map(|i| i as f32).collect();
+        let b = vec![1.0f32; 19];
+        assert_eq!(dot_lanes(&a, &b), (0..19).sum::<i32>() as f32);
+    }
+}

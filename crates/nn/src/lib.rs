@@ -6,7 +6,9 @@
 //! The paper's models are built on PyTorch + CUDA; this crate replaces that
 //! stack with a self-contained CPU implementation:
 //!
-//! * [`Matrix`] — dense row-major `f32` tensors with allocation accounting,
+//! * [`Matrix`] — dense row-major `f32` tensors with allocation accounting
+//!   and pooled buffers ([`memory`]),
+//! * [`kernels`] — cache-blocked, register-tiled dense matmul microkernels,
 //! * [`sparse::Csr`] — sparse graph operators for `O(m + n)` convolutions,
 //! * [`tape::Tape`] / [`tape::Var`] — reverse-mode automatic differentiation,
 //! * [`layers`] — `Linear`, `Mlp`, `GcnConv` (Eq. 6), `GruCell` (Eq. 13),
@@ -44,6 +46,7 @@
 
 pub mod error;
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 mod matrix;

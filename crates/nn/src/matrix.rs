@@ -1,41 +1,40 @@
 //! Dense row-major `f32` matrices.
 //!
-//! All tensor data in the workspace flows through [`Matrix`]. Allocations are
-//! registered with [`crate::memory`] so experiments can report peak tensor
-//! memory (the reproduction's stand-in for the paper's "peak GPU memory",
-//! Table IX).
+//! All tensor data in the workspace flows through [`Matrix`]. Buffers are
+//! checked out of the [`crate::memory`] workspace pool (falling back to the
+//! allocator on a miss) and registered with its live/peak accounting so
+//! experiments can report peak tensor memory (the reproduction's stand-in
+//! for the paper's "peak GPU memory", Table IX).
+//!
+//! The three dense products delegate to the cache-blocked, register-tiled
+//! microkernels in [`crate::kernels`]; this module only owns the shape
+//! checks, the fixed row-block parallel split, and the obs instrumentation.
 
 use crate::error::{nn_panic, NnError, ShapeError};
+use crate::kernels;
 use crate::memory;
-use cpgan_parallel::{par_chunks_mut, par_reduce};
+use cpgan_parallel::{grain_rows, par_chunks_mut, par_reduce};
 use std::fmt;
 
-/// Target number of `f32` elements per parallel chunk. Chunk boundaries
-/// depend only on the matrix shape — never on the thread count — which is
-/// what keeps every kernel bit-identical across `CPGAN_THREADS` settings
-/// (see DESIGN.md §8).
+/// Target number of `f32` elements per parallel chunk for elementwise ops.
+/// Chunk boundaries depend only on the matrix shape — never on the thread
+/// count — which is what keeps every kernel bit-identical across
+/// `CPGAN_THREADS` settings (see DESIGN.md §8).
 const PAR_GRAIN: usize = 4096;
 
-/// Fixed rows-per-chunk for a row-blocked kernel over `cols`-wide rows.
-#[inline]
-fn rows_per_chunk(cols: usize) -> usize {
-    (PAR_GRAIN / cols.max(1)).max(1)
-}
+/// Target output elements per parallel row block for the blocked matmul
+/// kernels — larger than [`PAR_GRAIN`] so each block amortizes its panel
+/// traffic through the KC×NC cache blocking (DESIGN.md §10).
+const MM_GRAIN: usize = 32 * 1024;
 
-/// Runs `f(row_index, out_row)` over every row of `out`, in parallel over
-/// fixed row blocks. Each row is written exactly once, so results are
-/// independent of the thread count.
-fn par_rows(out: &mut Matrix, f: impl Fn(usize, &mut [f32]) + Sync) {
-    let cols = out.cols;
-    if cols == 0 {
-        return;
+/// Reports a kernel's achieved GFLOP/s (= flops per nanosecond) when
+/// observability is on; `sw` is `None` (and nothing is recorded) when it is
+/// off, so the disabled-mode cost is one branch.
+#[inline]
+fn gflops_gauge(name: &'static str, flops: f64, sw: Option<cpgan_obs::Stopwatch>) {
+    if let Some(sw) = sw {
+        cpgan_obs::gauge_set(name, flops / sw.elapsed_ns().max(1) as f64);
     }
-    let block = rows_per_chunk(cols);
-    par_chunks_mut(&mut out.data, block * cols, |ci, chunk| {
-        for (local, row) in chunk.chunks_mut(cols).enumerate() {
-            f(ci * block + local, row);
-        }
-    });
 }
 
 /// A dense row-major `f32` matrix.
@@ -46,23 +45,33 @@ pub struct Matrix {
 }
 
 impl Matrix {
-    /// Allocates a zero matrix.
+    /// Allocates a zero matrix (from the buffer pool when possible).
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        memory::on_alloc(rows * cols * std::mem::size_of::<f32>());
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: memory::buffer_filled(rows * cols, 0.0),
         }
     }
 
-    /// Allocates a matrix filled with `value`.
+    /// Allocates a matrix filled with `value` (from the buffer pool when
+    /// possible).
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        memory::on_alloc(rows * cols * std::mem::size_of::<f32>());
         Matrix {
             rows,
             cols,
-            data: vec![value; rows * cols],
+            data: memory::buffer_filled(rows * cols, value),
+        }
+    }
+
+    /// A matrix whose contents are arbitrary (pooled garbage or zeros) —
+    /// for kernel outputs that overwrite every element before the matrix
+    /// escapes. Crate-private so uninitialized values can never leak out.
+    fn uninit(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: memory::buffer_uninit(rows * cols),
         }
     }
 
@@ -181,7 +190,8 @@ impl Matrix {
         Ok(self.data[0])
     }
 
-    /// Matrix product `self * other` with a cache-friendly i-k-j loop.
+    /// Matrix product `self * other` via the cache-blocked, register-tiled
+    /// microkernel ([`crate::kernels::gemm_nn`]).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         self.try_matmul(other).unwrap_or_else(|e| nn_panic(e))
     }
@@ -197,24 +207,25 @@ impl Matrix {
             .into());
         }
         let _span = cpgan_obs::span("nn.matmul");
-        cpgan_obs::hist_record(
-            "nn.matmul.flops",
-            2.0 * self.rows as f64 * self.cols as f64 * other.cols as f64,
-        );
-        let m = other.cols;
-        let mut out = Matrix::zeros(self.rows, m);
-        par_rows(&mut out, |i, out_row| {
-            let a_row = self.row(i);
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * m..(kk + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        let flops = 2.0 * self.rows as f64 * self.cols as f64 * other.cols as f64;
+        cpgan_obs::hist_record("nn.matmul.flops", flops);
+        let sw = cpgan_obs::enabled().then(cpgan_obs::Stopwatch::start);
+        let (k, n) = (self.cols, other.cols);
+        let mut out = Matrix::uninit(self.rows, n);
+        let block = grain_rows(MM_GRAIN, n);
+        par_chunks_mut(&mut out.data, block * n, |ci, chunk| {
+            let r0 = ci * block;
+            let rb = chunk.len() / n;
+            kernels::gemm_nn(
+                &self.data[r0 * k..(r0 + rb) * k],
+                &other.data,
+                chunk,
+                rb,
+                k,
+                n,
+            );
         });
+        gflops_gauge("nn.matmul.gflops", flops, sw);
         Ok(out)
     }
 
@@ -234,27 +245,20 @@ impl Matrix {
             .into());
         }
         let _span = cpgan_obs::span("nn.matmul_tn");
-        cpgan_obs::hist_record(
-            "nn.matmul.flops",
-            2.0 * self.rows as f64 * self.cols as f64 * other.cols as f64,
-        );
+        let flops = 2.0 * self.rows as f64 * self.cols as f64 * other.cols as f64;
+        cpgan_obs::hist_record("nn.matmul.flops", flops);
+        let sw = cpgan_obs::enabled().then(cpgan_obs::Stopwatch::start);
+        // Row-blocked over the *output* (out row i reads column i of self);
+        // the blocked kernel keeps the k-ascending accumulation order.
         let (k, n, m) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(n, m);
-        // Row-blocked over the *output* (each out row i reads column i of
-        // self); the k-ascending accumulation order per element matches the
-        // previous kk-outer loop bit for bit.
-        par_rows(&mut out, |i, out_row| {
-            for kk in 0..k {
-                let a = self.data[kk * n + i];
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(kk);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
+        let mut out = Matrix::uninit(n, m);
+        let block = grain_rows(MM_GRAIN, m);
+        par_chunks_mut(&mut out.data, block * m, |ci, chunk| {
+            let r0 = ci * block;
+            let rb = chunk.len() / m;
+            kernels::gemm_tn(&self.data, &other.data, chunk, r0, rb, k, n, m);
         });
+        gflops_gauge("nn.matmul_tn.gflops", flops, sw);
         Ok(out)
     }
 
@@ -274,33 +278,48 @@ impl Matrix {
             .into());
         }
         let _span = cpgan_obs::span("nn.matmul_nt");
-        cpgan_obs::hist_record(
-            "nn.matmul.flops",
-            2.0 * self.rows as f64 * self.cols as f64 * other.rows as f64,
-        );
+        let flops = 2.0 * self.rows as f64 * self.cols as f64 * other.rows as f64;
+        cpgan_obs::hist_record("nn.matmul.flops", flops);
+        let sw = cpgan_obs::enabled().then(cpgan_obs::Stopwatch::start);
         let (k, m) = (self.cols, other.rows);
-        let mut out = Matrix::zeros(self.rows, m);
-        par_rows(&mut out, |i, out_row| {
-            let a_row = self.row(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (a, b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+        let mut out = Matrix::uninit(self.rows, m);
+        let block = grain_rows(MM_GRAIN, m);
+        par_chunks_mut(&mut out.data, block * m, |ci, chunk| {
+            let r0 = ci * block;
+            let rb = chunk.len() / m;
+            kernels::gemm_nt(
+                &self.data[r0 * k..(r0 + rb) * k],
+                &other.data,
+                chunk,
+                rb,
+                k,
+                m,
+            );
         });
+        gflops_gauge("nn.matmul_nt.gflops", flops, sw);
         Ok(out)
     }
 
-    /// Transposed copy.
+    /// Transposed copy, cache-blocked in 32×32 tiles so both the read and
+    /// the write side stay within a few cache lines per tile.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        const TB: usize = 32;
+        let (nr, nc) = (self.rows, self.cols);
+        let mut out = Matrix::uninit(nc, nr);
+        let mut r0 = 0;
+        while r0 < nr {
+            let rb = TB.min(nr - r0);
+            let mut c0 = 0;
+            while c0 < nc {
+                let cb = TB.min(nc - c0);
+                for r in r0..r0 + rb {
+                    for c in c0..c0 + cb {
+                        out.data[c * nr + r] = self.data[r * nc + c];
+                    }
+                }
+                c0 += cb;
             }
+            r0 += rb;
         }
         out
     }
@@ -405,18 +424,19 @@ fn same_shape(op: &'static str, a: &Matrix, b: &Matrix) -> Result<(), NnError> {
 
 impl Clone for Matrix {
     fn clone(&self) -> Self {
-        memory::on_alloc(self.data.len() * std::mem::size_of::<f32>());
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.clone(),
+            data: memory::buffer_copied(&self.data),
         }
     }
 }
 
 impl Drop for Matrix {
     fn drop(&mut self) {
-        memory::on_dealloc(self.data.len() * std::mem::size_of::<f32>());
+        // Unregisters from the live/peak accounting and offers the buffer
+        // to the thread-local pool for the next same-sized allocation.
+        memory::release_buffer(std::mem::take(&mut self.data));
     }
 }
 

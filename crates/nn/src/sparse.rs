@@ -144,7 +144,7 @@ impl Csr {
         }
         // Fixed row blocks (~4096 output elements each), independent of the
         // thread count.
-        let block = (4096 / d).max(1);
+        let block = cpgan_parallel::grain_rows(4096, d);
         cpgan_parallel::par_chunks_mut(out.as_mut_slice(), block * d, |ci, chunk| {
             for (local, out_row) in chunk.chunks_mut(d).enumerate() {
                 let r = ci * block + local;
@@ -162,15 +162,39 @@ impl Csr {
     }
 
     /// Transposed copy (used by autograd for non-symmetric operators).
+    ///
+    /// Two-pass counting transpose: pass one histograms the column indices
+    /// into the output row offsets, pass two scatters each entry to its
+    /// slot. `O(nnz + rows + cols)` with no sort and no per-entry tuple
+    /// materialization; scanning the source in row-major order leaves every
+    /// output row sorted by column, preserving the CSR invariant.
     pub fn transpose(&self) -> Csr {
-        let mut triplets: Vec<(usize, usize, f32)> = Vec::with_capacity(self.nnz());
+        let mut offsets = vec![0usize; self.cols + 1];
+        for &c in &self.indices {
+            offsets[c as usize + 1] += 1;
+        }
+        for c in 0..self.cols {
+            offsets[c + 1] += offsets[c];
+        }
+        let mut indices = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
+        // Per-output-row write cursors, advanced as entries scatter in.
+        let mut next = offsets[..self.cols].to_vec();
         for r in 0..self.rows {
             for (c, v) in self.row_iter(r) {
-                triplets.push((c as usize, r, v));
+                let dst = next[c as usize];
+                indices[dst] = r as u32;
+                values[dst] = v;
+                next[c as usize] += 1;
             }
         }
-        triplets.sort_by_key(|a| (a.0, a.1));
-        Csr::from_sorted_triplets(self.cols, self.rows, triplets)
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            offsets,
+            indices,
+            values,
+        }
     }
 }
 

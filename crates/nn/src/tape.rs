@@ -379,8 +379,8 @@ impl Var {
             let x = &nodes[self.idx].value;
             let mut out = x.clone();
             let d = out.cols();
-            if let Some(block) = 4096usize.checked_div(d) {
-                let block = block.max(1);
+            if d > 0 {
+                let block = cpgan_parallel::grain_rows(4096, d);
                 cpgan_parallel::par_chunks_mut(out.as_mut_slice(), block * d, |_, chunk| {
                     for row in chunk.chunks_mut(d) {
                         let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -809,12 +809,14 @@ fn backprop(node: &Node, grad: &Matrix, left: &mut [Node]) {
         }
         Op::SumAll(x) => {
             let g = grad.item();
-            let dx = left[*x].value.map(|_| g);
+            let src = &left[*x].value;
+            let dx = Matrix::full(src.rows(), src.cols(), g);
             grad_of(left, *x).axpy(1.0, &dx);
         }
         Op::MeanAll(x) => {
             let g = grad.item() / left[*x].value.len().max(1) as f32;
-            let dx = left[*x].value.map(|_| g);
+            let src = &left[*x].value;
+            let dx = Matrix::full(src.rows(), src.cols(), g);
             grad_of(left, *x).axpy(1.0, &dx);
         }
         Op::GatherRows(x, indices) => {

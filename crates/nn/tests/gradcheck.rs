@@ -336,3 +336,50 @@ fn grad_gaussian_kl_composite() {
         },
     );
 }
+
+/// Pooled buffers hold arbitrary garbage at checkout; every op must fully
+/// overwrite (or explicitly zero) what it reads. Running the same backward
+/// pass with the pool off and then on — after priming the free lists with
+/// dirty buffers — must produce bit-identical gradients.
+#[test]
+fn grads_bitwise_identical_with_pooled_buffers() {
+    let run = || {
+        let param = Param::new(seed_matrix(6, 5, 0.15));
+        let tape = Tape::new();
+        let x = tape.param(&param);
+        let w = tape.constant(seed_matrix(5, 9, 0.65));
+        let loss = x.matmul(&w).relu().square().mean_all();
+        loss.backward();
+        let grad = param.lock().grad.clone();
+        (loss.item(), grad)
+    };
+    cpgan_nn::memory::set_pool_enabled(false);
+    cpgan_nn::memory::pool_clear();
+    let (loss_off, grad_off) = run();
+    cpgan_nn::memory::set_pool_enabled(true);
+    // Prime the pool with dirty buffers of the exact sizes the run uses.
+    let dirt: Vec<Matrix> = [(6, 5), (5, 9), (6, 9), (1, 1)]
+        .iter()
+        .map(|&(r, c)| Matrix::full(r, c, f32::NAN))
+        .collect();
+    drop(dirt);
+    let (loss_on, grad_on) = run();
+    cpgan_nn::memory::pool_clear();
+    assert_eq!(
+        loss_off.to_bits(),
+        loss_on.to_bits(),
+        "loss differs with pool"
+    );
+    for (i, (a, b)) in grad_off
+        .as_slice()
+        .iter()
+        .zip(grad_on.as_slice())
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "grad[{i}] differs with pool: {a} vs {b}"
+        );
+    }
+}

@@ -72,6 +72,22 @@ fn matmul_nt_bitwise_equal_across_thread_counts() {
 }
 
 #[test]
+fn ragged_matmul_bitwise_equal_across_thread_counts() {
+    // Shapes that are not multiples of the MR=4 / NR=8 register tile and
+    // cross the KC=256 k-slab, so the microkernel tail paths and the
+    // resume-from-out accumulator path all run under parallel row splits.
+    for &(m, k, n) in &[(37, 261, 19), (65, 300, 9), (5, 517, 33)] {
+        let a = seed_matrix(m, k, 0.11);
+        let b = seed_matrix(k, n, 0.23);
+        assert_equivalent("ragged matmul", || a.matmul(&b));
+        let at = seed_matrix(k, m, 0.31);
+        assert_equivalent("ragged matmul_tn", || at.matmul_tn(&b));
+        let bt = seed_matrix(n, k, 0.43);
+        assert_equivalent("ragged matmul_nt", || a.matmul_nt(&bt));
+    }
+}
+
+#[test]
 fn elementwise_ops_bitwise_equal_across_thread_counts() {
     let a = seed_matrix(96, 70, 0.5); // 6720 entries: two 4096-entry chunks
     let b = seed_matrix(96, 70, 1.1);

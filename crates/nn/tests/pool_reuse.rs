@@ -1,0 +1,126 @@
+//! Buffer-pool behavior under a real training workload.
+//!
+//! Two contracts from DESIGN.md §10:
+//!
+//! * **Accounting** — a checked-in (idle) pooled buffer is *not* live:
+//!   `live_bytes`/`peak_bytes` must behave exactly as they would without a
+//!   pool, and idle bytes are visible only through `pool_idle_bytes`.
+//! * **Reuse** — tape-based training is a recycling workload; with the pool
+//!   on, fresh heap allocations (pool misses) per step must drop by at
+//!   least half versus the pool-disabled baseline.
+//!
+//! The pool and the accounting are process-global, so the tests in this
+//! file serialize on one mutex and use buffer sizes no other test touches.
+
+// Test-support helpers sit outside `#[test]` fns, where the
+// `allow-*-in-tests` carve-out does not reach.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
+use cpgan_nn::layers::{Activation, Mlp};
+use cpgan_nn::optim::{Adam, Optimizer};
+use cpgan_nn::{memory, Matrix, ParamStore, Tape};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::{Arc, Mutex};
+
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn idle_pooled_bytes_are_not_live_and_do_not_inflate_peak() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    memory::set_pool_enabled(true);
+    memory::pool_clear();
+
+    // A size no other test allocates, so this thread's bucket is ours.
+    const R: usize = 1009; // prime
+    const C: usize = 7;
+    const BYTES: usize = R * C * std::mem::size_of::<f32>();
+
+    let live0 = memory::live_bytes();
+    let idle0 = memory::pool_idle_bytes();
+
+    let m = Matrix::zeros(R, C);
+    assert_eq!(memory::live_bytes(), live0 + BYTES, "allocation is live");
+
+    drop(m); // checked into the pool, not freed —
+    assert_eq!(
+        memory::live_bytes(),
+        live0,
+        "idle pooled bytes are not live"
+    );
+    assert_eq!(
+        memory::pool_idle_bytes(),
+        idle0 + BYTES,
+        "idle bytes visible via pool_idle_bytes"
+    );
+
+    // Peak must reflect only genuinely-live bytes: re-allocating the same
+    // buffer (a pool hit) may not double-count against peak.
+    memory::reset_peak();
+    let peak0 = memory::peak_bytes();
+    let m2 = Matrix::zeros(R, C);
+    assert_eq!(
+        memory::peak_bytes(),
+        peak0.max(live0 + BYTES),
+        "pool checkout accounts like a fresh allocation"
+    );
+    drop(m2);
+    assert!(
+        memory::live_bytes() <= memory::peak_bytes(),
+        "live never exceeds peak"
+    );
+
+    memory::pool_clear();
+    assert_eq!(
+        memory::pool_idle_bytes(),
+        idle0,
+        "pool_clear returns idle bytes to the allocator"
+    );
+}
+
+/// One short XOR training run; returns pool misses incurred.
+fn train_misses(iters: usize) -> u64 {
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mlp = Mlp::new(&mut store, &mut rng, &[2, 16, 1], Activation::Tanh);
+    let x = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+    let y = Arc::new(Matrix::from_vec(4, 1, vec![0., 1., 1., 0.]));
+    let mut opt = Adam::with_lr(0.05);
+    // Warm up one step outside the measurement window so the pool's free
+    // lists are primed with the step's buffer sizes.
+    for _ in 0..2 {
+        let tape = Tape::new();
+        let input = tape.constant(x.clone());
+        let loss = mlp.forward(&tape, &input).sigmoid().mse_mean(&y);
+        loss.backward();
+        opt.step(&store);
+    }
+    memory::reset_pool_stats();
+    for _ in 0..iters {
+        let tape = Tape::new();
+        let input = tape.constant(x.clone());
+        let loss = mlp.forward(&tape, &input).sigmoid().mse_mean(&y);
+        loss.backward();
+        opt.step(&store);
+    }
+    memory::pool_misses()
+}
+
+#[test]
+fn pooled_training_steps_halve_fresh_allocations() {
+    let _guard = POOL_LOCK.lock().unwrap();
+
+    memory::set_pool_enabled(false);
+    memory::pool_clear();
+    let misses_off = train_misses(200);
+
+    memory::set_pool_enabled(true);
+    memory::pool_clear();
+    let misses_on = train_misses(200);
+    memory::pool_clear();
+
+    assert!(misses_off > 0, "baseline must allocate");
+    assert!(
+        misses_on * 2 <= misses_off,
+        "pool must cut fresh allocations by >= 50%: {misses_on} on vs {misses_off} off"
+    );
+}

@@ -5,12 +5,38 @@
 // failure mode in test code.
 #![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
 
-use cpgan_nn::{Matrix, Param, Tape};
+use cpgan_nn::{kernels, Matrix, Param, Tape};
 use proptest::prelude::*;
 
 fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-2.0f32..2.0, rows * cols)
         .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Deterministic sign-mixed content for shape-randomized tests (the shapes
+/// come from proptest; the content need not shrink). The `+ 0.11` keeps
+/// every element away from exact `0.0`, which the bitwise comparisons
+/// against the branchy seed references require.
+fn seeded(rows: usize, cols: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(rows, cols, |r, c| {
+        (((r * cols + c) as f32 + seed as f32 * 0.37) * 0.731 + 0.11).sin() * 1.7
+    })
+}
+
+fn assert_bits_eq(got: &Matrix, want: &Matrix, what: &str) {
+    assert_eq!(got.shape(), want.shape(), "{what}: shape mismatch");
+    for (i, (g, w)) in got.as_slice().iter().zip(want.as_slice()).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}[{i}]: blocked {g} != naive {w}"
+        );
+    }
+}
+
+/// Max |blocked - naive| scaled for a length-`k` f32 dot product.
+fn nt_tolerance(k: usize) -> f32 {
+    1e-5 * (k as f32).max(1.0)
 }
 
 proptest! {
@@ -122,5 +148,90 @@ proptest! {
         let target = std::sync::Arc::new(Matrix::from_fn(3, 3, |r, c| ((r + c) % 2) as f32));
         let loss = t.constant(m).bce_with_logits_mean(&target, None);
         prop_assert!(loss.item() >= 0.0);
+    }
+
+    // -------------------------------------------------------------------
+    // Blocked kernels vs the retained naive references, random shapes.
+    // The blocked NN/TN kernels keep per-element ascending-k accumulation,
+    // so they must match the scalar i-k-j loops *bitwise*, not just within
+    // tolerance. `k` ranges past KC=256 so the k-slab resume path runs.
+    // -------------------------------------------------------------------
+
+    #[test]
+    fn blocked_matmul_matches_naive_bitwise(
+        m in 1usize..24, k in 1usize..300, n in 1usize..40, seed in 0u64..32
+    ) {
+        let a = seeded(m, k, seed);
+        let b = seeded(k, n, seed + 1);
+        assert_bits_eq(&a.matmul(&b), &kernels::matmul_naive(&a, &b), "matmul");
+    }
+
+    #[test]
+    fn blocked_matmul_tn_matches_naive_bitwise(
+        m in 1usize..24, k in 1usize..300, n in 1usize..40, seed in 0u64..32
+    ) {
+        let a = seeded(k, m, seed);
+        let b = seeded(k, n, seed + 1);
+        assert_bits_eq(&a.matmul_tn(&b), &kernels::matmul_tn_naive(&a, &b), "matmul_tn");
+    }
+
+    #[test]
+    fn blocked_matmul_nt_matches_naive_within_tolerance(
+        m in 1usize..24, k in 1usize..300, n in 1usize..40, seed in 0u64..32
+    ) {
+        // NT uses the fixed 8-lane split dot product: deterministic per
+        // shape, but a different (still fixed) summation order than naive.
+        let a = seeded(m, k, seed);
+        let b = seeded(n, k, seed + 1);
+        let blocked = a.matmul_nt(&b);
+        let naive = kernels::matmul_nt_naive(&a, &b);
+        for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+            prop_assert!((x - y).abs() <= nt_tolerance(k), "{x} vs {y} at k={k}");
+        }
+    }
+}
+
+/// Degenerate and boundary-crossing shapes the random ranges above rarely
+/// hit: empty dims, 1×1, single row/column, prime dims, exact KC/NC
+/// multiples and off-by-one around them, and an NC=1024-crossing panel.
+#[test]
+fn blocked_kernels_match_naive_on_edge_shapes() {
+    let shapes: &[(usize, usize, usize)] = &[
+        (0, 5, 3),
+        (5, 0, 3),
+        (5, 3, 0),
+        (1, 1, 1),
+        (1, 7, 1),
+        (1, 1, 13),
+        (7, 11, 13),
+        (31, 37, 41),
+        (4, 256, 8),
+        (5, 257, 9),
+        (8, 255, 16),
+        (3, 300, 1100),
+    ];
+    for &(m, k, n) in shapes {
+        let a = seeded(m, k, 3);
+        let b = seeded(k, n, 5);
+        assert_bits_eq(
+            &a.matmul(&b),
+            &kernels::matmul_naive(&a, &b),
+            &format!("matmul {m}x{k}x{n}"),
+        );
+        let at = seeded(k, m, 3);
+        assert_bits_eq(
+            &at.matmul_tn(&b),
+            &kernels::matmul_tn_naive(&at, &b),
+            &format!("matmul_tn {m}x{k}x{n}"),
+        );
+        let bt = seeded(n, k, 5);
+        let blocked = a.matmul_nt(&bt);
+        let naive = kernels::matmul_nt_naive(&a, &bt);
+        for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+            assert!(
+                (x - y).abs() <= nt_tolerance(k),
+                "matmul_nt {m}x{k}x{n}: {x} vs {y}"
+            );
+        }
     }
 }

@@ -52,6 +52,18 @@ pub fn chunk_count(n: usize, chunk: usize) -> usize {
     n.div_ceil(chunk.max(1))
 }
 
+/// Rows per fixed parallel chunk for a row-blocked kernel over `cols`-wide
+/// rows, targeting roughly `grain` elements per chunk (at least one row).
+///
+/// Depends only on the shape and the grain — never on the thread count —
+/// so kernels that split work with it keep the determinism contract. The
+/// row-blocked kernels in `cpgan-nn` (dense matmul, CSR×dense, row-wise
+/// softmax) all derive their chunking from this one helper.
+#[inline]
+pub fn grain_rows(grain: usize, cols: usize) -> usize {
+    (grain / cols.max(1)).max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,5 +76,14 @@ mod tests {
         assert_eq!(chunk_count(9, 8), 2);
         assert_eq!(chunk_count(17, 8), 3);
         assert_eq!(chunk_count(5, 0), 5); // degenerate chunk size clamps to 1
+    }
+
+    #[test]
+    fn grain_rows_is_shape_determined_and_positive() {
+        assert_eq!(grain_rows(4096, 64), 64);
+        assert_eq!(grain_rows(4096, 4096), 1);
+        assert_eq!(grain_rows(4096, 10_000), 1); // wider than grain: 1 row
+        assert_eq!(grain_rows(4096, 0), 4096); // degenerate width clamps to 1
+        assert_eq!(grain_rows(0, 7), 1);
     }
 }

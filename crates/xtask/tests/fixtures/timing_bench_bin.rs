@@ -1,0 +1,22 @@
+//! Fixture: the timing idiom of the bench binaries (best-of rep loops
+//! reading the clock directly). Exempt under `crates/bench/`, a violation
+//! anywhere else.
+
+fn time_once(f: impl Fn()) -> f64 {
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+fn best_of(reps: usize, f: impl Fn()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        best = best.min(time_once(&f));
+    }
+    best
+}
+
+fn main() {
+    let t = best_of(3, || std::hint::black_box(1 + 1));
+    println!("{t}");
+}

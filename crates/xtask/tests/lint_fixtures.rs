@@ -86,6 +86,31 @@ fn timing_fixture() {
 }
 
 #[test]
+fn bench_bin_timing_idiom_is_exempt_only_under_bench() {
+    // The matmul/parallel bench binaries read the clock in best-of rep
+    // loops; that idiom is fine under crates/bench/ and a violation
+    // anywhere else — including a bench-sounding module in another crate.
+    for exempt in [
+        "crates/bench/src/bin/matmul.rs",
+        "crates/bench/src/bin/parallel.rs",
+        "crates/bench/src/lib.rs",
+    ] {
+        let v = scan_source(exempt, &fixture("timing_bench_bin.rs"));
+        assert!(
+            v.iter().all(|v| v.rule != Rule::AdHocTiming),
+            "{exempt} flagged: {v:?}"
+        );
+    }
+    for flagged in ["crates/nn/src/kernels.rs", "crates/eval/src/bench_like.rs"] {
+        let v = scan_source(flagged, &fixture("timing_bench_bin.rs"));
+        assert!(
+            v.iter().any(|v| v.rule == Rule::AdHocTiming),
+            "{flagged} not flagged: {v:?}"
+        );
+    }
+}
+
+#[test]
 fn cfg_test_items_are_exempt() {
     let v = scan_fixture("cfg_test_exempt.rs");
     assert!(v.is_empty(), "test-only code flagged: {v:?}");
