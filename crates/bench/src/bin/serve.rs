@@ -1,0 +1,289 @@
+//! Closed-loop load generator for `cpgan-serve`, written to
+//! `results/BENCH_serve.json`.
+//!
+//! Usage: `cargo run --release -p bench --bin serve [-- --fast]`
+//!
+//! A tiny model is fitted in-process and served on a loopback port; 1, 2
+//! and 4 closed-loop clients then hammer `POST /v1/generate` for a fixed
+//! window (workers = 2, queue 16), reporting throughput, p50/p95/p99
+//! latency and rejection rate. A final backpressure scenario (1 worker,
+//! queue depth 1, 4 clients) provokes 429s to measure the fast-reject
+//! path. Clients run on the deterministic pool via `par_map_owned`;
+//! `--fast` shrinks the windows for CI smoke runs.
+
+use bench::BenchMeta;
+use cpgan::{CpGan, CpGanConfig};
+use cpgan_graph::Graph;
+use cpgan_parallel::{with_thread_count, Pool};
+use cpgan_serve::{ModelRegistry, ServeConfig, Server};
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Server worker count shared by every closed-loop scenario.
+const WORKERS: usize = 2;
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
+}
+
+/// The 3-community fixture graph used across the test suite.
+fn bench_graph() -> Graph {
+    let mut edges = Vec::new();
+    for c in 0..3u32 {
+        let base = c * 12;
+        for a in 0..12u32 {
+            for b in (a + 1)..12 {
+                if (a + b) % 2 == 0 {
+                    edges.push((base + a, base + b));
+                }
+            }
+        }
+        edges.push((base, (base + 12) % 36));
+    }
+    Graph::from_edges(36, edges).unwrap_or_else(|e| die(&format!("bench graph: {e}")))
+}
+
+/// One request round-trip: returns (status, seconds), or an Err for
+/// transport failures (connect refused, truncated reply).
+fn round_trip(addr: SocketAddr, seed: u64) -> Result<(u16, f64), std::io::Error> {
+    let start = Instant::now();
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let body = format!("{{\"seed\":{seed}}}");
+    stream.write_all(
+        format!(
+            "POST /v1/generate HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )?;
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf)?;
+    let head = std::str::from_utf8(buf.get(..12).unwrap_or(&buf))
+        .map_err(|_| std::io::Error::other("non-utf8 status line"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other("unparseable status line"))?;
+    Ok((status, start.elapsed().as_secs_f64()))
+}
+
+/// Outcome counts and success latencies for one client's closed loop.
+#[derive(Default)]
+struct ClientStats {
+    ok: u64,
+    rejected: u64,
+    timed_out: u64,
+    errors: u64,
+    latencies_s: Vec<f64>,
+}
+
+/// Issues requests back-to-back until the window closes.
+fn run_client(addr: SocketAddr, client: usize, window: Duration) -> ClientStats {
+    let mut stats = ClientStats::default();
+    let start = Instant::now();
+    let mut req = 0u64;
+    while start.elapsed() < window {
+        let seed = client as u64 * 1_000_000 + req;
+        req += 1;
+        match round_trip(addr, seed) {
+            Ok((200, s)) => {
+                stats.ok += 1;
+                stats.latencies_s.push(s);
+            }
+            Ok((429, _)) => stats.rejected += 1,
+            Ok((408, _)) => stats.timed_out += 1,
+            Ok(_) | Err(_) => stats.errors += 1,
+        }
+    }
+    stats
+}
+
+/// Linear-scan percentile over an already-sorted slice (nearest-rank).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+struct ScenarioRow {
+    name: String,
+    clients: usize,
+    workers: usize,
+    queue_depth: usize,
+    duration_s: f64,
+    requests: u64,
+    ok: u64,
+    rejected: u64,
+    timed_out: u64,
+    errors: u64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    rejection_rate: f64,
+}
+
+/// Boots a fresh server, runs `clients` closed loops against it, and
+/// aggregates the outcome.
+fn run_scenario(
+    name: &str,
+    model: &CpGan,
+    clients: usize,
+    workers: usize,
+    queue_depth: usize,
+    window: Duration,
+) -> ScenarioRow {
+    let mut registry = ModelRegistry::new();
+    let copy = CpGan::from_snapshot(model.snapshot())
+        .unwrap_or_else(|e| die(&format!("model snapshot round-trip: {e}")));
+    registry
+        .insert("bench", copy)
+        .unwrap_or_else(|e| die(&format!("registry: {e}")));
+    let server = Server::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            queue_depth,
+            deadline_ms: 2_000,
+            // Keep each generation serial: the pool threads are the
+            // *clients* here, and client concurrency is what is measured.
+            gen_threads: Some(1),
+            ..ServeConfig::default()
+        },
+        registry,
+    )
+    .unwrap_or_else(|e| die(&format!("server start: {e}")));
+    let addr = server.addr();
+
+    let wall = Instant::now();
+    let per_client = with_thread_count(clients, || {
+        Pool::global().par_map_owned((0..clients).collect(), move |_, c| {
+            run_client(addr, c, window)
+        })
+    });
+    let duration_s = wall.elapsed().as_secs_f64();
+    server.shutdown();
+
+    let mut all = ClientStats::default();
+    for s in per_client {
+        all.ok += s.ok;
+        all.rejected += s.rejected;
+        all.timed_out += s.timed_out;
+        all.errors += s.errors;
+        all.latencies_s.extend(s.latencies_s);
+    }
+    all.latencies_s.sort_unstable_by(f64::total_cmp);
+    let requests = all.ok + all.rejected + all.timed_out + all.errors;
+    ScenarioRow {
+        name: name.to_string(),
+        clients,
+        workers,
+        queue_depth,
+        duration_s,
+        requests,
+        ok: all.ok,
+        rejected: all.rejected,
+        timed_out: all.timed_out,
+        errors: all.errors,
+        throughput_rps: all.ok as f64 / duration_s.max(1e-9),
+        p50_ms: percentile(&all.latencies_s, 0.50) * 1e3,
+        p95_ms: percentile(&all.latencies_s, 0.95) * 1e3,
+        p99_ms: percentile(&all.latencies_s, 0.99) * 1e3,
+        rejection_rate: all.rejected as f64 / (requests.max(1)) as f64,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let window = if fast {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_millis(1_500)
+    };
+    let meta = BenchMeta::capture(WORKERS);
+
+    eprintln!("fitting bench model...");
+    let g = bench_graph();
+    let mut model = CpGan::new(CpGanConfig {
+        epochs: 6,
+        sample_size: 36,
+        ..CpGanConfig::tiny()
+    });
+    model.fit(&g);
+
+    let mut rows = Vec::new();
+    for clients in [1usize, 2, 4] {
+        let name = format!("closed_loop_c{clients}");
+        eprintln!("scenario {name}: {clients} client(s), {WORKERS} workers, queue 16...");
+        let row = run_scenario(&name, &model, clients, WORKERS, 16, window);
+        eprintln!(
+            "  {} req in {:.2}s: {:.0} rps, p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms, \
+             rejected {:.1}%",
+            row.requests,
+            row.duration_s,
+            row.throughput_rps,
+            row.p50_ms,
+            row.p95_ms,
+            row.p99_ms,
+            row.rejection_rate * 100.0
+        );
+        rows.push(row);
+    }
+    eprintln!("scenario backpressure_c4: 4 clients, 1 worker, queue 1...");
+    let row = run_scenario("backpressure_c4", &model, 4, 1, 1, window);
+    eprintln!(
+        "  {} req: {:.0} rps ok, rejected {:.1}% ({} fast 429s)",
+        row.requests,
+        row.throughput_rps,
+        row.rejection_rate * 100.0,
+        row.rejected
+    );
+    rows.push(row);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&meta.json_fields("  "));
+    let _ = writeln!(json, "  \"fast\": {fast},");
+    json.push_str("  \"scenarios\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"clients\": {}, \"workers\": {}, \
+             \"queue_depth\": {}, \"duration_s\": {:.3}, \"requests\": {}, \
+             \"ok\": {}, \"rejected\": {}, \"timed_out\": {}, \"errors\": {}, \
+             \"throughput_rps\": {:.2}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"rejection_rate\": {:.4}}}{comma}",
+            r.name,
+            r.clients,
+            r.workers,
+            r.queue_depth,
+            r.duration_s,
+            r.requests,
+            r.ok,
+            r.rejected,
+            r.timed_out,
+            r.errors,
+            r.throughput_rps,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            r.rejection_rate,
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = "results/BENCH_serve.json";
+    if let Err(e) = std::fs::create_dir_all("results").and_then(|()| std::fs::write(out, &json)) {
+        die(&format!("failed to write {out}: {e}"));
+    }
+    eprintln!("wrote {out}");
+}

@@ -6,6 +6,7 @@
 //! cpgan generate --model model.json --output out.txt [--seed S]
 //! cpgan stats    --input graph.txt
 //! cpgan eval     --observed graph.txt --generated out.txt
+//! cpgan serve    --model model.json [--addr HOST:PORT] [--workers N]
 //! ```
 //!
 //! Graphs are whitespace edge lists (`# nodes: N` header optional), the
@@ -14,6 +15,7 @@
 use cpgan::{CpGan, CpGanConfig};
 use cpgan_community::{louvain, metrics};
 use cpgan_graph::{io, mmd, stats, Graph};
+use cpgan_serve::{ModelRegistry, ServeConfig, Server};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
@@ -40,9 +42,14 @@ fn usage() -> &'static str {
      cpgan fit      --input <edge-list> --model <model.json> [--epochs N] [--sample-size N] [--seed S]\n  \
      cpgan generate --model <model.json> --output <edge-list> [--nodes N] [--edges M] [--seed S]\n  \
      cpgan stats    --input <edge-list>\n  \
-     cpgan eval     --observed <edge-list> --generated <edge-list>\n\n\
-     any subcommand also accepts --obs-out <path> (write observability\n\
-     JSONL there and print a summary tree; see DESIGN.md §9)"
+     cpgan eval     --observed <edge-list> --generated <edge-list>\n  \
+     cpgan serve    --model <model.json>[,<model.json>...] [--addr HOST:PORT] [--workers N]\n                 \
+     [--queue-depth N] [--deadline-ms N]\n\n\
+     any subcommand also accepts:\n  \
+     --threads N     worker threads for parallel kernels (same as CPGAN_THREADS=N;\n                  \
+     for serve: threads per in-flight generation, see DESIGN.md \u{a7}11)\n  \
+     --obs-out PATH  write observability JSONL there and print a summary tree\n                  \
+     (see DESIGN.md \u{a7}9)"
 }
 
 fn run(argv: &[String]) -> Result<(), String> {
@@ -54,12 +61,23 @@ fn run(argv: &[String]) -> Result<(), String> {
     if obs_out.is_some() {
         cpgan_obs::set_enabled(true);
     }
-    let result = match cmd.as_str() {
+    // `--threads N` pins the deterministic parallel runtime's thread count
+    // for this invocation (equivalent to CPGAN_THREADS=N; results are
+    // bit-identical at any setting). `serve` routes it through its own
+    // per-worker generation budget instead, so the override is applied to
+    // worker threads rather than this (main) thread.
+    let threads = args.get_usize("threads")?;
+    let dispatch = || match cmd.as_str() {
         "fit" => fit(&args),
         "generate" => generate(&args),
         "stats" => show_stats(&args),
         "eval" => eval(&args),
+        "serve" => serve(&args),
         other => Err(format!("unknown subcommand '{other}'")),
+    };
+    let result = match threads {
+        Some(n) if cmd != "serve" => cpgan_parallel::with_thread_count(n, dispatch),
+        _ => dispatch(),
     };
     // Flush even on error so partial runs still leave telemetry behind.
     cpgan_obs::finish(obs_out.as_deref());
@@ -122,6 +140,43 @@ fn generate(args: &Args) -> Result<(), String> {
         out.n(),
         out.m()
     );
+    Ok(())
+}
+
+fn serve(args: &Args) -> Result<(), String> {
+    let models = args.require("model")?;
+    let mut registry = ModelRegistry::new();
+    for path in models.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let name = registry.load_file(path).map_err(|e| e.to_string())?;
+        let shape = registry
+            .get(&name)
+            .and_then(|m| m.trained_shape())
+            .map(|(n, m)| format!("trained on {n} nodes / {m} edges"))
+            .unwrap_or_else(|| "untrained".to_string());
+        eprintln!("loaded model '{name}' from {path} ({shape})");
+    }
+    let cfg = ServeConfig {
+        addr: args
+            .get("addr")
+            .unwrap_or_else(|| "127.0.0.1:8787".to_string()),
+        workers: args.get_usize("workers")?.unwrap_or(0),
+        queue_depth: args.get_usize("queue-depth")?.unwrap_or(64),
+        deadline_ms: args.get_u64("deadline-ms")?.unwrap_or(5_000),
+        gen_threads: args.get_usize("threads")?,
+        ..ServeConfig::default()
+    };
+    // The metrics endpoint serves the merged cpgan-obs report; a server
+    // without collection would serve an empty document forever.
+    cpgan_obs::set_enabled(true);
+    let server = Server::start(cfg, registry).map_err(|e| e.to_string())?;
+    eprintln!(
+        "cpgan-serve listening on http://{} ({} workers, queue {}); \
+         POST /v1/generate, GET /v1/models /healthz /metrics",
+        server.addr(),
+        server.worker_count(),
+        args.get_usize("queue-depth")?.unwrap_or(64),
+    );
+    server.wait();
     Ok(())
 }
 

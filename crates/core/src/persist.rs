@@ -243,4 +243,45 @@ mod tests {
             Err(PersistError::Incompatible(_))
         ));
     }
+
+    #[test]
+    fn incompatible_message_names_parameter_index_and_shapes() {
+        // A registry operator debugging a bad model file needs to know
+        // *which* tensor is off and by how much, not just "mismatch".
+        let model = CpGan::new(CpGanConfig::tiny());
+        let mut snap = model.snapshot();
+        let total = snap.parameters.len();
+        assert!(total > 2, "tiny model should register several tensors");
+        let victim = 2;
+        let (r, c) = snap.parameters[victim].shape();
+        snap.parameters[victim] = Matrix::zeros(r + 3, c + 1);
+        let Err(err) = CpGan::from_snapshot(snap) else {
+            panic!("shape-corrupted snapshot must not load");
+        };
+        let msg = err.to_string();
+        assert!(matches!(err, PersistError::Incompatible(_)), "{msg}");
+        assert!(
+            msg.contains(&format!("parameter {victim} of {total}")),
+            "message must name the offending index: {msg}"
+        );
+        assert!(
+            msg.contains(&format!("expected shape {r}x{c}")),
+            "message must show the model's shape: {msg}"
+        );
+        assert!(
+            msg.contains(&format!("snapshot has {}x{}", r + 3, c + 1)),
+            "message must show the snapshot's shape: {msg}"
+        );
+
+        // Count mismatches likewise state both sides.
+        let model = CpGan::new(CpGanConfig::tiny());
+        let mut snap = model.snapshot();
+        snap.parameters.truncate(1);
+        let Err(err) = CpGan::from_snapshot(snap) else {
+            panic!("truncated parameter list must not load");
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("snapshot has 1 tensors"), "{msg}");
+        assert!(msg.contains(&format!("model expects {total}")), "{msg}");
+    }
 }

@@ -145,17 +145,19 @@ impl ParamStore {
     pub fn import_values(&self, values: Vec<Matrix>) -> Result<(), String> {
         if values.len() != self.params.len() {
             return Err(format!(
-                "snapshot has {} tensors, store has {}",
+                "snapshot has {} tensors, model expects {} (was the snapshot \
+                 written by a model with a different configuration?)",
                 values.len(),
                 self.params.len()
             ));
         }
         for (i, (p, v)) in self.params.iter().zip(&values).enumerate() {
             if p.shape() != v.shape() {
+                let (er, ec) = p.shape();
+                let (fr, fc) = v.shape();
                 return Err(format!(
-                    "tensor {i} shape mismatch: store {:?}, snapshot {:?}",
-                    p.shape(),
-                    v.shape()
+                    "parameter {i} of {}: expected shape {er}x{ec}, snapshot has {fr}x{fc}",
+                    self.params.len()
                 ));
             }
         }

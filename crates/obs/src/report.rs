@@ -122,6 +122,76 @@ impl Report {
         out
     }
 
+    /// Renders the report as one JSON object —
+    /// `{"spans":{...},"counters":{...},"gauges":{...},"hists":{...},
+    /// "series":{...}}` — for machine consumers that want a single
+    /// document rather than the JSONL stream (e.g. the serving layer's
+    /// `GET /metrics` endpoint). Key order is the `BTreeMap` order, so
+    /// the rendering is deterministic.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"spans\":{");
+        for (i, (path, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"total_ns\":{}}}",
+                json_str(path),
+                s.count,
+                s.total_ns
+            ));
+        }
+        out.push_str("},\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{v}", json_str(name)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, &(_, v))) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_str(name), json_f64(v)));
+        }
+        out.push_str("},\"hists\":{");
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|&(_, &c)| c > 0)
+                .map(|(b, c)| format!("[{b},{c}]"))
+                .collect();
+            out.push_str(&format!(
+                "{}:{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[{}]}}",
+                json_str(name),
+                h.count,
+                json_f64(h.sum),
+                json_f64(h.min),
+                json_f64(h.max),
+                buckets.join(",")
+            ));
+        }
+        out.push_str("},\"series\":{");
+        for (i, (name, points)) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let pts: Vec<String> = points
+                .iter()
+                .map(|&(step, v)| format!("[{step},{}]", json_f64(v)))
+                .collect();
+            out.push_str(&format!("{}:[{}]", json_str(name), pts.join(",")));
+        }
+        out.push_str("}}");
+        out
+    }
+
     /// Renders a deterministic human-readable summary: spans as an indented
     /// tree (durations included — those vary run to run, the structure does
     /// not), then counters, gauges, histograms, and series extents.
@@ -302,5 +372,40 @@ mod tests {
         assert!(tree.contains("spans:"));
         assert!(tree.contains("b"));
         assert!(tree.contains("jobs"));
+    }
+
+    #[test]
+    fn json_object_shape() {
+        let mut r = Report::default();
+        r.spans.insert(
+            "a/b".to_string(),
+            crate::collect::SpanStat {
+                count: 3,
+                total_ns: 1500,
+            },
+        );
+        r.counters.insert("jobs".to_string(), 7);
+        r.gauges.insert("depth".to_string(), (1, 2.5));
+        let mut h = Hist::default();
+        h.record(4.0);
+        r.hists.insert("lat".to_string(), h);
+        r.series.insert("loss".to_string(), vec![(0, 1.0)]);
+        let json = r.to_json();
+        assert!(json.starts_with("{\"spans\":{"), "{json}");
+        assert!(
+            json.contains("\"a/b\":{\"count\":3,\"total_ns\":1500}"),
+            "{json}"
+        );
+        assert!(json.contains("\"counters\":{\"jobs\":7}"), "{json}");
+        assert!(json.contains("\"gauges\":{\"depth\":2.5}"), "{json}");
+        assert!(json.contains("\"lat\":{\"count\":1,"), "{json}");
+        assert!(json.contains("\"series\":{\"loss\":[[0,1]]}"), "{json}");
+        assert!(json.ends_with("}}"), "{json}");
+        // An empty report is still a complete, parseable object.
+        let empty = Report::default().to_json();
+        assert_eq!(
+            empty,
+            "{\"spans\":{},\"counters\":{},\"gauges\":{},\"hists\":{},\"series\":{}}"
+        );
     }
 }

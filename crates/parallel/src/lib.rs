@@ -35,13 +35,21 @@
 //! * **Pool tier** — [`Pool`] keeps persistent workers alive for owned
 //!   (`'static`) coarse-grained jobs, e.g. the evaluation pipeline's
 //!   independent baseline-generator runs ([`Pool::par_map_owned`]).
+//!
+//! A third, non-numeric entry point, [`spawn_service`], hosts long-lived
+//! infrastructure threads (the serving layer's acceptor/workers); it is
+//! outside the determinism contract because service threads communicate
+//! only through explicit synchronization and never combine numeric
+//! results by scheduling order.
 
 mod pool;
 mod scoped;
+mod service;
 mod threads;
 
 pub use pool::Pool;
 pub use scoped::{par_chunks_mut, par_map, par_reduce};
+pub use service::spawn_service;
 pub use threads::{current_threads, with_thread_count};
 
 /// Splits `n` items into fixed chunks of at most `chunk` items and returns

@@ -1,0 +1,52 @@
+//! Long-lived named service threads.
+//!
+//! The workspace's `ad-hoc-threading` lint funnels every `std::thread`
+//! spawn through this crate so the deterministic data-parallel tiers stay
+//! the only way to *compute* in parallel. Long-lived infrastructure
+//! threads — the serving layer's acceptor and request workers — are a
+//! different animal: they host I/O loops, not numeric kernels, and their
+//! scheduling must never influence computed results. [`spawn_service`] is
+//! the sanctioned spawn point for those threads; anything numeric still
+//! belongs on [`crate::par_chunks_mut`] / [`crate::Pool`].
+
+use std::io;
+use std::thread::JoinHandle;
+
+/// Spawns a named, long-lived service thread running `f`.
+///
+/// The thread is named `cpgan-<name>` (visible in debuggers and panic
+/// messages). Callers own the returned handle and decide when — or
+/// whether — to join it; a service thread must not produce values that
+/// feed back into deterministic computation except through explicit
+/// synchronization (queues, atomics), so thread scheduling never changes
+/// numeric results.
+pub fn spawn_service<F, T>(name: &str, f: F) -> io::Result<JoinHandle<T>>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("cpgan-{name}"))
+        .spawn(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawns_named_thread_and_joins() {
+        let handle = spawn_service("test-svc", || {
+            std::thread::current().name().map(str::to_string)
+        })
+        .unwrap();
+        let name = handle.join().unwrap();
+        assert_eq!(name.as_deref(), Some("cpgan-test-svc"));
+    }
+
+    #[test]
+    fn returns_value_through_join() {
+        let handle = spawn_service("test-ret", || 41 + 1).unwrap();
+        assert_eq!(handle.join().unwrap(), 42);
+    }
+}

@@ -1,0 +1,163 @@
+//! The serving error taxonomy and its HTTP mapping.
+//!
+//! Every way a request can fail is a [`ServeError`] variant with a fixed
+//! status code and a stable machine-readable `code` string, so clients can
+//! branch on failures without parsing prose and tests can assert exact
+//! semantics (DESIGN.md §11).
+
+use std::fmt;
+
+/// Everything that can go wrong while serving (or starting the server).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request could not be parsed (HTTP framing or JSON body). `400`.
+    BadRequest(String),
+    /// No route matches the request path. `404`.
+    NotFound(String),
+    /// The requested model name is not in the registry. `404`.
+    UnknownModel(String),
+    /// The path exists but not for this method. `405`.
+    MethodNotAllowed {
+        /// The method the client used.
+        method: String,
+        /// The path it targeted.
+        path: String,
+    },
+    /// The per-request deadline elapsed before a response was produced
+    /// (in queue, mid-parse, or before generation started). `408`.
+    DeadlineExceeded {
+        /// Time the request had been in flight when it was abandoned.
+        waited_ms: u64,
+        /// The configured deadline.
+        deadline_ms: u64,
+    },
+    /// The declared request body exceeds the server's limit. `413`.
+    PayloadTooLarge {
+        /// Maximum accepted body size in bytes.
+        limit: usize,
+    },
+    /// The bounded request queue is full — fast rejection so overload
+    /// sheds load instead of building unbounded latency. `429` with
+    /// `Retry-After`.
+    QueueFull {
+        /// The configured queue capacity that was exhausted.
+        depth: usize,
+    },
+    /// The server is draining and no longer accepts new requests. `503`.
+    ShuttingDown,
+    /// A model file could not be loaded into the registry at startup.
+    ModelLoad(String),
+    /// Transport-level I/O failure (bind, accept, read, write).
+    Io(std::io::Error),
+}
+
+impl ServeError {
+    /// The HTTP status code this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::NotFound(_) | ServeError::UnknownModel(_) => 404,
+            ServeError::MethodNotAllowed { .. } => 405,
+            ServeError::DeadlineExceeded { .. } => 408,
+            ServeError::PayloadTooLarge { .. } => 413,
+            ServeError::QueueFull { .. } => 429,
+            ServeError::ShuttingDown => 503,
+            ServeError::ModelLoad(_) | ServeError::Io(_) => 500,
+        }
+    }
+
+    /// A stable machine-readable error code for response bodies.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::BadRequest(_) => "bad_request",
+            ServeError::NotFound(_) => "not_found",
+            ServeError::UnknownModel(_) => "unknown_model",
+            ServeError::MethodNotAllowed { .. } => "method_not_allowed",
+            ServeError::DeadlineExceeded { .. } => "deadline_exceeded",
+            ServeError::PayloadTooLarge { .. } => "payload_too_large",
+            ServeError::QueueFull { .. } => "queue_full",
+            ServeError::ShuttingDown => "shutting_down",
+            ServeError::ModelLoad(_) => "model_load",
+            ServeError::Io(_) => "io",
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::NotFound(path) => write!(f, "no route for {path}"),
+            ServeError::UnknownModel(name) => write!(f, "unknown model '{name}'"),
+            ServeError::MethodNotAllowed { method, path } => {
+                write!(f, "method {method} not allowed for {path}")
+            }
+            ServeError::DeadlineExceeded {
+                waited_ms,
+                deadline_ms,
+            } => write!(
+                f,
+                "deadline exceeded: {waited_ms}ms in flight (deadline {deadline_ms}ms)"
+            ),
+            ServeError::PayloadTooLarge { limit } => {
+                write!(f, "request body exceeds {limit} bytes")
+            }
+            ServeError::QueueFull { depth } => {
+                write!(f, "request queue full ({depth} waiting); retry later")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::ModelLoad(m) => write!(f, "cannot load model: {m}"),
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_and_code_mapping() {
+        let cases: Vec<(ServeError, u16, &str)> = vec![
+            (ServeError::BadRequest("x".into()), 400, "bad_request"),
+            (ServeError::NotFound("/x".into()), 404, "not_found"),
+            (ServeError::UnknownModel("m".into()), 404, "unknown_model"),
+            (
+                ServeError::MethodNotAllowed {
+                    method: "PUT".into(),
+                    path: "/v1/generate".into(),
+                },
+                405,
+                "method_not_allowed",
+            ),
+            (
+                ServeError::DeadlineExceeded {
+                    waited_ms: 10,
+                    deadline_ms: 5,
+                },
+                408,
+                "deadline_exceeded",
+            ),
+            (
+                ServeError::PayloadTooLarge { limit: 1 },
+                413,
+                "payload_too_large",
+            ),
+            (ServeError::QueueFull { depth: 4 }, 429, "queue_full"),
+            (ServeError::ShuttingDown, 503, "shutting_down"),
+        ];
+        for (err, status, code) in cases {
+            assert_eq!(err.status(), status, "{err}");
+            assert_eq!(err.code(), code, "{err}");
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

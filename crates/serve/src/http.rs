@@ -1,0 +1,299 @@
+//! Minimal std-only HTTP/1.1 framing.
+//!
+//! Just enough of RFC 9112 for the serving API: one request per
+//! connection (`Connection: close` on every response), `Content-Length`
+//! bodies only (no chunked transfer), and hard limits on header and body
+//! size so a hostile peer cannot balloon memory. Anything outside that
+//! subset is a [`ServeError::BadRequest`].
+
+use crate::error::ServeError;
+use std::io::{Read, Write};
+
+/// Maximum accepted size of the request line + headers, in bytes.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+/// Maximum accepted request body size, in bytes.
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Request method, uppercased as received (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path, e.g. `/v1/generate` (query strings are kept
+    /// verbatim; the serving API does not use them).
+    pub path: String,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Byte offset just past the `\r\n\r\n` (or lenient `\n\n`) head
+/// terminator, if present.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
+}
+
+/// Reads and parses one request from `stream`.
+///
+/// Timeouts configured on the stream surface as [`ServeError::Io`] with
+/// kind `WouldBlock`/`TimedOut`; the caller maps those onto the request
+/// deadline (`408`). Oversized heads/bodies and malformed framing are
+/// `400`/`413`.
+pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ServeError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut tmp = [0u8; 2048];
+    let head_len = loop {
+        if let Some(end) = head_end(&buf) {
+            break end;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(ServeError::BadRequest(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let n = stream.read(&mut tmp)?;
+        if n == 0 {
+            return Err(ServeError::BadRequest(if buf.is_empty() {
+                "connection closed before any request bytes".to_string()
+            } else {
+                "connection closed mid-request-head".to_string()
+            }));
+        }
+        buf.extend_from_slice(&tmp[..n]);
+    };
+
+    let head = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| ServeError::BadRequest("request head is not valid UTF-8".to_string()))?;
+    let mut lines = head.lines().filter(|l| !l.trim().is_empty());
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("empty request head".to_string()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("missing method".to_string()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("missing request target".to_string()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("missing HTTP version".to_string()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ServeError::BadRequest(format!(
+            "unsupported protocol version '{version}'"
+        )));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ServeError::BadRequest(format!("malformed header line '{line}'")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| ServeError::BadRequest(format!("unparseable content-length '{v}'")))?,
+        None => 0,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err(ServeError::PayloadTooLarge {
+            limit: MAX_BODY_BYTES,
+        });
+    }
+
+    let mut body = buf[head_len..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut tmp)?;
+        if n == 0 {
+            return Err(ServeError::BadRequest(format!(
+                "body truncated: got {} of {content_length} declared bytes",
+                body.len()
+            )));
+        }
+        body.extend_from_slice(&tmp[..n]);
+    }
+    body.truncate(content_length);
+
+    Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })
+}
+
+/// An HTTP response about to be written.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Optional `Retry-After` header value in seconds (`429`/`503`).
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after: None,
+        }
+    }
+
+    /// A plain-text response (the edge-list payload of `/v1/generate`).
+    pub fn text(status: u16, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body,
+            retry_after: None,
+        }
+    }
+}
+
+/// Canonical reason phrase for the statuses the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `response` (with `Connection: close`) and flushes.
+pub fn write_response<W: Write>(stream: &mut W, response: &Response) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    if let Some(secs) = response.retry_after {
+        head.push_str(&format!("retry-after: {secs}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&response.body)?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(text: &str) -> Result<Request, ServeError> {
+        read_request(&mut text.as_bytes())
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = parse("GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_content_length_body() {
+        let body = r#"{"seed":3}"#;
+        let text = format!(
+            "POST /v1/generate HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let r = parse(&text).unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, body.as_bytes());
+    }
+
+    #[test]
+    fn tolerates_bare_lf_heads() {
+        let r = parse("GET /v1/models HTTP/1.1\nhost: y\n\n").unwrap();
+        assert_eq!(r.path, "/v1/models");
+    }
+
+    #[test]
+    fn rejects_bad_framing() {
+        assert!(matches!(parse(""), Err(ServeError::BadRequest(_))));
+        assert!(matches!(
+            parse("garbage\r\n\r\n"),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / SPDY/3\r\n\r\n"),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nbadheader\r\n\r\n"),
+            Err(ServeError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\ncontent-length: nope\r\n\r\n"),
+            Err(ServeError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let text = format!(
+            "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse(&text),
+            Err(ServeError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_bad_request() {
+        let text = "POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc";
+        assert!(matches!(parse(text), Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
+    fn response_round_trips_headers() {
+        let mut out = Vec::new();
+        let mut resp = Response::json(429, "{}".to_string());
+        resp.retry_after = Some(1);
+        write_response(&mut out, &resp).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

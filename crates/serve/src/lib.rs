@@ -1,0 +1,54 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! `cpgan-serve` — a batched, backpressured graph-generation server.
+//!
+//! A dependency-free (std + workspace crates) HTTP/1.1 server that turns
+//! trained CPGAN snapshots into a long-lived generation service
+//! (DESIGN.md §11):
+//!
+//! * `POST /v1/generate` — body `{"model","nodes","edges","seed"}` (all
+//!   optional), answers the generated graph as a plain-text edge list
+//!   **byte-identical** to what `cpgan generate` writes for the same
+//!   model/seed/size,
+//! * `GET /v1/models` — the loaded [`ModelRegistry`] with parameter
+//!   counts and trained shapes,
+//! * `GET /healthz` — liveness plus queue/worker state,
+//! * `GET /metrics` — the merged `cpgan-obs` report as JSON.
+//!
+//! Architecture: an acceptor thread admits connections into a bounded
+//! MPMC queue ([`queue::Bounded`]) and a fixed worker pool drains them in
+//! micro-batches. Robustness semantics are explicit and typed
+//! ([`ServeError`]): malformed requests are `400`s, a full queue rejects
+//! instantly with `429` + `Retry-After`, requests that outlive the
+//! per-request deadline are `408`s, and shutdown stops accepting but
+//! answers everything already admitted. Every stage is instrumented with
+//! `cpgan-obs` spans (`serve.request/serve.parse/serve.generate/
+//! serve.write`) and latency histograms (`serve.queue_wait_ns`,
+//! `serve.request_latency_ns`).
+//!
+//! ```no_run
+//! use cpgan_serve::{ModelRegistry, ServeConfig, Server};
+//!
+//! let mut registry = ModelRegistry::new();
+//! registry.load_file("model.json").unwrap();
+//! let server = Server::start(
+//!     ServeConfig { addr: "127.0.0.1:0".into(), ..ServeConfig::default() },
+//!     registry,
+//! )
+//! .unwrap();
+//! println!("listening on {}", server.addr());
+//! server.wait();
+//! ```
+
+mod error;
+pub mod http;
+mod protocol;
+pub mod queue;
+mod registry;
+mod server;
+
+pub use error::ServeError;
+pub use protocol::{GenerateRequest, DEFAULT_SEED};
+pub use registry::ModelRegistry;
+pub use server::{error_response, ServeConfig, Server};

@@ -1,0 +1,196 @@
+//! A bounded MPMC queue with explicit overload and drain semantics.
+//!
+//! The serving layer's backpressure hinges on two properties: a full
+//! queue rejects **immediately** (no blocking producers, so the acceptor
+//! can answer `429` while overloaded) and a closed queue still hands out
+//! everything already enqueued (so graceful shutdown drains in-flight
+//! requests instead of dropping them).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Why [`Bounded::try_push`] refused an item. The item is handed back so
+/// the caller can respond on its connection.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// The queue was closed for shutdown.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer / multi-consumer queue.
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// Creates a queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Bounded<T> {
+        Bounded {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().items.is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        // A poisoned lock means a consumer panicked mid-pop; the queue
+        // state itself is still coherent (push/pop are single statements),
+        // so keep serving rather than wedging every thread.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueues `item`, or returns it with the reason it was refused.
+    /// Never blocks.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues up to `max` items as one micro-batch, waiting up to
+    /// `timeout` for the first item.
+    ///
+    /// Returns the batch plus `done = true` once the queue is closed
+    /// **and** drained — the consumer's signal to exit. A non-empty batch
+    /// can accompany `done = false` even after close: close only stops new
+    /// work, it never drops queued work.
+    pub fn pop_batch(&self, max: usize, timeout: Duration) -> (Vec<T>, bool) {
+        let mut state = self.lock();
+        if state.items.is_empty() && !state.closed {
+            let (guard, _timeout_result) = self
+                .available
+                .wait_timeout(state, timeout)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = guard;
+        }
+        let take = state.items.len().min(max.max(1));
+        let batch: Vec<T> = state.items.drain(..take).collect();
+        let done = state.closed && state.items.is_empty();
+        if !state.items.is_empty() {
+            // Leftovers for other consumers.
+            drop(state);
+            self.available.notify_one();
+        }
+        (batch, done)
+    }
+
+    /// Closes the queue: future pushes fail with [`PushError::Closed`],
+    /// queued items remain poppable, and all waiting consumers wake.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Duration = Duration::from_millis(10);
+
+    #[test]
+    fn push_pop_fifo_order() {
+        let q = Bounded::new(8);
+        for i in 0..5 {
+            q.try_push(i).unwrap();
+        }
+        let (batch, done) = q.pop_batch(3, TICK);
+        assert_eq!(batch, vec![0, 1, 2]);
+        assert!(!done);
+        let (batch, done) = q.pop_batch(10, TICK);
+        assert_eq!(batch, vec![3, 4]);
+        assert!(!done);
+    }
+
+    #[test]
+    fn full_queue_rejects_immediately() {
+        let q = Bounded::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        match q.try_push(3) {
+            Err(PushError::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn closed_queue_rejects_pushes_but_drains_items() {
+        let q = Bounded::new(4);
+        q.try_push(7).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(8), Err(PushError::Closed(8))));
+        let (batch, done) = q.pop_batch(4, TICK);
+        assert_eq!(batch, vec![7]);
+        assert!(done, "closed + drained must report done");
+        let (batch, done) = q.pop_batch(4, TICK);
+        assert!(batch.is_empty());
+        assert!(done);
+    }
+
+    #[test]
+    fn close_with_backlog_is_not_done_until_drained() {
+        let q = Bounded::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        let (batch, done) = q.pop_batch(1, TICK);
+        assert_eq!(batch, vec![1]);
+        assert!(!done, "still one item queued");
+        let (batch, done) = q.pop_batch(1, TICK);
+        assert_eq!(batch, vec![2]);
+        assert!(done);
+    }
+
+    #[test]
+    fn empty_pop_times_out_quickly() {
+        let q: Bounded<u32> = Bounded::new(1);
+        let (batch, done) = q.pop_batch(1, Duration::from_millis(1));
+        assert!(batch.is_empty());
+        assert!(!done);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let q = Bounded::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(1).unwrap();
+        assert!(matches!(q.try_push(2), Err(PushError::Full(_))));
+    }
+}

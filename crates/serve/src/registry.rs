@@ -1,0 +1,174 @@
+//! The model registry: snapshots loaded once, shared read-only.
+//!
+//! Serving amortizes model load — every [`CpGan`] is deserialized exactly
+//! once at startup via `cpgan::persist` and handed to workers behind an
+//! `Arc`, so concurrent requests share parameters without copies and a
+//! bad snapshot fails the process at boot instead of a request at 3am.
+
+use crate::error::ServeError;
+use cpgan::CpGan;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Loaded models by name. Insertion order is irrelevant: iteration is
+/// name-sorted, so `/v1/models` output is deterministic.
+#[derive(Default)]
+pub struct ModelRegistry {
+    models: BTreeMap<String, Arc<CpGan>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// Registers an already-constructed model under `name`.
+    pub fn insert(&mut self, name: &str, model: CpGan) -> Result<(), ServeError> {
+        if name.is_empty() {
+            return Err(ServeError::ModelLoad("empty model name".to_string()));
+        }
+        if self.models.contains_key(name) {
+            return Err(ServeError::ModelLoad(format!(
+                "duplicate model name '{name}'"
+            )));
+        }
+        self.models.insert(name.to_string(), Arc::new(model));
+        Ok(())
+    }
+
+    /// Loads a snapshot from `path` and registers it under the file stem
+    /// (e.g. `models/citeseer.json` -> `citeseer`). Returns the name.
+    pub fn load_file(&mut self, path: &str) -> Result<String, ServeError> {
+        let name = Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .filter(|s| !s.is_empty())
+            .ok_or_else(|| {
+                ServeError::ModelLoad(format!("cannot derive a model name from '{path}'"))
+            })?
+            .to_string();
+        let model = CpGan::load(path).map_err(|e| ServeError::ModelLoad(format!("{path}: {e}")))?;
+        self.insert(&name, model)?;
+        Ok(name)
+    }
+
+    /// Looks a model up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<CpGan>> {
+        self.models.get(name).cloned()
+    }
+
+    /// When exactly one model is loaded, that model (the default for
+    /// requests that omit `"model"`).
+    pub fn sole_model(&self) -> Option<(&str, Arc<CpGan>)> {
+        if self.models.len() == 1 {
+            self.models
+                .iter()
+                .next()
+                .map(|(name, m)| (name.as_str(), Arc::clone(m)))
+        } else {
+            None
+        }
+    }
+
+    /// Number of loaded models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether no model is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// Loaded model names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.models.keys().map(String::as_str).collect()
+    }
+
+    /// The `/v1/models` payload: name, parameter count, trained shape.
+    pub fn to_json_value(&self) -> Value {
+        let models: Vec<Value> = self
+            .models
+            .iter()
+            .map(|(name, m)| {
+                let (nodes, edges) = match m.trained_shape() {
+                    Some((n, e)) => (Value::UInt(n as u64), Value::UInt(e as u64)),
+                    None => (Value::Null, Value::Null),
+                };
+                Value::Object(vec![
+                    ("name".to_string(), Value::Str(name.clone())),
+                    (
+                        "parameters".to_string(),
+                        Value::UInt(m.param_count() as u64),
+                    ),
+                    ("trained_nodes".to_string(), nodes),
+                    ("trained_edges".to_string(), edges),
+                ])
+            })
+            .collect();
+        Value::Object(vec![("models".to_string(), Value::Array(models))])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpgan::CpGanConfig;
+
+    #[test]
+    fn insert_get_and_sole_model() {
+        let mut reg = ModelRegistry::new();
+        assert!(reg.is_empty());
+        reg.insert("a", CpGan::new(CpGanConfig::tiny())).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert!(reg.get("a").is_some());
+        assert!(reg.get("b").is_none());
+        assert_eq!(
+            reg.sole_model().map(|(n, _)| n.to_string()),
+            Some("a".into())
+        );
+        reg.insert("b", CpGan::new(CpGanConfig::tiny())).unwrap();
+        assert!(reg.sole_model().is_none(), "ambiguous once two models load");
+        assert_eq!(reg.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut reg = ModelRegistry::new();
+        reg.insert("m", CpGan::new(CpGanConfig::tiny())).unwrap();
+        let err = reg
+            .insert("m", CpGan::new(CpGanConfig::tiny()))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::ModelLoad(_)));
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn load_file_derives_name_and_surfaces_errors() {
+        let mut reg = ModelRegistry::new();
+        let err = reg.load_file("/definitely/not/here.json").unwrap_err();
+        assert!(matches!(err, ServeError::ModelLoad(_)));
+        assert!(err.to_string().contains("not/here.json"));
+
+        let dir = std::env::temp_dir().join("cpgan_serve_registry_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny_model.json");
+        CpGan::new(CpGanConfig::tiny()).save(&path).unwrap();
+        let name = reg.load_file(path.to_str().unwrap()).unwrap();
+        assert_eq!(name, "tiny_model");
+        assert!(reg.get("tiny_model").is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn models_json_lists_untrained_shape_as_null() {
+        let mut reg = ModelRegistry::new();
+        reg.insert("m", CpGan::new(CpGanConfig::tiny())).unwrap();
+        let text = serde_json::to_string(&reg.to_json_value()).unwrap();
+        assert!(text.contains("\"name\":\"m\""), "{text}");
+        assert!(text.contains("\"trained_nodes\":null"), "{text}");
+    }
+}

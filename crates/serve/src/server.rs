@@ -1,0 +1,525 @@
+//! The server: one acceptor, a bounded queue, a fixed worker pool.
+//!
+//! Threading model (DESIGN.md §11): the acceptor thread only accepts TCP
+//! connections and enqueues them — it never reads request bytes, so a
+//! slow or hostile client cannot stall admission. Workers pop micro-
+//! batches from the bounded queue and do everything else (parse, route,
+//! generate, write). Overload is shed at the acceptor (`429` when the
+//! queue is full), staleness at the workers (`408` once the per-request
+//! deadline passes), and shutdown drains: accepting stops, every queued
+//! and in-flight request still gets its response.
+
+use crate::error::ServeError;
+use crate::http::{self, Request, Response};
+use crate::protocol::{GenerateRequest, DEFAULT_SEED};
+use crate::queue::{Bounded, PushError};
+use crate::registry::ModelRegistry;
+use cpgan_graph::io as graph_io;
+use cpgan_obs::{counter_add, gauge_set, hist_record, span, Stopwatch};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Value;
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration. `Default` gives a loopback server with
+/// hardware-sized workers, a 64-deep queue, and a 5 s deadline.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8787` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads; `0` = `CPGAN_SERVE_WORKERS` env if set, else the
+    /// `cpgan-parallel` thread count (`CPGAN_THREADS` /
+    /// `available_parallelism`).
+    pub workers: usize,
+    /// Bounded queue depth; admission beyond it is rejected with `429`.
+    pub queue_depth: usize,
+    /// Per-request deadline in milliseconds, measured from accept;
+    /// requests that cannot finish in time are answered `408`.
+    pub deadline_ms: u64,
+    /// Maximum requests a worker drains from the queue per wakeup.
+    pub batch_size: usize,
+    /// Threads each worker may use *inside* one generation; `None` splits
+    /// the `cpgan-parallel` thread count evenly across workers so
+    /// concurrent requests do not oversubscribe cores. Results are
+    /// bit-identical at any setting (the runtime's determinism contract).
+    pub gen_threads: Option<usize>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:8787".to_string(),
+            workers: 0,
+            queue_depth: 64,
+            deadline_ms: 5_000,
+            batch_size: 8,
+            gen_threads: None,
+        }
+    }
+}
+
+/// One accepted connection waiting for (or in) service. The stopwatch
+/// starts at accept and is the request's deadline anchor.
+struct Pending {
+    stream: TcpStream,
+    sw: Stopwatch,
+}
+
+/// State shared by the acceptor and every worker.
+struct Shared {
+    registry: ModelRegistry,
+    queue: Bounded<Pending>,
+    deadline: Duration,
+    gen_threads: usize,
+    workers: usize,
+    batch_size: usize,
+    stop: AtomicBool,
+}
+
+/// A running server. Dropping it performs a graceful drain (stop
+/// accepting, finish queued and in-flight requests, join every thread).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `cfg.addr`, loads nothing (models come pre-loaded in
+    /// `registry`), and starts the acceptor and worker threads.
+    pub fn start(cfg: ServeConfig, registry: ModelRegistry) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        // Non-blocking accept lets the acceptor poll the stop flag, so
+        // shutdown never needs a wake-up connection.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let workers = resolve_workers(cfg.workers);
+        let gen_threads = cfg
+            .gen_threads
+            .unwrap_or_else(|| (cpgan_parallel::current_threads() / workers).max(1))
+            .max(1);
+        let shared = Arc::new(Shared {
+            registry,
+            queue: Bounded::new(cfg.queue_depth),
+            deadline: Duration::from_millis(cfg.deadline_ms.max(1)),
+            gen_threads,
+            workers,
+            batch_size: cfg.batch_size.max(1),
+            stop: AtomicBool::new(false),
+        });
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            cpgan_parallel::spawn_service("serve-accept", move || accept_loop(&listener, &shared))?
+        };
+        let mut worker_handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            worker_handles.push(cpgan_parallel::spawn_service(
+                &format!("serve-worker-{i}"),
+                move || worker_loop(&shared),
+            )?);
+        }
+
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with `:0` ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Worker threads serving requests.
+    pub fn worker_count(&self) -> usize {
+        self.shared.workers
+    }
+
+    /// Requests currently queued (admission-side observability).
+    pub fn queue_len(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Gracefully drains the server: stops accepting, answers everything
+    /// already queued or in flight, and joins all threads. Equivalent to
+    /// dropping the server, spelled out for call sites that mean it.
+    pub fn shutdown(self) {
+        drop(self);
+    }
+
+    /// Blocks until the server stops (for the CLI, that is "forever":
+    /// only process termination ends a `cpgan serve` run).
+    pub fn wait(mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            join_quietly(handle, "acceptor");
+        }
+        // Reached only if the acceptor stopped; drain as usual via Drop.
+    }
+
+    fn drain(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.acceptor.take() {
+            join_quietly(handle, "acceptor");
+        }
+        // Only close after the acceptor exits so nothing it admitted
+        // lands on a closed queue.
+        self.shared.queue.close();
+        for handle in self.workers.drain(..) {
+            join_quietly(handle, "worker");
+        }
+        gauge_set("serve.queue_depth", 0.0);
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn join_quietly(handle: JoinHandle<()>, who: &str) {
+    if handle.join().is_err() {
+        eprintln!("cpgan-serve: {who} thread panicked");
+    }
+}
+
+/// `cfg.workers` if positive, else `CPGAN_SERVE_WORKERS`, else the
+/// `cpgan-parallel` thread count. Always at least 1.
+fn resolve_workers(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    if let Ok(v) = std::env::var("CPGAN_SERVE_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    cpgan_parallel::current_threads().max(1)
+}
+
+// ------------------------------------------------------------- acceptor
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _g = span("serve.accept");
+                counter_add("serve.accepted", 1);
+                // Accepted sockets may inherit the listener's non-blocking
+                // mode (platform-dependent); workers want blocking reads
+                // bounded by read timeouts.
+                if stream.set_nonblocking(false).is_err() {
+                    counter_add("serve.accept_error", 1);
+                    continue;
+                }
+                let pending = Pending {
+                    stream,
+                    sw: Stopwatch::start(),
+                };
+                match shared.queue.try_push(pending) {
+                    Ok(()) => {
+                        gauge_set("serve.queue_depth", shared.queue.len() as f64);
+                    }
+                    Err(PushError::Full(p)) => {
+                        counter_add("serve.err.queue_full", 1);
+                        reject(
+                            p.stream,
+                            &ServeError::QueueFull {
+                                depth: shared.queue.capacity(),
+                            },
+                        );
+                    }
+                    Err(PushError::Closed(p)) => {
+                        counter_add("serve.err.shutting_down", 1);
+                        reject(p.stream, &ServeError::ShuttingDown);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => {
+                counter_add("serve.accept_error", 1);
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// Fast-rejection path (`429`/`503`): answer without reading the request,
+/// then drain whatever the client already sent so closing the socket
+/// cannot RST the response away before the client reads it.
+fn reject(mut stream: TcpStream, err: &ServeError) {
+    let response = error_response(err);
+    if http::write_response(&mut stream, &response).is_err() {
+        counter_add("serve.write_error", 1);
+    }
+    drain_connection(&mut stream);
+}
+
+/// Half-closes the write side and consumes leftover request bytes (with a
+/// short timeout) so `close()` never discards an already-written response.
+fn drain_connection(stream: &mut TcpStream) {
+    let _ = stream.shutdown(Shutdown::Write);
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .is_err()
+    {
+        return;
+    }
+    let mut sink = [0u8; 512];
+    while let Ok(n) = stream.read(&mut sink) {
+        if n == 0 {
+            break;
+        }
+    }
+}
+
+// -------------------------------------------------------------- workers
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (batch, done) = shared
+            .queue
+            .pop_batch(shared.batch_size, Duration::from_millis(25));
+        if !batch.is_empty() {
+            hist_record("serve.batch_size", batch.len() as f64);
+            gauge_set("serve.queue_depth", shared.queue.len() as f64);
+        }
+        for pending in batch {
+            // A panicking handler must not kill the worker: the pool is
+            // fixed-size, so a lost worker would silently shrink capacity
+            // for the rest of the process.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                cpgan_parallel::with_thread_count(shared.gen_threads, || {
+                    handle_pending(shared, pending)
+                })
+            }));
+            if outcome.is_err() {
+                counter_add("serve.handler_panic", 1);
+            }
+        }
+        if done {
+            break;
+        }
+    }
+}
+
+fn handle_pending(shared: &Shared, mut pending: Pending) {
+    let _root = span("serve.request");
+    hist_record("serve.queue_wait_ns", pending.sw.elapsed_ns() as f64);
+    counter_add("serve.requests", 1);
+    let (response, request_consumed) = match serve_one(shared, &mut pending.stream, pending.sw) {
+        Ok(response) => (response, true),
+        Err(err) => {
+            count_error(&err);
+            (error_response(&err), false)
+        }
+    };
+    {
+        let _w = span("serve.write");
+        let ok = response.status == 200;
+        match http::write_response(&mut pending.stream, &response) {
+            Ok(()) if ok => counter_add("serve.ok", 1),
+            Ok(()) => {}
+            Err(_) => counter_add("serve.write_error", 1),
+        }
+    }
+    if !request_consumed {
+        // The request may be half-read; drain it so close cannot RST the
+        // error response away.
+        drain_connection(&mut pending.stream);
+    }
+    hist_record("serve.request_latency_ns", pending.sw.elapsed_ns() as f64);
+}
+
+/// Parses and routes one request, enforcing the deadline at each stage
+/// boundary (queue exit, parse, pre-generate).
+fn serve_one(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    sw: Stopwatch,
+) -> Result<Response, ServeError> {
+    let remaining = remaining_deadline(shared, sw)?;
+    stream.set_read_timeout(Some(remaining))?;
+    let request = {
+        let _g = span("serve.parse");
+        match http::read_request(stream) {
+            Ok(request) => request,
+            Err(ServeError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // The read timeout is the remaining deadline, so running
+                // out of socket is running out of time.
+                return Err(deadline_exceeded(shared, sw));
+            }
+            Err(err) => return Err(err),
+        }
+    };
+    route(shared, sw, &request)
+}
+
+fn remaining_deadline(shared: &Shared, sw: Stopwatch) -> Result<Duration, ServeError> {
+    let elapsed = Duration::from_nanos(sw.elapsed_ns());
+    if elapsed >= shared.deadline {
+        return Err(deadline_exceeded(shared, sw));
+    }
+    Ok((shared.deadline - elapsed).max(Duration::from_millis(1)))
+}
+
+fn deadline_exceeded(shared: &Shared, sw: Stopwatch) -> ServeError {
+    ServeError::DeadlineExceeded {
+        waited_ms: sw.elapsed_ns() / 1_000_000,
+        deadline_ms: shared.deadline.as_millis() as u64,
+    }
+}
+
+fn route(shared: &Shared, sw: Stopwatch, request: &Request) -> Result<Response, ServeError> {
+    let path = request.path.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => Ok(health(shared)),
+        ("GET", "/v1/models") => Ok(Response::json(
+            200,
+            render_json(&shared.registry.to_json_value()),
+        )),
+        ("GET", "/metrics") => Ok(Response::json(200, cpgan_obs::snapshot().to_json())),
+        ("POST", "/v1/generate") => generate(shared, sw, request),
+        (_, "/healthz" | "/v1/models" | "/metrics" | "/v1/generate") => {
+            Err(ServeError::MethodNotAllowed {
+                method: request.method.clone(),
+                path: path.to_string(),
+            })
+        }
+        _ => Err(ServeError::NotFound(request.path.clone())),
+    }
+}
+
+fn generate(shared: &Shared, sw: Stopwatch, request: &Request) -> Result<Response, ServeError> {
+    let body = GenerateRequest::from_body(&request.body)?;
+    let (name, model) = match &body.model {
+        Some(name) => {
+            let model = shared
+                .registry
+                .get(name)
+                .ok_or_else(|| ServeError::UnknownModel(name.clone()))?;
+            (name.clone(), model)
+        }
+        None => shared
+            .registry
+            .sole_model()
+            .map(|(n, m)| (n.to_string(), m))
+            .ok_or_else(|| {
+                ServeError::BadRequest(format!(
+                    "request must name a model; loaded: {}",
+                    shared.registry.names().join(", ")
+                ))
+            })?,
+    };
+    // Defaulting mirrors `cpgan generate`: the trained shape unless
+    // overridden; an untrained model needs both overrides.
+    let (n, m) = match (model.trained_shape(), body.nodes, body.edges) {
+        (_, Some(n), Some(m)) => (n, m),
+        (Some((dn, dm)), n, m) => (n.unwrap_or(dn), m.unwrap_or(dm)),
+        (None, _, _) => {
+            return Err(ServeError::BadRequest(format!(
+                "model '{name}' is untrained; request must set nodes and edges"
+            )));
+        }
+    };
+    // Generation is the expensive stage; do not start it for a request
+    // that has already missed its deadline.
+    remaining_deadline(shared, sw)?;
+    let seed = body.seed.unwrap_or(DEFAULT_SEED);
+    let graph = {
+        let _g = span("serve.generate");
+        let mut rng = StdRng::seed_from_u64(seed);
+        model.generate(n, m, &mut rng)
+    };
+    let mut out = Vec::new();
+    graph_io::write_edge_list(&graph, &mut out)
+        .map_err(|e| ServeError::Io(std::io::Error::other(e.to_string())))?;
+    Ok(Response::text(200, out))
+}
+
+fn health(shared: &Shared) -> Response {
+    let body = Value::Object(vec![
+        ("status".to_string(), Value::Str("ok".to_string())),
+        (
+            "models".to_string(),
+            Value::UInt(shared.registry.len() as u64),
+        ),
+        (
+            "queue_depth".to_string(),
+            Value::UInt(shared.queue.len() as u64),
+        ),
+        (
+            "queue_capacity".to_string(),
+            Value::UInt(shared.queue.capacity() as u64),
+        ),
+        ("workers".to_string(), Value::UInt(shared.workers as u64)),
+        (
+            "deadline_ms".to_string(),
+            Value::UInt(shared.deadline.as_millis() as u64),
+        ),
+    ]);
+    Response::json(200, render_json(&body))
+}
+
+fn render_json(value: &Value) -> String {
+    serde_json::to_string(value).unwrap_or_else(|_| "{}".to_string())
+}
+
+/// Renders a [`ServeError`] as its HTTP response:
+/// `{"error":{"code":...,"message":...,"status":...}}`, with `Retry-After`
+/// on overload/shutdown rejections.
+pub fn error_response(err: &ServeError) -> Response {
+    let body = Value::Object(vec![(
+        "error".to_string(),
+        Value::Object(vec![
+            ("code".to_string(), Value::Str(err.code().to_string())),
+            ("message".to_string(), Value::Str(err.to_string())),
+            ("status".to_string(), Value::UInt(u64::from(err.status()))),
+        ]),
+    )]);
+    let mut response = Response::json(err.status(), render_json(&body));
+    if matches!(err, ServeError::QueueFull { .. } | ServeError::ShuttingDown) {
+        response.retry_after = Some(1);
+    }
+    response
+}
+
+fn count_error(err: &ServeError) {
+    let name = match err {
+        ServeError::BadRequest(_) => "serve.err.bad_request",
+        ServeError::NotFound(_) => "serve.err.not_found",
+        ServeError::UnknownModel(_) => "serve.err.unknown_model",
+        ServeError::MethodNotAllowed { .. } => "serve.err.method_not_allowed",
+        ServeError::DeadlineExceeded { .. } => "serve.err.deadline",
+        ServeError::PayloadTooLarge { .. } => "serve.err.payload_too_large",
+        ServeError::QueueFull { .. } => "serve.err.queue_full",
+        ServeError::ShuttingDown => "serve.err.shutting_down",
+        ServeError::ModelLoad(_) => "serve.err.model_load",
+        ServeError::Io(_) => "serve.err.io",
+    };
+    counter_add(name, 1);
+}

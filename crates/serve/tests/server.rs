@@ -1,0 +1,477 @@
+//! End-to-end serving tests over real TCP sockets: the determinism
+//! contract (served bytes == CLI bytes), the robustness taxonomy
+//! (400/404/405/408/429), and graceful drain.
+
+// Integration-test helpers sit outside `#[test]` fns, so the
+// `allow-panic-in-tests` carve-out does not reach them.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
+use cpgan::{CpGan, CpGanConfig};
+use cpgan_graph::{io as graph_io, Graph};
+use cpgan_serve::{ModelRegistry, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// A small 3-community graph (same family as the persist tests).
+fn small_graph() -> Graph {
+    let mut edges = Vec::new();
+    for c in 0..3u32 {
+        let base = c * 12;
+        for a in 0..12u32 {
+            for b in (a + 1)..12 {
+                if (a + b) % 2 == 0 {
+                    edges.push((base + a, base + b));
+                }
+            }
+        }
+        edges.push((base, (base + 12) % 36));
+    }
+    Graph::from_edges(36, edges).unwrap()
+}
+
+fn temp_model_path(tag: &str, model: &CpGan) -> PathBuf {
+    let dir = std::env::temp_dir().join("cpgan_serve_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{tag}.json"));
+    model.save(&path).unwrap();
+    path
+}
+
+fn registry_for(path: &Path) -> ModelRegistry {
+    let mut registry = ModelRegistry::new();
+    registry.load_file(path.to_str().unwrap()).unwrap();
+    registry
+}
+
+struct Reply {
+    status: u16,
+    headers: HashMap<String, String>,
+    body: Vec<u8>,
+}
+
+/// Sends raw request bytes and reads the whole reply (the server closes
+/// every connection after one exchange).
+fn exchange(addr: SocketAddr, raw: &[u8]) -> Reply {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(raw).unwrap();
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).unwrap();
+    parse_reply(&buf)
+}
+
+fn parse_reply(buf: &[u8]) -> Reply {
+    let head_end = buf
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("reply must have a complete head")
+        + 4;
+    let head = std::str::from_utf8(&buf[..head_end]).unwrap();
+    let mut lines = head.lines();
+    let status_line = lines.next().unwrap();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let mut headers = HashMap::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    Reply {
+        status,
+        headers,
+        body: buf[head_end..].to_vec(),
+    }
+}
+
+fn post_generate(addr: SocketAddr, body: &str) -> Reply {
+    let raw = format!(
+        "POST /v1/generate HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    exchange(addr, raw.as_bytes())
+}
+
+fn get(addr: SocketAddr, path: &str) -> Reply {
+    exchange(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n").as_bytes(),
+    )
+}
+
+/// A connection that connects and sends nothing, pinning a worker (or a
+/// queue slot) until the server's deadline expires.
+fn stall(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream
+}
+
+fn read_reply(mut stream: TcpStream) -> Reply {
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).unwrap();
+    parse_reply(&buf)
+}
+
+// ----------------------------------------------------------- determinism
+
+#[test]
+fn served_generation_is_byte_identical_to_cli_generation() {
+    // Fit a tiny model exactly once, the way `cpgan fit` would.
+    let g = small_graph();
+    let mut model = CpGan::new(CpGanConfig {
+        epochs: 6,
+        sample_size: 36,
+        ..CpGanConfig::tiny()
+    });
+    model.fit(&g);
+    let path = temp_model_path("e2e_trained", &model);
+
+    let server = Server::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            ..ServeConfig::default()
+        },
+        registry_for(&path),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // What `cpgan generate --model <path> --output out.txt --seed 3` does:
+    // load the snapshot, default (n, m) to the trained shape, seed the
+    // rng, generate, write the edge list.
+    let cli_model = CpGan::load(&path).unwrap();
+    let (n, m) = cli_model.trained_shape().expect("model is trained");
+    let mut rng = StdRng::seed_from_u64(3);
+    let cli_graph = cli_model.generate(n, m, &mut rng);
+    let out_path = std::env::temp_dir().join("cpgan_serve_tests/e2e_cli_out.txt");
+    graph_io::save(&cli_graph, &out_path).unwrap();
+    let cli_bytes = std::fs::read(&out_path).unwrap();
+
+    // Served generation with the same model and seed, twice (the second
+    // proves the server is stateless across requests).
+    for round in 0..2 {
+        let reply = post_generate(addr, r#"{"seed":3}"#);
+        assert_eq!(reply.status, 200, "round {round}");
+        assert_eq!(
+            reply.body, cli_bytes,
+            "served edge list must be byte-identical to the CLI's (round {round})"
+        );
+    }
+
+    // Defaults mirror the CLI too: an empty body is seed 7 + trained shape.
+    let mut rng7 = StdRng::seed_from_u64(7);
+    let mut default_bytes = Vec::new();
+    graph_io::write_edge_list(&cli_model.generate(n, m, &mut rng7), &mut default_bytes).unwrap();
+    let reply = post_generate(addr, "");
+    assert_eq!(reply.status, 200);
+    assert_eq!(
+        reply.body, default_bytes,
+        "empty body must equal CLI defaults"
+    );
+
+    server.shutdown();
+    std::fs::remove_file(&out_path).ok();
+    std::fs::remove_file(&path).ok();
+}
+
+// ------------------------------------------------------------ robustness
+
+#[test]
+fn malformed_and_misrouted_requests_map_to_the_error_taxonomy() {
+    let path = temp_model_path("robust_untrained", &CpGan::new(CpGanConfig::tiny()));
+    let server = Server::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            ..ServeConfig::default()
+        },
+        registry_for(&path),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Malformed JSON body -> 400 bad_request.
+    let reply = post_generate(addr, "definitely not json");
+    assert_eq!(reply.status, 400);
+    let body = String::from_utf8(reply.body).unwrap();
+    assert!(body.contains("\"code\":\"bad_request\""), "{body}");
+
+    // Unknown field -> 400 naming the field.
+    let reply = post_generate(addr, r#"{"sede":3}"#);
+    assert_eq!(reply.status, 400);
+    assert!(String::from_utf8(reply.body).unwrap().contains("sede"));
+
+    // Untrained model without explicit nodes/edges -> 400.
+    let reply = post_generate(addr, r#"{"seed":1}"#);
+    assert_eq!(reply.status, 400);
+    assert!(String::from_utf8(reply.body).unwrap().contains("untrained"));
+
+    // Unknown model -> 404 unknown_model.
+    let reply = post_generate(addr, r#"{"model":"nope","nodes":10,"edges":10}"#);
+    assert_eq!(reply.status, 404);
+    assert!(String::from_utf8(reply.body)
+        .unwrap()
+        .contains("\"code\":\"unknown_model\""));
+
+    // Unknown route -> 404; known route with wrong method -> 405.
+    assert_eq!(get(addr, "/v2/whatever").status, 404);
+    assert_eq!(get(addr, "/v1/generate").status, 405);
+    let reply = exchange(addr, b"DELETE /healthz HTTP/1.1\r\n\r\n");
+    assert_eq!(reply.status, 405);
+
+    // Broken HTTP framing -> 400.
+    let reply = exchange(addr, b"NOT-HTTP\r\n\r\n");
+    assert_eq!(reply.status, 400);
+
+    // An untrained model *with* explicit shape serves 200 (control).
+    let reply = post_generate(addr, r#"{"nodes":24,"edges":40,"seed":1}"#);
+    assert_eq!(reply.status, 200);
+    let text = String::from_utf8(reply.body).unwrap();
+    assert!(text.starts_with("# nodes: 24\n"), "{text}");
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn full_queue_rejects_with_429_and_retry_after() {
+    let path = temp_model_path("backpressure", &CpGan::new(CpGanConfig::tiny()));
+    let server = Server::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_depth: 2,
+            deadline_ms: 600,
+            batch_size: 1,
+            ..ServeConfig::default()
+        },
+        registry_for(&path),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Pin the single worker with a silent connection...
+    let in_flight = stall(addr);
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(
+        server.queue_len(),
+        0,
+        "worker should have claimed the stall"
+    );
+    // ...then fill both queue slots...
+    let queued_a = stall(addr);
+    let queued_b = stall(addr);
+    std::thread::sleep(Duration::from_millis(150));
+    assert_eq!(server.queue_len(), 2, "both stalls should be queued");
+
+    // ...so the next admission is rejected instantly, well before any
+    // deadline could fire.
+    let reply = read_reply(stall(addr));
+    assert_eq!(reply.status, 429);
+    assert_eq!(
+        reply.headers.get("retry-after").map(String::as_str),
+        Some("1")
+    );
+    let body = String::from_utf8(reply.body).unwrap();
+    assert!(body.contains("\"code\":\"queue_full\""), "{body}");
+
+    // The pinned connections all resolve to 408 once the deadline passes.
+    for (who, stream) in [
+        ("in-flight", in_flight),
+        ("queued-a", queued_a),
+        ("queued-b", queued_b),
+    ] {
+        let reply = read_reply(stream);
+        assert_eq!(reply.status, 408, "{who}");
+    }
+
+    // And the server is healthy again afterwards.
+    let reply = post_generate(addr, r#"{"nodes":16,"edges":20,"seed":2}"#);
+    assert_eq!(reply.status, 200);
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn deadline_expires_stalled_and_overqueued_requests_with_408() {
+    let path = temp_model_path("deadline", &CpGan::new(CpGanConfig::tiny()));
+    let server = Server::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_depth: 8,
+            deadline_ms: 200,
+            batch_size: 1,
+            ..ServeConfig::default()
+        },
+        registry_for(&path),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Two silent connections occupy the single worker back to back; a
+    // *valid* request sent now therefore waits in queue longer than its
+    // own deadline and must be answered 408 without ever being parsed.
+    // (Reading the victim first keeps the stalled sockets unread, so the
+    // worker's post-response drain of each stall holds the line long
+    // enough for the victim's queue wait to exceed its deadline.)
+    let stall_a = stall(addr);
+    let stall_b = stall(addr);
+    std::thread::sleep(Duration::from_millis(50));
+    let victim = {
+        let mut stream = stall(addr);
+        let body = r#"{"nodes":16,"edges":20,"seed":2}"#;
+        stream
+            .write_all(
+                format!(
+                    "POST /v1/generate HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        stream
+    };
+
+    let reply = read_reply(victim);
+    assert_eq!(reply.status, 408, "queued-past-deadline request must 408");
+    let reply = read_reply(stall_a);
+    assert_eq!(reply.status, 408, "stalled parse must time out");
+    let body = String::from_utf8(reply.body).unwrap();
+    assert!(body.contains("\"code\":\"deadline_exceeded\""), "{body}");
+    assert_eq!(read_reply(stall_b).status, 408);
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn graceful_drain_answers_everything_already_admitted() {
+    let path = temp_model_path("drain", &CpGan::new(CpGanConfig::tiny()));
+    let server = Server::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_depth: 8,
+            deadline_ms: 2_000,
+            batch_size: 1,
+            ..ServeConfig::default()
+        },
+        registry_for(&path),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // Expected bytes for the queued request, computed independently.
+    let model = CpGan::load(&path).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut expected = Vec::new();
+    graph_io::write_edge_list(&model.generate(20, 30, &mut rng), &mut expected).unwrap();
+
+    // Pin the worker with a *partial* request (headers still in flight),
+    // then queue a complete request behind it.
+    let mut slow = stall(addr);
+    slow.write_all(b"POST /v1/generate HTTP/1.1\r\n").unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let queued = {
+        let mut stream = stall(addr);
+        let body = r#"{"nodes":20,"edges":30,"seed":5}"#;
+        stream
+            .write_all(
+                format!(
+                    "POST /v1/generate HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .unwrap();
+        stream
+    };
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Begin shutdown while both requests are genuinely in flight; it must
+    // block until they are answered, not cut them off.
+    let drainer = std::thread::spawn(move || {
+        server.shutdown();
+    });
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Finish the slow request mid-drain; both replies must now complete.
+    let body = r#"{"nodes":16,"edges":20,"seed":2}"#;
+    slow.write_all(format!("content-length: {}\r\n\r\n{body}", body.len()).as_bytes())
+        .unwrap();
+    drainer.join().expect("shutdown thread must not panic");
+
+    let reply = read_reply(slow);
+    assert_eq!(reply.status, 200, "in-flight request must finish, not drop");
+    let reply = read_reply(queued);
+    assert_eq!(
+        reply.status, 200,
+        "queued request must be served, not dropped"
+    );
+    assert_eq!(reply.body, expected, "drained response must still be exact");
+
+    // New connections are refused once the listener is gone.
+    assert!(
+        TcpStream::connect(addr).is_err(),
+        "post-shutdown connections must be refused"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+// ------------------------------------------------------------ endpoints
+
+#[test]
+fn models_healthz_and_metrics_endpoints() {
+    cpgan_obs::set_enabled(true);
+    let path = temp_model_path("endpoints", &CpGan::new(CpGanConfig::tiny()));
+    let server = Server::start(
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 4,
+            ..ServeConfig::default()
+        },
+        registry_for(&path),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let reply = get(addr, "/healthz");
+    assert_eq!(reply.status, 200);
+    let body = String::from_utf8(reply.body).unwrap();
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"workers\":2"), "{body}");
+    assert!(body.contains("\"queue_capacity\":4"), "{body}");
+
+    let reply = get(addr, "/v1/models");
+    assert_eq!(reply.status, 200);
+    let body = String::from_utf8(reply.body).unwrap();
+    assert!(body.contains("\"name\":\"endpoints\""), "{body}");
+    assert!(body.contains("\"trained_nodes\":null"), "{body}");
+
+    let reply = get(addr, "/metrics");
+    assert_eq!(reply.status, 200);
+    let body = String::from_utf8(reply.body).unwrap();
+    assert!(body.starts_with("{\"spans\":{"), "{body}");
+    assert!(body.contains("\"serve.accepted\":"), "{body}");
+
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}

@@ -93,6 +93,7 @@ fn bench_bin_timing_idiom_is_exempt_only_under_bench() {
     for exempt in [
         "crates/bench/src/bin/matmul.rs",
         "crates/bench/src/bin/parallel.rs",
+        "crates/bench/src/bin/serve.rs",
         "crates/bench/src/lib.rs",
     ] {
         let v = scan_source(exempt, &fixture("timing_bench_bin.rs"));
