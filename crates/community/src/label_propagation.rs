@@ -22,7 +22,10 @@ pub fn label_propagation(g: &Graph, seed: u64) -> Partition {
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut order: Vec<NodeId> = (0..n as NodeId).collect();
-    let mut counts: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    // BTreeMap, not HashMap: the max below is already order-independent
+    // (total tiebreak), but deterministic iteration keeps the detector
+    // inside the DESIGN.md §8 contract by construction.
+    let mut counts: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
     // Bounded sweeps; label propagation almost always converges in < 10.
     for _ in 0..32 {
         order.shuffle(&mut rng);

@@ -67,18 +67,17 @@ pub fn entropy(x: &[usize]) -> f64 {
     if x.is_empty() {
         return 0.0;
     }
-    let mut counts = std::collections::HashMap::new();
+    // BTreeMap sums in ascending label order directly — bit-identical to
+    // the previous collect-and-sort, with the determinism (float addition
+    // is order-sensitive in the low bits) now structural (DESIGN.md §8).
+    let mut counts = std::collections::BTreeMap::new();
     for &l in x {
         *counts.entry(l).or_insert(0usize) += 1;
     }
-    // Sum in label order: HashMap iteration order is seeded per process, and
-    // float addition is order-sensitive in the low bits.
-    let mut counts: Vec<(usize, usize)> = counts.into_iter().collect();
-    counts.sort_unstable_by_key(|&(l, _)| l);
     let n = x.len() as f64;
     counts
-        .iter()
-        .map(|&(_, c)| {
+        .values()
+        .map(|&c| {
             let p = c as f64 / n;
             -p * p.ln()
         })

@@ -222,8 +222,13 @@ impl GraphAssembler {
 
     /// Finalizes into a [`Graph`].
     pub fn build(self) -> Graph {
-        let mut b = GraphBuilder::with_capacity(self.n, self.edges.len());
-        for (u, v) in self.edges {
+        // Sort before pushing: `GraphBuilder::build` canonicalizes edge
+        // order anyway, but feeding it in hash order would make the
+        // builder's intermediate state process-seeded (DESIGN.md §8).
+        let mut edges: Vec<(NodeId, NodeId)> = self.edges.into_iter().collect();
+        edges.sort_unstable();
+        let mut b = GraphBuilder::with_capacity(self.n, edges.len());
+        for (u, v) in edges {
             b.push_edge(u, v);
         }
         b.build()
@@ -295,6 +300,25 @@ mod tests {
         assert!(asm.edge_count() <= 15);
         let g = asm.build();
         assert_eq!(g.n(), 20);
+    }
+
+    #[test]
+    fn build_is_deterministic_and_canonically_ordered() {
+        // PR 6: `build()` drains the edge set in sorted order, so the
+        // assembled graph is a pure function of the inserted edge *set* —
+        // never of the per-process hash seed (DESIGN.md §8).
+        let assemble = || {
+            let mut asm = GraphAssembler::new(12, 20);
+            let mut rng = StdRng::seed_from_u64(3);
+            let nodes: Vec<u32> = (0..12).collect();
+            asm.add_subgraph(&nodes, &uniform_probs(12), 20, &mut rng);
+            asm.build()
+        };
+        let (a, b) = (assemble(), assemble());
+        assert_eq!(a.edges(), b.edges(), "assembly must be bit-stable");
+        let mut sorted = a.edges().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(a.edges(), &sorted[..], "edge list must be canonical");
     }
 
     #[test]

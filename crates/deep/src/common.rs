@@ -137,9 +137,13 @@ pub fn assemble_from_probs(probs: &Matrix, m: usize, rng: &mut dyn RngCore) -> G
             insert(i, j, &mut chosen);
         }
     }
-    let mut b = GraphBuilder::with_capacity(n, chosen.len());
-    for (u, v) in chosen {
-        b.push_edge(u as NodeId, v as NodeId);
+    // Sorted drain: `GraphBuilder::build` canonicalizes anyway, but the
+    // push order must not depend on the per-process hash seed (§8).
+    let mut edges: Vec<(NodeId, NodeId)> = chosen.into_iter().collect();
+    edges.sort_unstable();
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.push_edge(u, v);
     }
     b.build()
 }

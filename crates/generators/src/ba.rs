@@ -65,7 +65,13 @@ impl GraphGenerator for BarabasiAlbert {
                 chosen.insert(t);
                 guard += 1;
             }
-            for &t in &chosen {
+            // Sorted drain — this one is load-bearing: `endpoint_pool`
+            // feeds every later degree-proportional draw, so pushing in
+            // HashSet order would make the whole generated graph depend on
+            // the per-process hash seed (DESIGN.md §8).
+            let mut targets: Vec<NodeId> = chosen.into_iter().collect();
+            targets.sort_unstable();
+            for t in targets {
                 b.push_edge(v, t);
                 endpoint_pool.push(v);
                 endpoint_pool.push(t);

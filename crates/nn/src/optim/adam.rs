@@ -4,7 +4,7 @@
 use crate::optim::Optimizer;
 use crate::params::ParamStore;
 use crate::Matrix;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 struct Moments {
     m: Matrix,
@@ -18,7 +18,9 @@ pub struct Adam {
     beta2: f32,
     eps: f32,
     t: i32,
-    state: HashMap<usize, Moments>,
+    // BTreeMap so any future iteration over optimizer state (checkpoint
+    // serialization, telemetry) is deterministic by construction (§8).
+    state: BTreeMap<usize, Moments>,
 }
 
 impl Adam {
@@ -30,7 +32,7 @@ impl Adam {
             beta2,
             eps,
             t: 0,
-            state: HashMap::new(),
+            state: BTreeMap::new(),
         }
     }
 

@@ -3,14 +3,16 @@
 use crate::optim::Optimizer;
 use crate::params::ParamStore;
 use crate::Matrix;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Plain SGD: `theta -= lr * g`, optionally with momentum `v = mu v + g`.
 #[derive(Debug)]
 pub struct Sgd {
     lr: f32,
     momentum: f32,
-    velocity: HashMap<usize, Matrix>,
+    // BTreeMap so any future iteration over optimizer state (checkpoint
+    // serialization, telemetry) is deterministic by construction (§8).
+    velocity: BTreeMap<usize, Matrix>,
 }
 
 impl Sgd {
@@ -19,7 +21,7 @@ impl Sgd {
         Sgd {
             lr,
             momentum,
-            velocity: HashMap::new(),
+            velocity: BTreeMap::new(),
         }
     }
 }

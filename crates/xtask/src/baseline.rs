@@ -196,6 +196,7 @@ mod tests {
         Violation {
             file: file.to_string(),
             line,
+            col: 0,
             rule,
             message: String::new(),
         }

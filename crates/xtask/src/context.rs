@@ -1,0 +1,710 @@
+//! Per-file analysis context shared by every rule: the code-token stream
+//! (comments filtered out), `#[cfg(test)]`/`#[test]`/`#[bench]` item spans,
+//! a heuristic binding-type table, and `fn` signature spans.
+//!
+//! The binding table is deliberately approximate — it is a lint, not a type
+//! checker. Names are collected file-globally from `let` bindings,
+//! `name: Type` field/parameter declarations, and `Name::new()`-style
+//! initializers, classified by the *outermost* type constructor (so a
+//! `Vec<HashMap<..>>` is a `Vec`, not a map). Shadowing keeps the last
+//! declaration. False classifications surface as baseline entries and are
+//! reviewed there.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// Coarse type classification for tracked bindings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypeClass {
+    /// `std::collections::HashMap`.
+    HashMap,
+    /// `std::collections::HashSet`.
+    HashSet,
+    /// `f64`.
+    F64,
+    /// `f32`.
+    F32,
+    /// `usize`.
+    Usize,
+    /// `u64`.
+    U64,
+    /// `i64`.
+    I64,
+}
+
+impl TypeClass {
+    /// Is this a hash-ordered collection?
+    pub fn is_hash(self) -> bool {
+        matches!(self, TypeClass::HashMap | TypeClass::HashSet)
+    }
+
+    /// Is this a 64-bit-or-pointer-width integer (lossy into `f32`)?
+    pub fn is_wide_int(self) -> bool {
+        matches!(self, TypeClass::Usize | TypeClass::U64 | TypeClass::I64)
+    }
+
+    fn of(name: &str) -> Option<TypeClass> {
+        match name {
+            "HashMap" => Some(TypeClass::HashMap),
+            "HashSet" => Some(TypeClass::HashSet),
+            "f64" => Some(TypeClass::F64),
+            "f32" => Some(TypeClass::F32),
+            "usize" => Some(TypeClass::Usize),
+            "u64" => Some(TypeClass::U64),
+            "i64" => Some(TypeClass::I64),
+            _ => None,
+        }
+    }
+}
+
+/// A `fn` signature span (from the `fn` keyword to the body brace or `;`).
+#[derive(Debug, Clone, Copy)]
+pub struct FnSig {
+    /// Whether a `pub` modifier precedes the `fn`.
+    pub is_pub: bool,
+    /// Code-token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Code-token index one past the end of the signature.
+    pub sig_end: usize,
+}
+
+/// Everything a rule needs to walk one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative label of the file.
+    pub file: &'a str,
+    /// The raw source.
+    pub src: &'a str,
+    /// The full token stream, comments included (for differential tests).
+    pub tokens: Vec<Token>,
+    /// Code tokens only (comments filtered out); rules index into this.
+    pub code: Vec<Token>,
+    /// Byte ranges of test-gated items.
+    test_regions: Vec<(usize, usize)>,
+    /// Tracked binding declarations by name: `(code-token index, class)`
+    /// in file order. `None` records a shadowing rebind to an untracked
+    /// type.
+    pub bindings: BTreeMap<String, Vec<(usize, Option<TypeClass>)>>,
+    /// `fn` signature spans.
+    pub fn_sigs: Vec<FnSig>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Lexes `src` and builds the full context.
+    pub fn new(file: &'a str, src: &'a str) -> Self {
+        let tokens = lex(src);
+        let code: Vec<Token> = tokens.iter().filter(|t| !t.is_comment()).copied().collect();
+        let test_regions = test_regions(&code, src);
+        let bindings = collect_bindings(&code, src);
+        let fn_sigs = collect_fn_sigs(&code, src);
+        FileCtx {
+            file,
+            src,
+            tokens,
+            code,
+            test_regions,
+            bindings,
+            fn_sigs,
+        }
+    }
+
+    /// Text of code token `i`.
+    pub fn text(&self, i: usize) -> &'a str {
+        self.code[i].text(self.src)
+    }
+
+    /// Is code token `i` an identifier with exactly this text?
+    pub fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.code
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text(self.src) == name)
+    }
+
+    /// Is code token `i` a punct with exactly this text?
+    pub fn is_punct(&self, i: usize, op: &str) -> bool {
+        self.code
+            .get(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text(self.src) == op)
+    }
+
+    /// Is byte offset `off` inside a test-gated item?
+    pub fn in_test(&self, off: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| off >= s && off < e)
+    }
+
+    /// Class of the binding `name` as seen from code token `site`: the
+    /// last declaration at or before the site (shadowing), falling back to
+    /// the first declaration after it (fields and params bind file-wide
+    /// even when the item is declared later in the file).
+    pub fn binding(&self, name: &str, site: usize) -> Option<TypeClass> {
+        let decls = self.bindings.get(name)?;
+        let chosen = decls
+            .iter()
+            .rev()
+            .find(|&&(d, _)| d <= site)
+            .or_else(|| decls.first());
+        chosen.and_then(|&(_, c)| c)
+    }
+
+    /// Index of the code token matching the opening bracket at `open`
+    /// (which must hold `(`, `[` or `{`). Returns the close index.
+    pub fn matching_close(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i64;
+        for i in open..self.code.len() {
+            match self.text(i) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Index of the code token matching the closing bracket at `close`.
+    pub fn matching_open(&self, close: usize) -> Option<usize> {
+        let mut depth = 0i64;
+        for i in (0..=close).rev() {
+            match self.text(i) {
+                ")" | "]" | "}" => depth += 1,
+                "(" | "[" | "{" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Scans forward from code token `i` through the rest of the enclosing
+    /// statement plus the next two sibling statements, returning `true` if
+    /// a `sort*` call or a `BTreeMap`/`BTreeSet` constructor appears — the
+    /// "immediately sorted" exemption for hash-iteration findings.
+    pub fn sorted_context(&self, i: usize) -> bool {
+        let mut depth = 0i64;
+        let mut stmts = 0usize;
+        for j in i..self.code.len() {
+            let t = self.text(j);
+            match t {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return false;
+                    }
+                }
+                ";" if depth == 0 => {
+                    stmts += 1;
+                    if stmts > 2 {
+                        return false;
+                    }
+                }
+                _ => {
+                    if self.code[j].kind == TokenKind::Ident
+                        && (t.starts_with("sort") || t == "BTreeMap" || t == "BTreeSet")
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Bounds `[start, end)` (code-token indices) of the statement
+    /// containing code token `i`: delimited by `;`/`{`/`}` at the
+    /// statement's own brace depth.
+    pub fn statement_span(&self, i: usize) -> (usize, usize) {
+        let mut depth = 0i64;
+        let mut start = 0usize;
+        for j in (0..i).rev() {
+            match self.text(j) {
+                ")" | "]" | "}" => depth += 1,
+                "(" | "[" | "{" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        start = j + 1;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    start = j + 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let mut depth = 0i64;
+        let mut end = self.code.len();
+        for (off, j) in (i..self.code.len()).enumerate() {
+            let _ = off;
+            match self.text(j) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        end = j;
+                        break;
+                    }
+                }
+                ";" if depth == 0 => {
+                    end = j + 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        (start, end)
+    }
+
+    /// Resolves the head identifier of the postfix chain whose `.` sits at
+    /// code index `dot` (e.g. the `counts` of `counts.iter()`, or the
+    /// `edges` of `self.edges.iter()`). Walks left over `expr.m1().m2()`
+    /// chains; returns `None` for anything it cannot follow.
+    pub fn chain_head(&self, dot: usize) -> Option<&'a str> {
+        let mut j = dot; // index of a `.` in the chain
+        loop {
+            if j == 0 {
+                return None;
+            }
+            let prev = j - 1;
+            match self.text(prev) {
+                ")" | "]" => {
+                    let open = self.matching_open(prev)?;
+                    if open == 0 {
+                        return None;
+                    }
+                    // `foo(..)` / `foo[..]`: step to the ident before.
+                    if self.code[open - 1].kind == TokenKind::Ident {
+                        j = open - 1;
+                        // The ident before the bracket: is it itself part
+                        // of a chain (`x.foo(..)`)?
+                        if j == 0 {
+                            return Some(self.text(j));
+                        }
+                        if self.is_punct(j - 1, ".") {
+                            j -= 1;
+                            continue;
+                        }
+                        return Some(self.text(j));
+                    }
+                    return None;
+                }
+                _ if self.code[prev].kind == TokenKind::Ident => {
+                    let name = self.text(prev);
+                    if prev > 0 && self.is_punct(prev - 1, ".") {
+                        // `a.b.` — keep walking unless `a` is `self`, in
+                        // which case `b` is the field the caller wants.
+                        if prev >= 2 && self.is_ident(prev - 2, "self") {
+                            return Some(name);
+                        }
+                        j = prev - 1;
+                        continue;
+                    }
+                    return Some(name);
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+/// Is the attribute starting at code index `hash` (`#`) a test gate?
+/// Returns the code index just past the closing `]` when it is.
+fn test_attr_end(code: &[Token], src: &str, hash: usize) -> Option<usize> {
+    if !matches!(code.get(hash), Some(t) if t.kind == TokenKind::Punct && t.text(src) == "#") {
+        return None;
+    }
+    let open = hash + 1;
+    if !matches!(code.get(open), Some(t) if t.text(src) == "[") {
+        return None;
+    }
+    let mut depth = 0i64;
+    let mut close = None;
+    for (i, t) in code.iter().enumerate().skip(open) {
+        match t.text(src) {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let close = close?;
+    let body = &code[open + 1..close];
+    let first = body.first()?.text(src);
+    let is_test = match first {
+        "test" | "bench" => body.len() == 1,
+        "cfg" => body
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "test"),
+        _ => false,
+    };
+    is_test.then_some(close + 1)
+}
+
+/// Byte ranges of items gated by `#[cfg(test)]` / `#[test]` / `#[bench]`:
+/// the attribute through the matching close brace (or trailing `;`).
+fn test_regions(code: &[Token], src: &str) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        let Some(mut j) = test_attr_end(code, src, i) else {
+            i += 1;
+            continue;
+        };
+        let region_start = code[i].start;
+        // Skip any further attributes between the gate and the item.
+        while j < code.len() && code[j].text(src) == "#" {
+            let mut depth = 0i64;
+            let mut k = j + 1;
+            while k < code.len() {
+                match code[k].text(src) {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        // Find the end of the item: first `;` at depth 0, or the matching
+        // brace of its first `{`.
+        let mut end = src.len();
+        let mut k = j;
+        let mut depth = 0i64;
+        while k < code.len() {
+            match code[k].text(src) {
+                ";" if depth == 0 => {
+                    end = code[k].end;
+                    break;
+                }
+                "{" => {
+                    depth += 1;
+                }
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = code[k].end;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        regions.push((region_start, end));
+        // Continue after the region.
+        while i < code.len() && code[i].start < end {
+            i += 1;
+        }
+    }
+    regions
+}
+
+/// The outermost type constructor of a type token span: the last path
+/// segment before a generic opener, after stripping `&`/`mut`/lifetimes
+/// and `dyn`/`impl`.
+fn outer_type_class(toks: &[Token], src: &str) -> Option<TypeClass> {
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        let text = t.text(src);
+        match t.kind {
+            TokenKind::Punct if text == "&" => i += 1,
+            TokenKind::Lifetime => i += 1,
+            TokenKind::Ident if matches!(text, "mut" | "dyn" | "impl") => i += 1,
+            _ => break,
+        }
+    }
+    // Path: Ident (:: Ident)* — the segment before `<` (or the last one).
+    let mut last = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokenKind::Ident {
+            last = Some(t.text(src));
+            i += 1;
+            if i < toks.len() && toks[i].text(src) == "::" {
+                i += 1;
+                continue;
+            }
+        }
+        break;
+    }
+    last.and_then(TypeClass::of)
+}
+
+/// Collects the heuristic binding table (see module docs).
+fn collect_bindings(
+    code: &[Token],
+    src: &str,
+) -> BTreeMap<String, Vec<(usize, Option<TypeClass>)>> {
+    let mut out: BTreeMap<String, Vec<(usize, Option<TypeClass>)>> = BTreeMap::new();
+    for i in 0..code.len() {
+        if code[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let text = code[i].text(src);
+        if text == "let" {
+            // `let [mut] name [: TYPE] [= EXPR]`.
+            let mut j = i + 1;
+            if matches!(code.get(j), Some(t) if t.text(src) == "mut") {
+                j += 1;
+            }
+            let Some(name_tok) = code.get(j) else {
+                continue;
+            };
+            if name_tok.kind != TokenKind::Ident {
+                continue; // destructuring pattern — skip
+            }
+            let name = name_tok.text(src);
+            let class = match code.get(j + 1).map(|t| t.text(src)) {
+                Some(":") => {
+                    let ty_end = span_until(code, src, j + 2, &["=", ";"]);
+                    outer_type_class(&code[j + 2..ty_end], src)
+                }
+                Some("=") => initializer_class(code, src, j + 2),
+                _ => None,
+            };
+            // A `let` always records, even with `None`: rebinding a name
+            // to an untracked type shadows the previous classification.
+            out.entry(name.to_string()).or_default().push((j, class));
+        } else if i + 1 < code.len()
+            && code[i + 1].text(src) == ":"
+            && (i == 0
+                || matches!(
+                    code[i - 1].text(src),
+                    "{" | "," | "(" | "pub" | "|" | "&" | "mut"
+                ))
+        {
+            // Field / parameter / struct-literal style `name: TYPE`.
+            let ty_end = span_until(code, src, i + 2, &[",", ")", "}", ";", "=", "|"]);
+            if let Some(c) = outer_type_class(&code[i + 2..ty_end], src)
+                .or_else(|| initializer_class(code, src, i + 2))
+            {
+                out.entry(text.to_string()).or_default().push((i, Some(c)));
+            }
+        }
+    }
+    out
+}
+
+/// First index at or after `from` holding one of `stops` at bracket depth
+/// 0 (generic `<`/`>` are not tracked — the stop set makes that safe).
+fn span_until(code: &[Token], src: &str, from: usize, stops: &[&str]) -> usize {
+    let mut depth = 0i64;
+    for (j, t) in code.iter().enumerate().skip(from) {
+        let text = t.text(src);
+        match text {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => {
+                if depth == 0 {
+                    return j;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        if depth == 0 && stops.contains(&text) {
+            return j;
+        }
+    }
+    code.len()
+}
+
+/// Classifies `Path::new(..)`-style initializers starting at `from`.
+fn initializer_class(code: &[Token], src: &str, from: usize) -> Option<TypeClass> {
+    // Walk the leading path of the expression.
+    let mut segments: Vec<&str> = Vec::new();
+    let mut j = from;
+    while j < code.len() && code[j].kind == TokenKind::Ident {
+        segments.push(code[j].text(src));
+        if j + 1 < code.len() && code[j + 1].text(src) == "::" {
+            j += 2;
+        } else {
+            break;
+        }
+    }
+    if segments.len() < 2 {
+        return None;
+    }
+    // `..::HashMap::new` / `..::HashSet::with_capacity` etc.
+    let ctor = *segments.last()?;
+    if !matches!(
+        ctor,
+        "new" | "with_capacity" | "default" | "from" | "from_iter"
+    ) {
+        return None;
+    }
+    TypeClass::of(segments[segments.len() - 2]).filter(|c| c.is_hash())
+}
+
+/// Collects `fn` signature spans and their `pub`-ness.
+fn collect_fn_sigs(code: &[Token], src: &str) -> Vec<FnSig> {
+    let mut out = Vec::new();
+    for i in 0..code.len() {
+        if !(code[i].kind == TokenKind::Ident && code[i].text(src) == "fn") {
+            continue;
+        }
+        // `pub` among the few modifier tokens before the `fn`.
+        let mut is_pub = false;
+        for k in (i.saturating_sub(6)..i).rev() {
+            match code[k].text(src) {
+                "pub" => {
+                    is_pub = true;
+                    break;
+                }
+                // visibility args / other modifiers
+                "(" | ")" | "crate" | "super" | "in" | "const" | "unsafe" | "extern" | "async" => {}
+                _ => break,
+            }
+        }
+        // Signature runs to the first `{` or `;` at bracket depth 0.
+        let mut depth = 0i64;
+        let mut end = code.len();
+        for (j, t) in code.iter().enumerate().skip(i) {
+            match t.text(src) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" | ";" if depth == 0 => {
+                    end = j;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        out.push(FnSig {
+            is_pub,
+            fn_tok: i,
+            sig_end: end,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_cover_gated_items() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests { fn t() {} }\nfn late() {}\n";
+        let ctx = FileCtx::new("t.rs", src);
+        let m = src.find("mod tests").unwrap();
+        let late = src.find("fn late").unwrap();
+        assert!(ctx.in_test(m));
+        assert!(!ctx.in_test(0));
+        assert!(!ctx.in_test(late));
+    }
+
+    #[test]
+    fn bench_attr_is_test_gated() {
+        let src = "#[bench]\nfn b() { x.unwrap(); }\n";
+        let ctx = FileCtx::new("t.rs", src);
+        assert!(ctx.in_test(src.find("unwrap").unwrap()));
+    }
+
+    #[test]
+    fn bindings_from_let_annotations_and_ctors() {
+        let src = "fn f() {\n\
+                   let a: std::collections::HashMap<usize, f64> = Default::default();\n\
+                   let mut b = std::collections::HashSet::new();\n\
+                   let c: Vec<std::collections::HashMap<u8, u8>> = vec![];\n\
+                   let d: f64 = 0.0;\n\
+                   let e = 3;\n\
+                   }";
+        let ctx = FileCtx::new("t.rs", src);
+        let end = ctx.code.len();
+        assert_eq!(ctx.binding("a", end), Some(TypeClass::HashMap));
+        assert_eq!(ctx.binding("b", end), Some(TypeClass::HashSet));
+        assert_eq!(ctx.binding("c", end), None, "outer type is Vec");
+        assert_eq!(ctx.binding("d", end), Some(TypeClass::F64));
+        assert_eq!(ctx.binding("e", end), None);
+    }
+
+    #[test]
+    fn let_rebinding_shadows_classification() {
+        let src = "fn f() {\n\
+                   let counts = std::collections::HashMap::new();\n\
+                   let x1 = counts.len();\n\
+                   let counts: Vec<(usize, usize)> = Vec::new();\n\
+                   let x2 = counts.len();\n\
+                   }";
+        let ctx = FileCtx::new("t.rs", src);
+        let x1 = ctx.code.iter().position(|t| t.text(src) == "x1").unwrap();
+        let x2 = ctx.code.iter().position(|t| t.text(src) == "x2").unwrap();
+        assert_eq!(ctx.binding("counts", x1), Some(TypeClass::HashMap));
+        assert_eq!(ctx.binding("counts", x2), None, "rebound to Vec");
+    }
+
+    #[test]
+    fn bindings_from_fields_and_params() {
+        let src = "struct S { edges: std::collections::HashSet<(u32, u32)>, n: usize }\n\
+                   fn f(w: &mut std::collections::HashMap<u8, f64>) {}\n";
+        let ctx = FileCtx::new("t.rs", src);
+        // Fields bind file-wide: a use site before the declaration still
+        // resolves (first-declaration fallback).
+        assert_eq!(ctx.binding("edges", 0), Some(TypeClass::HashSet));
+        assert_eq!(ctx.binding("n", ctx.code.len()), Some(TypeClass::Usize));
+        assert_eq!(ctx.binding("w", ctx.code.len()), Some(TypeClass::HashMap));
+    }
+
+    #[test]
+    fn chain_head_resolution() {
+        let src = "fn f() { counts.iter().sum::<f64>(); self.edges.iter(); }";
+        let ctx = FileCtx::new("t.rs", src);
+        // `.` before `iter` of counts
+        let dot = ctx.code.iter().position(|t| t.text(src) == ".").unwrap();
+        assert_eq!(ctx.chain_head(dot), Some("counts"));
+        // find `.` before the `iter` that follows `edges`
+        let edges_pos = ctx
+            .code
+            .iter()
+            .position(|t| t.text(src) == "edges")
+            .unwrap();
+        assert_eq!(ctx.chain_head(edges_pos + 1), Some("edges"));
+    }
+
+    #[test]
+    fn sorted_context_sees_following_statements() {
+        let src = "fn f() {\n\
+                   let mut v: Vec<(u8, f64)> = m.into_iter().collect();\n\
+                   v.sort_unstable_by_key(|e| e.0);\n\
+                   let s = 1;\n\
+                   }";
+        let ctx = FileCtx::new("t.rs", src);
+        let iter_pos = ctx
+            .code
+            .iter()
+            .position(|t| t.text(src) == "into_iter")
+            .unwrap();
+        assert!(ctx.sorted_context(iter_pos));
+        let s_pos = ctx.code.iter().position(|t| t.text(src) == "s").unwrap();
+        assert!(!ctx.sorted_context(s_pos));
+    }
+
+    #[test]
+    fn fn_sigs_and_pubness() {
+        let src = "pub fn a() -> u8 { 0 }\nfn b(x: u8) {}\npub(crate) fn c() {}\n";
+        let ctx = FileCtx::new("t.rs", src);
+        assert_eq!(ctx.fn_sigs.len(), 3);
+        assert!(ctx.fn_sigs[0].is_pub);
+        assert!(!ctx.fn_sigs[1].is_pub);
+        assert!(ctx.fn_sigs[2].is_pub);
+    }
+}

@@ -1,0 +1,500 @@
+//! A lightweight Rust lexer: the token stream the lint rules walk.
+//!
+//! This replaces the regex-over-masked-lines approach of the original
+//! engine (`mask.rs`, kept as the reference implementation for the
+//! differential test). Tokens carry byte spans plus 1-based line/column,
+//! so every rule can report a precise location without a mapping table.
+//!
+//! The lexer is *lossless over code*: every non-whitespace byte of the
+//! input belongs to exactly one token, tokens never overlap, and spans are
+//! strictly increasing. Comments are kept in the stream (classified, not
+//! dropped) so the tokenizer differential test can prove it masks the same
+//! comment/string regions as the old preprocessor.
+//!
+//! It is deliberately *not* a full lexer for every dark corner of Rust —
+//! it handles everything that appears in this workspace (nested block
+//! comments, raw/byte strings, char-vs-lifetime disambiguation, float
+//! literals vs ranges vs method calls on integers, suffixed literals) and
+//! degrades to single-byte `Punct` tokens for anything else.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `for`, `unwrap`, `r#type`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — the tick plus the name.
+    Lifetime,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `1e-3`, `2f64`, `1.`).
+    Float,
+    /// String literal, including raw (`r#".."#`) and byte (`b".."`) forms.
+    Str,
+    /// Char or byte-char literal body (`'x'`, `'\n'`).
+    Char,
+    /// `// ...` comment (newline excluded).
+    LineComment,
+    /// `/* ... */` comment, nesting-aware.
+    BlockComment,
+    /// Punctuation: single bytes plus a small set of joined operators
+    /// (`::`, `->`, `==`, `!=`, `..`, `&&`, ...).
+    Punct,
+}
+
+/// One token: classification plus its span and position in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: usize,
+    /// 1-based byte column of `start` within its line.
+    pub col: usize,
+}
+
+impl Token {
+    /// The token's text within `src` (the source it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Is this token trivia (a comment)?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Operators joined into a single `Punct` token, longest first.
+const JOINED: [&str; 22] = [
+    "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=", "-=", "*=",
+    "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lexes `src` into a token stream. Whitespace is skipped (it survives as
+/// gaps between spans); everything else becomes a token.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        i: 0,
+        line: 1,
+        line_start: 0,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    i: usize,
+    line: usize,
+    line_start: usize,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.i < self.bytes.len() {
+            let b = self.bytes[self.i];
+            match b {
+                b' ' | b'\t' | b'\r' => self.i += 1,
+                b'\n' => {
+                    self.i += 1;
+                    self.line += 1;
+                    self.line_start = self.i;
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.plain_string(self.i),
+                b'r' | b'b' if self.raw_string_ahead() => self.raw_string(),
+                b'b' if self.peek(1) == Some(b'"') => self.plain_string(self.i),
+                b'r' if self.peek(1) == Some(b'#') && self.ident_start_at(self.i + 2) => {
+                    // Raw identifier `r#type`.
+                    let start = self.i;
+                    self.i += 2;
+                    self.consume_ident();
+                    self.push(TokenKind::Ident, start);
+                }
+                b'\'' => self.tick(),
+                b'0'..=b'9' => self.number(),
+                _ if b == b'_' || b.is_ascii_alphabetic() => {
+                    let start = self.i;
+                    self.consume_ident();
+                    self.push(TokenKind::Ident, start);
+                }
+                _ => self.punct(),
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.i + ahead).copied()
+    }
+
+    fn ident_start_at(&self, i: usize) -> bool {
+        matches!(self.bytes.get(i), Some(b) if b.is_ascii_alphabetic() || *b == b'_')
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.i,
+            line: self.line,
+            col: start - self.line_start + 1,
+        });
+    }
+
+    /// Pushes a token whose span may contain newlines: position is of the
+    /// start, and line accounting is advanced over the span afterwards.
+    fn push_multiline(&mut self, kind: TokenKind, start: usize, start_line: usize, col: usize) {
+        self.out.push(Token {
+            kind,
+            start,
+            end: self.i,
+            line: start_line,
+            col,
+        });
+    }
+
+    /// Advances `self.line`/`line_start` over newlines in `start..self.i`.
+    fn account_newlines(&mut self, start: usize) {
+        for j in start..self.i {
+            if self.bytes[j] == b'\n' {
+                self.line += 1;
+                self.line_start = j + 1;
+            }
+        }
+    }
+
+    fn consume_ident(&mut self) {
+        while matches!(self.peek(0), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+            self.i += 1;
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.i;
+        while self.i < self.bytes.len() && self.bytes[self.i] != b'\n' {
+            self.i += 1;
+        }
+        self.push(TokenKind::LineComment, start);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.i;
+        let (line, col) = (self.line, start - self.line_start + 1);
+        let mut depth = 0usize;
+        while self.i < self.bytes.len() {
+            if self.bytes[self.i] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.bytes[self.i] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.i += 1;
+            }
+        }
+        self.push_multiline(TokenKind::BlockComment, start, line, col);
+        self.account_newlines(start);
+    }
+
+    /// Does a raw string (`r"`, `r#"`, `br#"`, ...) start at `self.i`?
+    fn raw_string_ahead(&self) -> bool {
+        let mut j = self.i;
+        if self.bytes[j] == b'b' {
+            j += 1;
+        }
+        if self.bytes.get(j) != Some(&b'r') {
+            return false;
+        }
+        j += 1;
+        while self.bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        self.bytes.get(j) == Some(&b'"')
+    }
+
+    fn raw_string(&mut self) {
+        let start = self.i;
+        let (line, col) = (self.line, start - self.line_start + 1);
+        if self.bytes[self.i] == b'b' {
+            self.i += 1;
+        }
+        self.i += 1; // 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        self.i += 1; // opening quote
+        while self.i < self.bytes.len() {
+            if self.bytes[self.i] == b'"'
+                && self.bytes.len() - (self.i + 1) >= hashes
+                && self.bytes[self.i + 1..self.i + 1 + hashes]
+                    .iter()
+                    .all(|&b| b == b'#')
+            {
+                self.i += 1 + hashes;
+                self.push_multiline(TokenKind::Str, start, line, col);
+                self.account_newlines(start);
+                return;
+            }
+            self.i += 1;
+        }
+        self.push_multiline(TokenKind::Str, start, line, col);
+        self.account_newlines(start);
+    }
+
+    /// Lexes a `"..."` string starting at `start` (which may be the `b` of
+    /// a byte string; `self.i` still points at `start`).
+    fn plain_string(&mut self, start: usize) {
+        let (line, col) = (self.line, start - self.line_start + 1);
+        if self.bytes[self.i] == b'b' {
+            self.i += 1;
+        }
+        self.i += 1; // opening quote
+        while self.i < self.bytes.len() {
+            match self.bytes[self.i] {
+                b'\\' => self.i += 2,
+                b'"' => {
+                    self.i += 1;
+                    break;
+                }
+                _ => self.i += 1,
+            }
+        }
+        self.i = self.i.min(self.bytes.len());
+        self.push_multiline(TokenKind::Str, start, line, col);
+        self.account_newlines(start);
+    }
+
+    /// A `'`: char literal or lifetime. Mirrors the old masker's
+    /// disambiguation exactly (the differential test depends on it): an
+    /// escaped char scans a bounded window for the closing quote; an
+    /// unescaped one requires exactly one UTF-8 char between quotes;
+    /// anything else is a lifetime (or a lone tick).
+    fn tick(&mut self) {
+        let start = self.i;
+        match self.bytes.get(start + 1) {
+            Some(b'\\') => {
+                let mut j = start + 2;
+                while j < self.bytes.len() && j < start + 16 && self.bytes[j] != b'\n' {
+                    if self.bytes[j] == b'\'' {
+                        self.i = j + 1;
+                        self.push(TokenKind::Char, start);
+                        return;
+                    }
+                    j += 1;
+                }
+                // No closing quote in range: treat the tick as punctuation.
+                self.i = start + 1;
+                self.push(TokenKind::Punct, start);
+            }
+            Some(&next) => {
+                let width = match next {
+                    b if b < 0x80 => 1,
+                    b if b >= 0xF0 => 4,
+                    b if b >= 0xE0 => 3,
+                    _ => 2,
+                };
+                if self.bytes.get(start + 1 + width) == Some(&b'\'') {
+                    self.i = start + 2 + width;
+                    self.push(TokenKind::Char, start);
+                } else if next.is_ascii_alphabetic() || next == b'_' {
+                    self.i = start + 1;
+                    self.consume_ident();
+                    self.push(TokenKind::Lifetime, start);
+                } else {
+                    self.i = start + 1;
+                    self.push(TokenKind::Punct, start);
+                }
+            }
+            None => {
+                self.i = start + 1;
+                self.push(TokenKind::Punct, start);
+            }
+        }
+    }
+
+    fn number(&mut self) {
+        let start = self.i;
+        let mut float = false;
+        if self.bytes[self.i] == b'0'
+            && matches!(self.peek(1), Some(b'x' | b'X' | b'o' | b'O' | b'b' | b'B'))
+        {
+            self.i += 2;
+            while matches!(self.peek(0), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+                self.i += 1;
+            }
+            self.push(TokenKind::Int, start);
+            return;
+        }
+        self.consume_digits();
+        // Fractional part: a `.` belongs to the number only when it is not
+        // the start of a range (`0..n`) or a method call (`1.max(2)`).
+        if self.peek(0) == Some(b'.') {
+            let after = self.peek(1);
+            let is_range = after == Some(b'.');
+            let is_method = matches!(after, Some(b) if b.is_ascii_alphabetic() || b == b'_');
+            if !is_range && !is_method {
+                float = true;
+                self.i += 1;
+                self.consume_digits();
+            }
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some(b'e' | b'E')) {
+            let (a, b) = (self.peek(1), self.peek(2));
+            let exp = matches!(a, Some(b) if b.is_ascii_digit())
+                || (matches!(a, Some(b'+' | b'-')) && matches!(b, Some(d) if d.is_ascii_digit()));
+            if exp {
+                float = true;
+                self.i += 1;
+                if matches!(self.peek(0), Some(b'+' | b'-')) {
+                    self.i += 1;
+                }
+                self.consume_digits();
+            }
+        }
+        // Suffix (`u64`, `f32`, ...).
+        let suffix_start = self.i;
+        while matches!(self.peek(0), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
+            self.i += 1;
+        }
+        let suffix = &self.src[suffix_start..self.i];
+        if suffix.starts_with("f32") || suffix.starts_with("f64") {
+            float = true;
+        }
+        self.push(
+            if float {
+                TokenKind::Float
+            } else {
+                TokenKind::Int
+            },
+            start,
+        );
+    }
+
+    fn consume_digits(&mut self) {
+        while matches!(self.peek(0), Some(b) if b.is_ascii_digit() || b == b'_') {
+            self.i += 1;
+        }
+    }
+
+    fn punct(&mut self) {
+        let start = self.i;
+        let rest = &self.src[self.i..];
+        for op in JOINED {
+            if rest.starts_with(op) {
+                self.i += op.len();
+                self.push(TokenKind::Punct, start);
+                return;
+            }
+        }
+        // Single token: one byte for ASCII, one char for anything else so
+        // spans never split a UTF-8 sequence.
+        let width = self.src[self.i..].chars().next().map_or(1, char::len_utf8);
+        self.i += width;
+        self.push(TokenKind::Punct, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_joins() {
+        let ks = kinds("a::b != c.d()");
+        let texts: Vec<&str> = ks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, vec!["a", "::", "b", "!=", "c", ".", "d", "(", ")"]);
+    }
+
+    #[test]
+    fn float_vs_range_vs_method() {
+        assert_eq!(kinds("1.0")[0].0, TokenKind::Float);
+        assert_eq!(kinds("1e-3")[0].0, TokenKind::Float);
+        assert_eq!(kinds("2f64")[0].0, TokenKind::Float);
+        assert_eq!(kinds("0..10")[0].0, TokenKind::Int);
+        assert_eq!(kinds("0..10")[1].1, "..");
+        assert_eq!(kinds("1.max(2)")[0].0, TokenKind::Int);
+        assert_eq!(kinds("0xFFu32")[0].0, TokenKind::Int);
+        assert_eq!(kinds("1_000.5")[0].0, TokenKind::Float);
+    }
+
+    #[test]
+    fn strings_chars_lifetimes() {
+        let ks = kinds("f(\"a\\\"b\", b\"z\")");
+        assert_eq!(ks.iter().filter(|(k, _)| *k == TokenKind::Str).count(), 2);
+        let src = "fn f<'a>(x: &'a str) { let c = 'y'; }";
+        let ks = kinds(src);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(ks.iter().any(|(k, t)| *k == TokenKind::Char && t == "'y'"));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let src = "let s = r#\"panic!\"#; let r#type = 1;";
+        let ks = kinds(src);
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("panic")));
+        assert!(ks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn comments_kept_and_classified() {
+        let ks = kinds("a // line\n/* b /* nested */ */ c");
+        assert_eq!(ks[1].0, TokenKind::LineComment);
+        assert_eq!(ks[2].0, TokenKind::BlockComment);
+        assert!(ks[2].1.contains("nested"));
+        assert_eq!(ks[3].1, "c");
+    }
+
+    #[test]
+    fn spans_monotonic_and_gaps_are_whitespace() {
+        let src = "fn f(x: u8) -> u8 { x + 1 } // done\n\"s\"";
+        let toks = lex(src);
+        let mut prev = 0usize;
+        for t in &toks {
+            assert!(t.start >= prev, "overlap at {t:?}");
+            assert!(src[prev..t.start].bytes().all(|b| b.is_ascii_whitespace()));
+            assert!(t.end > t.start);
+            prev = t.end;
+        }
+        assert!(src[prev..].bytes().all(|b| b.is_ascii_whitespace()));
+    }
+
+    #[test]
+    fn line_and_col_tracking() {
+        let src = "a\n  bb\n/* x\ny */ z";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!(toks[2].kind, TokenKind::BlockComment);
+        assert_eq!((toks[2].line, toks[2].col), (3, 1));
+        assert_eq!((toks[3].line, toks[3].col), (4, 6));
+    }
+}

@@ -4,26 +4,35 @@
 //! Workspace automation tasks, invoked as `cargo xtask <command>`.
 //!
 //! The only command today is `lint`: a custom static analyzer enforcing the
-//! workspace's panic-safety policy (see DESIGN.md, "Error handling & panic
-//! policy"). It is intentionally dependency-free — a line/byte-level scanner
-//! over comment- and string-masked source, not a full parser — so it builds
-//! instantly and runs offline.
+//! workspace's panic-safety, determinism, and numeric-safety policies (see
+//! DESIGN.md §7, §8 and §12). It is intentionally dependency-free — a
+//! hand-rolled lexer plus token-walking rules, not a full parser — so it
+//! builds instantly and runs offline.
 //!
 //! Pipeline:
 //!
-//! 1. [`mask`] blanks comments and literals so patterns never fire inside
-//!    them, preserving byte offsets and line numbers.
-//! 2. [`scan`] finds `#[cfg(test)]`/`#[test]` item spans (exempt) and
-//!    applies the source rules everywhere else.
-//! 3. [`manifest`] checks crate `Cargo.toml` dependency hygiene.
-//! 4. [`baseline`] suppresses pre-existing violations via a checked-in
+//! 1. [`lexer`] turns the source into a token stream (strings, chars,
+//!    comments, raw strings and lifetimes classified, with line/column
+//!    spans) so rules never fire inside literals or comments.
+//! 2. [`context`] derives per-file facts: test-gated item spans, a
+//!    heuristic binding-type table, and `fn` signature spans.
+//! 3. [`rules`] hosts one module per rule family; each walks the code
+//!    tokens with lookahead. [`scan`] orchestrates them per file.
+//! 4. [`manifest`] checks crate `Cargo.toml` dependency hygiene.
+//! 5. [`baseline`] suppresses pre-existing violations via a checked-in
 //!    ratchet file that is only ever allowed to shrink.
-//! 5. [`walk`] ties it together over `crates/*/src/**/*.rs` plus each
+//! 6. [`walk`] ties it together over `crates/*/src/**/*.rs` plus each
 //!    crate manifest.
+//!
+//! [`mask`] is the PR 1 line-masking scanner kept as the differential-test
+//! oracle for the lexer (see `tests/tokenizer_differential.rs`).
 
 pub mod baseline;
+pub mod context;
+pub mod lexer;
 pub mod manifest;
 pub mod mask;
+pub mod rules;
 pub mod scan;
 pub mod walk;
 
@@ -49,9 +58,62 @@ pub enum Rule {
     /// Raw `Instant::now()`/`SystemTime::now()` timing outside `cpgan-obs`
     /// and `cpgan-bench`.
     AdHocTiming,
+    /// Iteration over `HashMap`/`HashSet` outside an immediately-sorted
+    /// context.
+    HashIter,
+    /// Unseeded or environment-derived entropy (`thread_rng`, `OsRng`,
+    /// `RandomState`, `from_entropy`, `rand::random`).
+    UnseededRng,
+    /// Float reduction (`.sum()`/`.fold()`) fed by a hash-ordered iterator.
+    HashFloatAccum,
+    /// Lossy `as` cast (`f64 as f32`, wide-int `as f32`,
+    /// widening-then-truncating chains).
+    LossyCast,
+    /// `Box<dyn Error>` in a `pub fn` signature instead of a typed error.
+    BoxedErrorPub,
+}
+
+/// Severity attached to each rule: `Error` rules protect a hard invariant
+/// (determinism, panic-freedom); `Warning` rules flag hygiene debt. Both
+/// gate CI identically through the baseline ratchet — severity is report
+/// metadata, not an enforcement tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Violates a hard workspace invariant.
+    Error,
+    /// Hygiene / debt finding.
+    Warning,
+}
+
+impl Severity {
+    /// Stable lowercase name used in `--json` output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
 }
 
 impl Rule {
+    /// Every rule, in registry order (used by `--explain` and the doc-sync
+    /// test; keep in step with the `DESIGN.md` §12 catalog).
+    pub const ALL: [Rule; 13] = [
+        Rule::NoUnwrap,
+        Rule::NoExpect,
+        Rule::NoPanic,
+        Rule::FloatEq,
+        Rule::PartialCmpExpect,
+        Rule::WorkspaceDeps,
+        Rule::AdHocThreading,
+        Rule::AdHocTiming,
+        Rule::HashIter,
+        Rule::UnseededRng,
+        Rule::HashFloatAccum,
+        Rule::LossyCast,
+        Rule::BoxedErrorPub,
+    ];
+
     /// Stable kebab-case rule name used in output and the baseline file.
     pub fn name(self) -> &'static str {
         match self {
@@ -63,21 +125,38 @@ impl Rule {
             Rule::WorkspaceDeps => "workspace-deps",
             Rule::AdHocThreading => "ad-hoc-threading",
             Rule::AdHocTiming => "ad-hoc-timing",
+            Rule::HashIter => "hash-iter",
+            Rule::UnseededRng => "unseeded-rng",
+            Rule::HashFloatAccum => "hash-float-accum",
+            Rule::LossyCast => "lossy-cast",
+            Rule::BoxedErrorPub => "boxed-error-pub",
         }
     }
 
     /// Parses a rule from its [`Rule::name`] form.
     pub fn from_name(name: &str) -> Option<Rule> {
-        match name {
-            "no-unwrap" => Some(Rule::NoUnwrap),
-            "no-expect" => Some(Rule::NoExpect),
-            "no-panic" => Some(Rule::NoPanic),
-            "float-eq" => Some(Rule::FloatEq),
-            "partial-cmp-expect" => Some(Rule::PartialCmpExpect),
-            "workspace-deps" => Some(Rule::WorkspaceDeps),
-            "ad-hoc-threading" => Some(Rule::AdHocThreading),
-            "ad-hoc-timing" => Some(Rule::AdHocTiming),
-            _ => None,
+        Rule::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// The rule family (one module under [`rules`] per family).
+    pub fn family(self) -> &'static str {
+        match self {
+            Rule::NoUnwrap | Rule::NoExpect | Rule::NoPanic | Rule::PartialCmpExpect => {
+                "panic-safety"
+            }
+            Rule::FloatEq | Rule::HashFloatAccum => "float-order",
+            Rule::WorkspaceDeps => "manifest",
+            Rule::AdHocThreading | Rule::AdHocTiming => "runtime-gates",
+            Rule::HashIter | Rule::UnseededRng => "determinism",
+            Rule::LossyCast | Rule::BoxedErrorPub => "cast-safety",
+        }
+    }
+
+    /// Severity of this rule (see [`Severity`]).
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::LossyCast | Rule::BoxedErrorPub => Severity::Warning,
+            _ => Severity::Error,
         }
     }
 }
@@ -95,6 +174,8 @@ pub struct Violation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
+    /// 1-based column (byte) number; 0 when unknown (manifest rules).
+    pub col: usize,
     /// The rule that fired.
     pub rule: Rule,
     /// Human-readable explanation with the suggested fix.
@@ -103,11 +184,19 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: {} — {}",
-            self.file, self.line, self.rule, self.message
-        )
+        if self.col == 0 {
+            write!(
+                f,
+                "{}:{}: {} — {}",
+                self.file, self.line, self.rule, self.message
+            )
+        } else {
+            write!(
+                f,
+                "{}:{}:{}: {} — {}",
+                self.file, self.line, self.col, self.rule, self.message
+            )
+        }
     }
 }
 
@@ -115,10 +204,14 @@ impl Violation {
     /// Renders the violation as a JSON object (for `--json` mode).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\
+             \"family\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"}}",
             json_escape(&self.file),
             self.line,
+            self.col,
             self.rule,
+            self.rule.family(),
+            self.rule.severity().name(),
             json_escape(&self.message)
         )
     }

@@ -11,19 +11,29 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use xtask::baseline::Baseline;
 use xtask::walk::{find_workspace_root, scan_workspace};
+use xtask::Rule;
 
 const USAGE: &str = "\
 Usage: cargo xtask <command>
 
 Commands:
   lint [--json] [--update-baseline]
-      Run the workspace panic-safety lints over crates/*/src and each
-      crate manifest.
+      Run the workspace lints (panic-safety, determinism, float-order,
+      cast-safety, runtime-gates, manifest hygiene) over crates/*/src and
+      each crate manifest.
 
       --json             emit findings as a JSON array instead of text
       --update-baseline  rewrite crates/xtask/lint-baseline.toml from the
                          current findings (ratchet down only: refuses if
                          any entry would grow)
+
+      Exits non-zero on findings above the baseline AND on stale baseline
+      entries (suppressions no longer matched by any finding).
+
+  lint --explain <rule>
+      Print the documentation for one rule (or for every rule when <rule>
+      is `all`): what it flags, the invariant it protects, examples, and
+      the baseline suppression policy.
 ";
 
 fn main() -> ExitCode {
@@ -44,10 +54,18 @@ fn main() -> ExitCode {
 fn lint(flags: &[String]) -> ExitCode {
     let mut json = false;
     let mut update = false;
-    for flag in flags {
+    let mut flags_iter = flags.iter();
+    while let Some(flag) = flags_iter.next() {
         match flag.as_str() {
             "--json" => json = true,
             "--update-baseline" => update = true,
+            "--explain" => {
+                let Some(name) = flags_iter.next() else {
+                    eprintln!("xtask lint: --explain needs a rule name (or `all`)\n\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                return explain(name);
+            }
             other => {
                 eprintln!("xtask lint: unknown flag `{other}`\n\n{USAGE}");
                 return ExitCode::from(2);
@@ -58,6 +76,28 @@ fn lint(flags: &[String]) -> ExitCode {
         Ok(code) => code,
         Err(e) => {
             eprintln!("xtask lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn explain(name: &str) -> ExitCode {
+    if name == "all" {
+        let docs: Vec<String> = Rule::ALL.into_iter().map(xtask::rules::explain).collect();
+        print!("{}", docs.join("\n"));
+        return ExitCode::SUCCESS;
+    }
+    match Rule::from_name(name) {
+        Some(rule) => {
+            print!("{}", xtask::rules::explain(rule));
+            ExitCode::SUCCESS
+        }
+        None => {
+            let known: Vec<&str> = Rule::ALL.iter().map(|r| r.name()).collect();
+            eprintln!(
+                "xtask lint: unknown rule `{name}` — known rules: {}",
+                known.join(", ")
+            );
             ExitCode::from(2)
         }
     }
@@ -100,34 +140,44 @@ fn run_lint(json: bool, update: bool) -> Result<ExitCode, String> {
     }
 
     let report = baseline.check(&violations);
+    // Stale suppressions are a failure, not a note: a baseline entry that
+    // matches nothing hides future regressions at that (file, rule) key.
+    let stale_fail = !report.stale.is_empty();
 
     if json {
         let rows: Vec<String> = report.new_violations.iter().map(|v| v.to_json()).collect();
         println!("[{}]", rows.join(","));
+        for (file, rule, allowed, current) in &report.stale {
+            eprintln!(
+                "error: stale baseline entry: {file}: `{rule}` tolerates {allowed} but \
+                 {current} present — run `cargo xtask lint --update-baseline`"
+            );
+        }
     } else {
         for v in &report.new_violations {
             println!("{v}");
         }
         for (file, rule, allowed, current) in &report.stale {
             eprintln!(
-                "note: {file}: baseline for `{rule}` is stale ({allowed} tolerated, \
-                 {current} present) — run `cargo xtask lint --update-baseline`"
+                "error: stale baseline entry: {file}: `{rule}` tolerates {allowed} but \
+                 {current} present — run `cargo xtask lint --update-baseline`"
             );
         }
-        if report.passed() {
+        if report.passed() && !stale_fail {
             eprintln!(
                 "xtask lint: clean ({} findings suppressed by baseline)",
                 report.suppressed
             );
         } else {
             eprintln!(
-                "xtask lint: {} violation(s) above baseline",
-                report.new_violations.len()
+                "xtask lint: {} violation(s) above baseline, {} stale baseline entr(y/ies)",
+                report.new_violations.len(),
+                report.stale.len()
             );
         }
     }
 
-    Ok(if report.passed() {
+    Ok(if report.passed() && !stale_fail {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

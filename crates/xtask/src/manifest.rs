@@ -72,6 +72,7 @@ fn dep_violation(file: &str, line: usize, name: &str) -> Violation {
     Violation {
         file: file.to_string(),
         line,
+        col: 0,
         rule: Rule::WorkspaceDeps,
         message: format!(
             "dependency `{name}` bypasses the workspace table — use `{name}.workspace = true` \

@@ -1,0 +1,158 @@
+//! Cast-safety family: `lossy-cast` (precision-losing `as` conversions)
+//! and `boxed-error-pub` (type-erased errors on public APIs).
+//!
+//! `lossy-cast` is deliberately scoped to the conversions that have bitten
+//! this codebase — `f64 as f32`, 64-bit-or-pointer-width integers `as
+//! f32`, and widening-then-truncating chains (`x as u64 as u32`). The
+//! ubiquitous, well-understood float→int rounding casts (`v.round() as
+//! usize`) are out of scope by design.
+
+use super::violation;
+use crate::context::FileCtx;
+use crate::lexer::TokenKind;
+use crate::{Rule, Violation};
+
+/// 64-bit-or-pointer-width integer type names (lossy into `f32`).
+const WIDE_INT: [&str; 6] = ["usize", "u64", "i64", "isize", "u128", "i128"];
+/// Integer types narrower than the wide set (a chained cast into these
+/// truncates).
+const NARROW_INT: [&str; 6] = ["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Runs the family over `ctx`.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    lossy_casts(ctx, out);
+    boxed_error_pub(ctx, out);
+}
+
+fn lossy_casts(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    for i in 0..ctx.code.len() {
+        let tok = ctx.code[i];
+        if tok.kind != TokenKind::Ident || ctx.text(i) != "as" || ctx.in_test(tok.start) {
+            continue;
+        }
+        let Some(target) = ctx.code.get(i + 1).map(|t| t.text(ctx.src)) else {
+            continue;
+        };
+        if i == 0 {
+            continue;
+        }
+        let src_desc = if target == "f32" {
+            wide_source_into_f32(ctx, i - 1)
+        } else if NARROW_INT.contains(&target) {
+            // Only the chained form (`x as u64 as u32`): a plain
+            // `idx as u32` is routine index math.
+            let prev = ctx.text(i - 1);
+            (ctx.code[i - 1].kind == TokenKind::Ident
+                && WIDE_INT.contains(&prev)
+                && i >= 2
+                && ctx.is_ident(i - 2, "as"))
+            .then(|| prev.to_string())
+        } else {
+            None
+        };
+        if let Some(src) = src_desc {
+            out.push(violation(
+                ctx,
+                i,
+                Rule::LossyCast,
+                format!(
+                    "lossy `{src} as {target}` cast — keep the wide type end to end, \
+                     use `try_from`, or document the precision demotion in the baseline"
+                ),
+            ));
+        }
+    }
+}
+
+/// Evidence that the expression ending at code index `last` (just before an
+/// `as f32`) is 64-bit-wide. Returns a description of the source type.
+fn wide_source_into_f32(ctx: &FileCtx, last: usize) -> Option<String> {
+    let tok = ctx.code[last];
+    let text = ctx.text(last);
+    match tok.kind {
+        TokenKind::Ident => {
+            // `x as f64 as f32` / `x as usize as f32` chains.
+            if text == "f64" || WIDE_INT.contains(&text) {
+                if last >= 1 && ctx.is_ident(last - 1, "as") {
+                    return Some(text.to_string());
+                }
+                return None;
+            }
+            // Tracked binding of a wide type.
+            let class = ctx.binding(text, last)?;
+            if class == crate::context::TypeClass::F64 {
+                Some("f64".to_string())
+            } else if class.is_wide_int() {
+                Some("wide-int".to_string())
+            } else {
+                None
+            }
+        }
+        // `1.0f64 as f32`.
+        TokenKind::Float if text.ends_with("f64") => Some("f64".to_string()),
+        // `( .. as f64 .. ) as f32`: look for wide evidence inside.
+        TokenKind::Punct if text == ")" => {
+            let open = ctx.matching_open(last)?;
+            // A call `foo(..) as f32` is out of scope (return type unknown);
+            // only a parenthesised expression counts.
+            if open > 0 && ctx.code[open - 1].kind == TokenKind::Ident {
+                return None;
+            }
+            let wide_inside = (open + 1..last).any(|j| {
+                ctx.code[j].kind == TokenKind::Ident
+                    && j > 0
+                    && ctx.is_ident(j - 1, "as")
+                    && (ctx.text(j) == "f64" || WIDE_INT.contains(&ctx.text(j)))
+            });
+            wide_inside.then(|| "f64-wide expression".to_string())
+        }
+        _ => None,
+    }
+}
+
+fn boxed_error_pub(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    for sig in &ctx.fn_sigs {
+        if !sig.is_pub || ctx.in_test(ctx.code[sig.fn_tok].start) {
+            continue;
+        }
+        for j in sig.fn_tok..sig.sig_end {
+            if !(ctx.code[j].kind == TokenKind::Ident && ctx.text(j) == "Box") {
+                continue;
+            }
+            if !ctx.is_punct(j + 1, "<") {
+                continue;
+            }
+            // Walk the generic argument span, counting angle brackets
+            // character-wise so joined `>>` tokens close two levels.
+            let mut depth = 0i64;
+            let mut end = sig.sig_end;
+            'outer: for k in j + 1..sig.sig_end {
+                for c in ctx.text(k).chars() {
+                    match c {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = k;
+                                break 'outer;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let erased = (j + 2..end)
+                .any(|k| ctx.code[k].kind == TokenKind::Ident && ctx.text(k).ends_with("Error"));
+            if erased {
+                out.push(violation(
+                    ctx,
+                    j,
+                    Rule::BoxedErrorPub,
+                    "`Box<dyn Error>` in a public signature — return the crate's typed \
+                     error (DESIGN.md §7) so callers can match on failure modes"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}

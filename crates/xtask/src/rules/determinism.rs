@@ -1,0 +1,120 @@
+//! Determinism family: `hash-iter` (iteration over hash-seeded
+//! collections) and `unseeded-rng` (environment-derived entropy).
+
+use super::float_order::ITER_METHODS;
+use super::violation;
+use crate::context::FileCtx;
+use crate::lexer::TokenKind;
+use crate::{Rule, Violation};
+use std::collections::BTreeSet;
+
+/// Entropy sources that draw from the environment instead of the run seed.
+const ENTROPY_IDENTS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "RandomState"];
+
+/// Runs the family over `ctx`. `claimed` holds call sites already reported
+/// by `hash-float-accum` (which subsumes the iteration it feeds on).
+pub fn check(ctx: &FileCtx, claimed: &BTreeSet<usize>, out: &mut Vec<Violation>) {
+    for i in 0..ctx.code.len() {
+        let tok = ctx.code[i];
+        if tok.kind != TokenKind::Ident || ctx.in_test(tok.start) {
+            continue;
+        }
+        let text = ctx.text(i);
+        if ENTROPY_IDENTS.contains(&text) || (text == "random" && is_rand_path(ctx, i)) {
+            out.push(violation(
+                ctx,
+                i,
+                Rule::UnseededRng,
+                format!(
+                    "`{text}` draws entropy from the environment — derive all \
+                     randomness from the run seed (DESIGN.md §8)"
+                ),
+            ));
+            continue;
+        }
+        // Method form: `<hash collection>.iter()/.keys()/...`.
+        if ITER_METHODS.contains(&text)
+            && i > 0
+            && ctx.is_punct(i - 1, ".")
+            && ctx.is_punct(i + 1, "(")
+            && !claimed.contains(&i)
+        {
+            if let Some(name) = ctx.chain_head(i - 1) {
+                if ctx.binding(name, i).is_some_and(|c| c.is_hash()) && !ctx.sorted_context(i) {
+                    out.push(hash_iter(ctx, i, name));
+                }
+            }
+        }
+        // For-loop form: `for pat in [&][mut] name {` / `... self.field {`.
+        if text == "for" {
+            if let Some((site, name)) = for_loop_hash_operand(ctx, i) {
+                if !claimed.contains(&site) && !ctx.sorted_context(site) {
+                    out.push(hash_iter(ctx, site, name));
+                }
+            }
+        }
+    }
+}
+
+fn hash_iter(ctx: &FileCtx, tok: usize, name: &str) -> Violation {
+    violation(
+        ctx,
+        tok,
+        Rule::HashIter,
+        format!(
+            "iteration over hash-ordered `{name}` — use a BTreeMap/BTreeSet or sort \
+             the collected entries first (DESIGN.md §8)"
+        ),
+    )
+}
+
+/// Is `random` at code index `i` the tail of a `rand::random` path?
+fn is_rand_path(ctx: &FileCtx, i: usize) -> bool {
+    i >= 2 && ctx.is_punct(i - 1, "::") && ctx.is_ident(i - 2, "rand")
+}
+
+/// For a `for` keyword at code index `i`, returns the token index and name
+/// of the iterated collection when the loop operand is exactly a tracked
+/// hash-classified path (`name`, `&name`, `&mut name`, `self.field`).
+fn for_loop_hash_operand<'a>(ctx: &FileCtx<'a>, i: usize) -> Option<(usize, &'a str)> {
+    // `for<'a> Fn(..)` higher-ranked bounds are not loops.
+    if ctx.is_punct(i + 1, "<") {
+        return None;
+    }
+    // Find the `in` keyword at bracket depth 0 before the body `{`.
+    let mut depth = 0i64;
+    let mut k = None;
+    for j in i + 1..ctx.code.len() {
+        match ctx.text(j) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => break,
+            "in" if depth == 0 && ctx.code[j].kind == TokenKind::Ident => {
+                k = Some(j);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let mut j = k? + 1;
+    while matches!(ctx.code.get(j).map(|t| t.text(ctx.src)), Some("&" | "mut")) {
+        j += 1;
+    }
+    let name_tok = ctx.code.get(j)?;
+    if name_tok.kind != TokenKind::Ident {
+        return None;
+    }
+    let (site, name) = if name_tok.text(ctx.src) == "self" && ctx.is_punct(j + 1, ".") {
+        (j + 2, ctx.code.get(j + 2)?.text(ctx.src))
+    } else {
+        (j, name_tok.text(ctx.src))
+    };
+    // Only a bare path: the next token must open the loop body. Method
+    // chains (`map.keys()`) are handled by the method form.
+    if !ctx.is_punct(site + 1, "{") {
+        return None;
+    }
+    ctx.binding(name, site)
+        .is_some_and(|c| c.is_hash())
+        .then_some((site, name))
+}

@@ -1,0 +1,115 @@
+//! Float-ordering family: `float-eq` (exact comparisons) and
+//! `hash-float-accum` (reductions whose addition order is hash-seeded).
+
+use super::violation;
+use crate::context::FileCtx;
+use crate::lexer::TokenKind;
+use crate::{Rule, Violation};
+use std::collections::BTreeSet;
+
+/// Methods that yield the elements of a collection in its own order.
+pub(crate) const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Runs the family over `ctx`. A `hash-float-accum` finding claims the
+/// hash-iteration call sites inside its own statement so `hash-iter` does
+/// not double-report the same chain.
+pub fn check(ctx: &FileCtx, claimed: &mut BTreeSet<usize>, out: &mut Vec<Violation>) {
+    float_eq(ctx, out);
+    hash_float_accum(ctx, claimed, out);
+}
+
+fn float_eq(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    for i in 0..ctx.code.len() {
+        let tok = ctx.code[i];
+        if tok.kind != TokenKind::Punct || ctx.in_test(tok.start) {
+            continue;
+        }
+        if !matches!(ctx.text(i), "==" | "!=") {
+            continue;
+        }
+        let left = (i > 0 && ctx.code[i - 1].kind == TokenKind::Float).then(|| ctx.text(i - 1));
+        let right = match ctx.code.get(i + 1) {
+            Some(t) if t.kind == TokenKind::Float => Some(ctx.text(i + 1)),
+            Some(t) if t.text(ctx.src) == "-" => ctx
+                .code
+                .get(i + 2)
+                .filter(|t| t.kind == TokenKind::Float)
+                .map(|_| ctx.text(i + 2)),
+            _ => None,
+        };
+        if let Some(lit) = left.or(right) {
+            out.push(violation(
+                ctx,
+                i,
+                Rule::FloatEq,
+                format!(
+                    "exact float comparison against `{lit}` — compare with an epsilon \
+                     or `total_cmp`"
+                ),
+            ));
+        }
+    }
+}
+
+fn hash_float_accum(ctx: &FileCtx, claimed: &mut BTreeSet<usize>, out: &mut Vec<Violation>) {
+    for i in 0..ctx.code.len() {
+        let tok = ctx.code[i];
+        if tok.kind != TokenKind::Ident || ctx.in_test(tok.start) {
+            continue;
+        }
+        if !matches!(ctx.text(i), "sum" | "product" | "fold") {
+            continue;
+        }
+        if i == 0 || !ctx.is_punct(i - 1, ".") {
+            continue;
+        }
+        let Some(name) = ctx.chain_head(i - 1) else {
+            continue;
+        };
+        let Some(class) = ctx.binding(name, i) else {
+            continue;
+        };
+        if !class.is_hash() || ctx.sorted_context(i) {
+            continue;
+        }
+        // Only float reductions are order-sensitive: require float evidence
+        // (an `f32`/`f64` mention or a float literal) in the statement.
+        let (s, e) = ctx.statement_span(i);
+        let floaty = (s..e)
+            .any(|j| ctx.code[j].kind == TokenKind::Float || matches!(ctx.text(j), "f32" | "f64"));
+        if !floaty {
+            continue;
+        }
+        // Claim the iteration calls on the same collection in this
+        // statement; this finding subsumes them.
+        for j in s..e {
+            if ctx.code[j].kind == TokenKind::Ident
+                && ITER_METHODS.contains(&ctx.text(j))
+                && j > 0
+                && ctx.is_punct(j - 1, ".")
+                && ctx.chain_head(j - 1) == Some(name)
+            {
+                claimed.insert(j);
+            }
+        }
+        out.push(violation(
+            ctx,
+            i,
+            Rule::HashFloatAccum,
+            format!(
+                "float reduction over hash-ordered `{name}` — iterate a BTreeMap \
+                 (or collect and sort) so addition order is deterministic"
+            ),
+        ));
+    }
+}

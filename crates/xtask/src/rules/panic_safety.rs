@@ -1,0 +1,88 @@
+//! Panic-safety family: `no-unwrap`, `no-expect`, `no-panic`,
+//! `partial-cmp-expect`.
+
+use super::violation;
+use crate::context::FileCtx;
+use crate::lexer::TokenKind;
+use crate::{Rule, Violation};
+use std::collections::BTreeSet;
+
+/// Runs the family over `ctx`. `claimed` holds code-token indices already
+/// reported by a more specific rule (this pass adds the `.unwrap()` /
+/// `.expect(..)` chained onto a flagged `partial_cmp`).
+pub fn check(ctx: &FileCtx, claimed: &mut BTreeSet<usize>, out: &mut Vec<Violation>) {
+    for i in 0..ctx.code.len() {
+        let tok = ctx.code[i];
+        if tok.kind != TokenKind::Ident || ctx.in_test(tok.start) {
+            continue;
+        }
+        match ctx.text(i) {
+            "partial_cmp" => {
+                if let Some(chained) = comparator_chain(ctx, i) {
+                    claimed.insert(chained);
+                    out.push(violation(
+                        ctx,
+                        i,
+                        Rule::PartialCmpExpect,
+                        "`partial_cmp(..)` comparator unwrapped — use `f64::total_cmp` \
+                         (or sort integer keys directly)"
+                            .to_string(),
+                    ));
+                }
+            }
+            name @ ("unwrap" | "expect") => {
+                if claimed.contains(&i) || !is_method_call(ctx, i) {
+                    continue;
+                }
+                let rule = if name == "unwrap" {
+                    Rule::NoUnwrap
+                } else {
+                    Rule::NoExpect
+                };
+                out.push(violation(
+                    ctx,
+                    i,
+                    rule,
+                    format!(
+                        "`.{name}({})` in library code — propagate a typed error or use \
+                         a `try_*` API",
+                        if name == "expect" { ".." } else { "" }
+                    ),
+                ));
+            }
+            name @ ("panic" | "todo" | "unimplemented") if ctx.is_punct(i + 1, "!") => {
+                out.push(violation(
+                    ctx,
+                    i,
+                    Rule::NoPanic,
+                    format!("`{name}!` in library code — return a typed error instead"),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Is the identifier at code index `i` a method call: preceded by `.` and
+/// followed by `(`?
+fn is_method_call(ctx: &FileCtx, i: usize) -> bool {
+    i > 0 && ctx.is_punct(i - 1, ".") && ctx.is_punct(i + 1, "(")
+}
+
+/// If `partial_cmp` at code index `i` is immediately chained into
+/// `.unwrap()`/`.expect(..)`, returns the code index of the chained method.
+fn comparator_chain(ctx: &FileCtx, i: usize) -> Option<usize> {
+    if !ctx.is_punct(i + 1, "(") {
+        return None;
+    }
+    let close = ctx.matching_close(i + 1)?;
+    if !ctx.is_punct(close + 1, ".") {
+        return None;
+    }
+    let next = close + 2;
+    matches!(
+        ctx.code.get(next).map(|t| t.text(ctx.src)),
+        Some("unwrap" | "expect")
+    )
+    .then_some(next)
+}

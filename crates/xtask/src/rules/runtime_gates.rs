@@ -1,0 +1,63 @@
+//! Runtime-gate family: `ad-hoc-threading` and `ad-hoc-timing`. Both rules
+//! funnel capability use (threads, the wall clock) through the one crate
+//! that is allowed to own it.
+
+use super::violation;
+use crate::context::FileCtx;
+use crate::lexer::TokenKind;
+use crate::{Rule, Violation};
+
+/// Runs the family over `ctx`, honouring the per-crate exemptions.
+pub fn check(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let threading_exempt = ctx.file.starts_with("crates/parallel/");
+    let timing_exempt =
+        ctx.file.starts_with("crates/obs/") || ctx.file.starts_with("crates/bench/");
+    for i in 0..ctx.code.len() {
+        let tok = ctx.code[i];
+        if tok.kind != TokenKind::Ident || ctx.in_test(tok.start) {
+            continue;
+        }
+        match ctx.text(i) {
+            // All threading goes through the cpgan-parallel runtime so the
+            // determinism contract (fixed chunking, ordered combining)
+            // holds everywhere. `thread::available_parallelism` etc. are
+            // fine anywhere.
+            "thread"
+                if !threading_exempt
+                    && ctx.is_punct(i + 1, "::")
+                    && matches!(
+                        ctx.code.get(i + 2).map(|t| t.text(ctx.src)),
+                        Some("spawn" | "scope" | "Builder")
+                    ) =>
+            {
+                out.push(violation(
+                    ctx,
+                    i,
+                    Rule::AdHocThreading,
+                    "ad-hoc `std::thread` use outside `crates/parallel` — route \
+                     through the cpgan-parallel primitives so chunking stays \
+                     deterministic"
+                        .to_string(),
+                ));
+            }
+            // Wall-clock measurement goes through `cpgan_obs` (spans for
+            // aggregated timings, `Stopwatch` for values the caller
+            // consumes). Only the observability crate and the benchmark
+            // harness read the clock directly.
+            name @ ("Instant" | "SystemTime")
+                if !timing_exempt && ctx.is_punct(i + 1, "::") && ctx.is_ident(i + 2, "now") =>
+            {
+                out.push(violation(
+                    ctx,
+                    i,
+                    Rule::AdHocTiming,
+                    format!(
+                        "ad-hoc `{name}::now()` outside cpgan-obs/cpgan-bench — time \
+                         through `cpgan_obs::span` or `cpgan_obs::Stopwatch` instead"
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,469 +1,38 @@
-//! Source-level rules: panic-freedom, float comparisons and comparator
-//! hygiene, applied outside `#[cfg(test)]`/`#[test]` items.
+//! Source-level scanning: builds the per-file token [`context`](crate::context)
+//! and runs every source rule family over it.
+//!
+//! Rule precedence: `hash-float-accum` runs first and claims the hash
+//! iteration calls it subsumes; `partial-cmp-expect` claims the chained
+//! `.unwrap()`/`.expect(..)`; the generic rules then skip claimed sites so
+//! one defect yields one finding.
 
-use crate::mask::mask_comments_and_strings;
-use crate::{Rule, Violation};
+use crate::context::FileCtx;
+use crate::rules;
+use crate::Violation;
+use std::collections::BTreeSet;
 
-/// Scans one source file (already masked internally) and returns every
-/// violation outside test-only items. `file` is the label used in reports.
+/// Scans one source file and returns every violation outside test-only
+/// items. `file` is the workspace-relative label used in reports and the
+/// per-crate rule exemptions.
 pub fn scan_source(file: &str, source: &str) -> Vec<Violation> {
-    let masked = mask_comments_and_strings(source);
-    let bytes = masked.as_bytes();
-    let line_starts = line_starts(&masked);
-    let tests = test_regions(&masked);
-    let in_test = |off: usize| tests.iter().any(|&(s, e)| off >= s && off < e);
-
+    let ctx = FileCtx::new(file, source);
+    let mut claimed: BTreeSet<usize> = BTreeSet::new();
     let mut out = Vec::new();
-    let mut chained = Vec::new(); // `.expect`/`.unwrap` offsets already
-                                  // reported by partial-cmp-expect
-
-    for off in find_word(bytes, b"partial_cmp") {
-        if in_test(off) {
-            continue;
-        }
-        if let Some(chain_off) = comparator_chain(bytes, off) {
-            chained.push(chain_off);
-            out.push(Violation {
-                file: file.to_string(),
-                line: line_of(&line_starts, off),
-                rule: Rule::PartialCmpExpect,
-                message: "`partial_cmp(..)` comparator unwrapped — use `f64::total_cmp` \
-                          (or sort integer keys directly)"
-                    .to_string(),
-            });
-        }
-    }
-
-    for off in find_word(bytes, b"unwrap") {
-        if in_test(off) || chained.contains(&off) || !is_method_call(bytes, off, b"unwrap") {
-            continue;
-        }
-        out.push(Violation {
-            file: file.to_string(),
-            line: line_of(&line_starts, off),
-            rule: Rule::NoUnwrap,
-            message: "`.unwrap()` in library code — propagate a typed error or use a `try_*` API"
-                .to_string(),
-        });
-    }
-
-    for off in find_word(bytes, b"expect") {
-        if in_test(off) || chained.contains(&off) || !is_method_call(bytes, off, b"expect") {
-            continue;
-        }
-        out.push(Violation {
-            file: file.to_string(),
-            line: line_of(&line_starts, off),
-            rule: Rule::NoExpect,
-            message: "`.expect(..)` in library code — propagate a typed error or use a `try_*` API"
-                .to_string(),
-        });
-    }
-
-    for name in [&b"panic"[..], b"todo", b"unimplemented"] {
-        for off in find_word(bytes, name) {
-            if in_test(off) {
-                continue;
-            }
-            let end = off + name.len();
-            if bytes.get(end) != Some(&b'!') {
-                continue;
-            }
-            out.push(Violation {
-                file: file.to_string(),
-                line: line_of(&line_starts, off),
-                rule: Rule::NoPanic,
-                message: format!(
-                    "`{}!` in library code — return a typed error instead",
-                    String::from_utf8_lossy(name)
-                ),
-            });
-        }
-    }
-
-    // All threading must go through the cpgan-parallel runtime so the
-    // determinism contract (fixed chunking, ordered combining) holds
-    // everywhere. Only the runtime itself may touch `std::thread` spawning
-    // APIs; `thread::available_parallelism` etc. remain fine anywhere.
-    if !file.starts_with("crates/parallel/") {
-        for off in find_word(bytes, b"thread") {
-            if in_test(off) {
-                continue;
-            }
-            let rest = &bytes[off + b"thread".len()..];
-            let spawning = [&b"::spawn"[..], b"::scope", b"::Builder"]
-                .iter()
-                .any(|p| rest.starts_with(p));
-            if !spawning {
-                continue;
-            }
-            out.push(Violation {
-                file: file.to_string(),
-                line: line_of(&line_starts, off),
-                rule: Rule::AdHocThreading,
-                message: "ad-hoc `std::thread` use outside `crates/parallel` — route \
-                          through the cpgan-parallel primitives so chunking stays \
-                          deterministic"
-                    .to_string(),
-            });
-        }
-    }
-
-    // Wall-clock measurement must go through `cpgan_obs` (spans for
-    // aggregated timings, `Stopwatch` for values the caller consumes) so
-    // every timing site stays discoverable and obs-gated. Only the
-    // observability crate itself and the benchmark harness may read the
-    // clock directly.
-    if !(file.starts_with("crates/obs/") || file.starts_with("crates/bench/")) {
-        for name in [&b"Instant"[..], b"SystemTime"] {
-            for off in find_word(bytes, name) {
-                if in_test(off) {
-                    continue;
-                }
-                let rest = &bytes[off + name.len()..];
-                if !rest.starts_with(b"::now") {
-                    continue;
-                }
-                out.push(Violation {
-                    file: file.to_string(),
-                    line: line_of(&line_starts, off),
-                    rule: Rule::AdHocTiming,
-                    message: format!(
-                        "ad-hoc `{}::now()` outside cpgan-obs/cpgan-bench — time through \
-                         `cpgan_obs::span` or `cpgan_obs::Stopwatch` instead",
-                        String::from_utf8_lossy(name)
-                    ),
-                });
-            }
-        }
-    }
-
-    for (off, lit) in float_eq_sites(&masked) {
-        if in_test(off) {
-            continue;
-        }
-        out.push(Violation {
-            file: file.to_string(),
-            line: line_of(&line_starts, off),
-            rule: Rule::FloatEq,
-            message: format!(
-                "exact float comparison against `{lit}` — compare with an epsilon or `total_cmp`"
-            ),
-        });
-    }
-
-    out.sort_by_key(|v| (v.line, v.rule));
+    rules::float_order::check(&ctx, &mut claimed, &mut out);
+    rules::panic_safety::check(&ctx, &mut claimed, &mut out);
+    rules::determinism::check(&ctx, &claimed, &mut out);
+    rules::runtime_gates::check(&ctx, &mut out);
+    rules::casts::check(&ctx, &mut out);
+    out.sort_by(|a, b| {
+        (a.line, a.col, a.rule, &a.message).cmp(&(b.line, b.col, b.rule, &b.message))
+    });
     out
-}
-
-/// Byte offsets where each line begins (index 0 = line 1).
-fn line_starts(s: &str) -> Vec<usize> {
-    let mut starts = vec![0];
-    for (i, b) in s.bytes().enumerate() {
-        if b == b'\n' {
-            starts.push(i + 1);
-        }
-    }
-    starts
-}
-
-/// 1-based line number of byte `off`.
-fn line_of(starts: &[usize], off: usize) -> usize {
-    match starts.binary_search(&off) {
-        Ok(i) => i + 1,
-        Err(i) => i,
-    }
-}
-
-/// Byte ranges of items marked `#[cfg(test)]` / `#[test]` (their attribute
-/// through the matching close brace), computed on masked text.
-pub fn test_regions(masked: &str) -> Vec<(usize, usize)> {
-    let bytes = masked.as_bytes();
-    let mut regions = Vec::new();
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'#' && bytes.get(i + 1) == Some(&b'[') {
-            let attr_start = i;
-            let mut depth = 0usize;
-            let mut j = i + 1;
-            while j < bytes.len() {
-                match bytes[j] {
-                    b'[' => depth += 1,
-                    b']' => {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                j += 1;
-            }
-            let attr = &masked[attr_start + 2..j.min(masked.len())];
-            if is_test_attr(attr) {
-                if let Some(end) = item_end(bytes, j + 1) {
-                    regions.push((attr_start, end));
-                    i = end;
-                    continue;
-                }
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    regions
-}
-
-/// Is the attribute body (between `#[` and `]`) a test gate?
-fn is_test_attr(attr: &str) -> bool {
-    let t = attr.trim();
-    if t == "test" {
-        return true;
-    }
-    // cfg(test), cfg(all(test, ...)), cfg(any(test, ...)) ...
-    if let Some(rest) = t.strip_prefix("cfg") {
-        let inner = rest.trim_start();
-        if inner.starts_with('(') {
-            return inner
-                .split(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
-                .any(|tok| tok == "test");
-        }
-    }
-    false
-}
-
-/// From just past a test attribute, find the end of the annotated item:
-/// the matching `}` of its first brace, or the first `;` if braceless.
-fn item_end(bytes: &[u8], from: usize) -> Option<usize> {
-    let mut i = from;
-    // Skip further attributes between the test gate and the item.
-    while i < bytes.len() {
-        match bytes[i] {
-            b'#' if bytes.get(i + 1) == Some(&b'[') => {
-                let mut depth = 0usize;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'[' => depth += 1,
-                        b']' => {
-                            depth -= 1;
-                            if depth == 0 {
-                                break;
-                            }
-                        }
-                        _ => {}
-                    }
-                    i += 1;
-                }
-                i += 1;
-            }
-            b';' => return Some(i + 1),
-            b'{' => {
-                let mut depth = 0usize;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'{' => depth += 1,
-                        b'}' => {
-                            depth -= 1;
-                            if depth == 0 {
-                                return Some(i + 1);
-                            }
-                        }
-                        _ => {}
-                    }
-                    i += 1;
-                }
-                return Some(bytes.len());
-            }
-            _ => i += 1,
-        }
-    }
-    Some(bytes.len())
-}
-
-/// Offsets of `word` occurrences with identifier boundaries on both sides.
-fn find_word(bytes: &[u8], word: &[u8]) -> Vec<usize> {
-    let mut out = Vec::new();
-    if word.is_empty() || bytes.len() < word.len() {
-        return out;
-    }
-    for i in 0..=bytes.len() - word.len() {
-        if &bytes[i..i + word.len()] != word {
-            continue;
-        }
-        let before_ok = i == 0 || !(bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_');
-        let after = bytes.get(i + word.len());
-        let after_ok = !matches!(after, Some(b) if b.is_ascii_alphanumeric() || *b == b'_');
-        if before_ok && after_ok {
-            out.push(i);
-        }
-    }
-    out
-}
-
-/// Is the `name` at `off` a method call: preceded by `.` (through
-/// whitespace) and followed by `(`?
-fn is_method_call(bytes: &[u8], off: usize, name: &[u8]) -> bool {
-    let mut i = off;
-    loop {
-        if i == 0 {
-            return false;
-        }
-        i -= 1;
-        match bytes[i] {
-            b' ' | b'\t' | b'\n' | b'\r' => continue,
-            b'.' => break,
-            _ => return false,
-        }
-    }
-    let mut j = off + name.len();
-    while let Some(&b) = bytes.get(j) {
-        match b {
-            b' ' | b'\t' | b'\n' | b'\r' => j += 1,
-            b'(' => return true,
-            // Turbofish (`.unwrap::<T>()`) doesn't occur for these methods.
-            _ => return false,
-        }
-    }
-    false
-}
-
-/// If `partial_cmp` at `off` is immediately chained into `.unwrap()` /
-/// `.expect(..)`, returns the offset of the chained method name.
-fn comparator_chain(bytes: &[u8], off: usize) -> Option<usize> {
-    let mut i = off + b"partial_cmp".len();
-    while matches!(bytes.get(i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-        i += 1;
-    }
-    if bytes.get(i) != Some(&b'(') {
-        return None;
-    }
-    let mut depth = 0usize;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'(' => depth += 1,
-            b')' => {
-                depth -= 1;
-                if depth == 0 {
-                    i += 1;
-                    break;
-                }
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    while matches!(bytes.get(i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-        i += 1;
-    }
-    if bytes.get(i) != Some(&b'.') {
-        return None;
-    }
-    i += 1;
-    while matches!(bytes.get(i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-        i += 1;
-    }
-    let rest = &bytes[i.min(bytes.len())..];
-    if rest.starts_with(b"unwrap") || rest.starts_with(b"expect") {
-        Some(i)
-    } else {
-        None
-    }
-}
-
-/// `==`/`!=` sites where one operand is a float literal. Returns the offset
-/// of the operator and the literal text.
-fn float_eq_sites(masked: &str) -> Vec<(usize, String)> {
-    let bytes = masked.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i + 1 < bytes.len() {
-        let op = &bytes[i..i + 2];
-        if (op == b"==" || op == b"!=")
-            && bytes.get(i + 2) != Some(&b'=')
-            && (i == 0 || !matches!(bytes[i - 1], b'=' | b'!' | b'<' | b'>'))
-        {
-            let left = token_before(masked, i);
-            let right = token_after(masked, i + 2);
-            let lit = [left, right]
-                .into_iter()
-                .flatten()
-                .find(|t| is_float_literal(t));
-            if let Some(lit) = lit {
-                out.push((i, lit));
-            }
-            i += 2;
-        } else {
-            i += 1;
-        }
-    }
-    out
-}
-
-fn token_before(masked: &str, op: usize) -> Option<String> {
-    let bytes = masked.as_bytes();
-    let mut end = op;
-    while end > 0 && matches!(bytes[end - 1], b' ' | b'\t') {
-        end -= 1;
-    }
-    let mut start = end;
-    while start > 0
-        && matches!(bytes[start - 1], b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'.')
-    {
-        start -= 1;
-    }
-    (start < end).then(|| masked[start..end].to_string())
-}
-
-fn token_after(masked: &str, mut i: usize) -> Option<String> {
-    let bytes = masked.as_bytes();
-    while matches!(bytes.get(i), Some(b' ' | b'\t')) {
-        i += 1;
-    }
-    if bytes.get(i) == Some(&b'-') {
-        i += 1;
-    }
-    let start = i;
-    while matches!(
-        bytes.get(i),
-        Some(b'0'..=b'9' | b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'.')
-    ) {
-        i += 1;
-    }
-    (start < i).then(|| masked[start..i].to_string())
-}
-
-/// Does `tok` look like a float literal (`0.0`, `1.`, `1e-3`, `2f64`,
-/// `1_000.5`)?
-fn is_float_literal(tok: &str) -> bool {
-    let body = tok.strip_suffix("f32").or_else(|| tok.strip_suffix("f64"));
-    let had_suffix = body.is_some();
-    let body = body.unwrap_or(tok).replace('_', "");
-    if body.is_empty() || !body.as_bytes()[0].is_ascii_digit() {
-        return false;
-    }
-    let mut saw_dot = false;
-    let mut saw_exp = false;
-    let mut chars = body.chars().peekable();
-    while let Some(c) = chars.next() {
-        match c {
-            '0'..='9' => {}
-            '.' if !saw_dot && !saw_exp => saw_dot = true,
-            'e' | 'E' if !saw_exp => {
-                saw_exp = true;
-                if matches!(chars.peek(), Some('+' | '-')) {
-                    chars.next();
-                }
-            }
-            _ => return false,
-        }
-    }
-    saw_dot || saw_exp || had_suffix
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Rule;
 
     #[test]
     fn flags_unwrap_and_expect_method_calls_only() {
@@ -597,5 +166,102 @@ mod tests {
     fn strings_and_comments_never_fire() {
         let src = "// x.unwrap() panic!\nconst HELP: &str = \"never .unwrap() here\";\n";
         assert!(scan_source("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_iter_method_form_flagged_unless_sorted() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, f64>) -> Vec<u32> {\n\
+                   let out: Vec<u32> = m.keys().copied().collect();\n\
+                   out\n\
+                   }\n\
+                   fn g(m: &HashMap<u32, f64>) -> Vec<u32> {\n\
+                   let mut out: Vec<u32> = m.keys().copied().collect();\n\
+                   out.sort_unstable();\n\
+                   out\n\
+                   }\n";
+        let v = scan_source("t.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::HashIter);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn hash_iter_for_loop_form() {
+        let src = "fn f(set: std::collections::HashSet<u32>) -> u32 {\n\
+                   let mut acc = 0;\n\
+                   for x in &set { acc ^= x; }\n\
+                   acc\n\
+                   }\n";
+        let v = scan_source("t.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::HashIter);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn btree_iteration_is_clean() {
+        let src = "fn f(m: &std::collections::BTreeMap<u32, f64>) -> f64 {\n\
+                   m.values().sum::<f64>()\n\
+                   }\n";
+        assert!(scan_source("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hash_float_accum_subsumes_hash_iter() {
+        let src = "fn f(m: &std::collections::HashMap<u32, f64>) -> f64 {\n\
+                   m.values().sum::<f64>()\n\
+                   }\n";
+        let v = scan_source("t.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::HashFloatAccum);
+    }
+
+    #[test]
+    fn integer_sum_over_hash_values_is_not_float_accum() {
+        let src = "fn f(m: &std::collections::HashMap<u32, u64>) -> u64 {\n\
+                   m.values().sum()\n\
+                   }\n";
+        let v = scan_source("t.rs", src);
+        // Still a hash-iter finding (`values()` on a hash map), but not a
+        // float-accumulation one.
+        assert!(v.iter().all(|v| v.rule == Rule::HashIter), "{v:?}");
+    }
+
+    #[test]
+    fn unseeded_rng_sources_flagged() {
+        let src = "fn f() -> u64 { let mut r = thread_rng(); rand::random() }\n\
+                   fn g() { let s = std::collections::hash_map::RandomState::new(); let _ = s; }\n";
+        let v = scan_source("t.rs", src);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == Rule::UnseededRng));
+    }
+
+    #[test]
+    fn lossy_casts_flagged() {
+        let src = "fn f(x: f64, n: usize) -> f32 { (x as f32) + (n as f32) }\n\
+                   fn g(i: u64) -> u32 { i as u64 as u32 }\n";
+        let v = scan_source("t.rs", src);
+        assert_eq!(v.len(), 3, "{v:?}");
+        assert!(v.iter().all(|v| v.rule == Rule::LossyCast));
+    }
+
+    #[test]
+    fn benign_casts_are_clean() {
+        let src = "fn f(x: f32, v: &[f64]) -> usize { (x.round()) as usize + v.len() }\n\
+                   fn g(c: u8) -> f32 { c as f32 }\n\
+                   fn h(n: usize) -> f64 { n as f64 }\n";
+        assert!(scan_source("t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn boxed_error_in_pub_signature_flagged() {
+        let src = "pub fn load(p: &str) -> Result<u8, Box<dyn std::error::Error>> { Ok(0) }\n\
+                   fn private(p: &str) -> Result<u8, Box<dyn std::error::Error>> { Ok(0) }\n\
+                   pub fn boxed_ok(v: u8) -> Box<dyn Iterator<Item = u8>> { Box::new(std::iter::once(v)) }\n";
+        let v = scan_source("t.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::BoxedErrorPub);
+        assert_eq!(v[0].line, 1);
     }
 }

@@ -1,0 +1,100 @@
+//! Doc-sync: the DESIGN.md §12 rule catalog cannot drift from the rule
+//! registry. Every registered rule must have a catalog row with the right
+//! family and severity, every catalog row must name a registered rule, and
+//! the README must keep its "Static analysis" section.
+
+// Integration-test helpers sit outside `#[test]` fns, so the
+// `allow-panic-in-tests` carve-out does not reach them.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+use xtask::Rule;
+
+fn repo_file(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+fn design_section_12() -> String {
+    let design = repo_file("DESIGN.md");
+    let start = design
+        .find("## 12.")
+        .expect("DESIGN.md must have a §12 (static analysis)");
+    let rest = &design[start..];
+    let end = rest[3..].find("\n## ").map_or(rest.len(), |p| p + 3);
+    rest[..end].to_string()
+}
+
+/// Catalog table rows: `(rule name, family, severity)`.
+fn catalog_rows(section: &str) -> Vec<(String, String, String)> {
+    section
+        .lines()
+        .filter(|l| l.starts_with("| `"))
+        .map(|l| {
+            let cells: Vec<&str> = l.split('|').map(str::trim).collect();
+            // "| `name` | family | severity | ... |" splits into
+            // ["", "`name`", "family", "severity", ...].
+            assert!(cells.len() >= 4, "malformed catalog row: {l}");
+            (
+                cells[1].trim_matches('`').to_string(),
+                cells[2].to_string(),
+                cells[3].to_string(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn every_registered_rule_is_documented_in_design_md() {
+    let rows = catalog_rows(&design_section_12());
+    for rule in Rule::ALL {
+        let row = rows.iter().find(|(name, _, _)| name == rule.name());
+        let (_, family, severity) =
+            row.unwrap_or_else(|| panic!("rule `{rule}` missing from the DESIGN.md §12 catalog"));
+        assert_eq!(
+            family,
+            rule.family(),
+            "`{rule}` catalog family drifted from the registry"
+        );
+        assert_eq!(
+            severity,
+            rule.severity().name(),
+            "`{rule}` catalog severity drifted from the registry"
+        );
+    }
+}
+
+#[test]
+fn every_documented_rule_is_registered() {
+    for (name, _, _) in catalog_rows(&design_section_12()) {
+        assert!(
+            Rule::from_name(&name).is_some(),
+            "DESIGN.md §12 documents `{name}`, which is not a registered rule"
+        );
+    }
+}
+
+#[test]
+fn explain_covers_every_rule_without_panicking() {
+    for rule in Rule::ALL {
+        let text = xtask::rules::explain(rule);
+        assert!(
+            text.starts_with(rule.name()),
+            "--explain {rule} renders the wrong header: {text:?}"
+        );
+    }
+}
+
+#[test]
+fn readme_keeps_the_static_analysis_section() {
+    let readme = repo_file("README.md");
+    assert!(
+        readme.contains("## Static analysis"),
+        "README lost its Static analysis section"
+    );
+    for needle in ["cargo xtask lint", "--explain", "lint-baseline.toml"] {
+        assert!(readme.contains(needle), "README section lost `{needle}`");
+    }
+}

@@ -1,0 +1,58 @@
+//! Fixture: type-erased errors on public APIs (`boxed-error-pub`).
+
+use std::error::Error;
+
+/// Line 6: `Box<dyn Error>` on a public signature.
+pub fn load() -> Result<(), Box<dyn Error>> {
+    Ok(())
+}
+
+/// Line 11: erased error with auto-trait bounds is still erased.
+pub fn run() -> Result<u8, Box<dyn Error + Send + Sync + 'static>> {
+    Ok(0)
+}
+
+/// Negative: private helpers may erase.
+fn helper() -> Result<(), Box<dyn Error>> {
+    Ok(())
+}
+
+/// Negative: a typed error on a public signature.
+pub struct ParseError;
+
+pub fn parse(ok: bool) -> Result<u8, ParseError> {
+    if ok {
+        Ok(1)
+    } else {
+        Err(ParseError)
+    }
+}
+
+/// Negative: a box of data, not an error.
+pub fn boxed_data() -> Box<Vec<u8>> {
+    Box::new(Vec::new())
+}
+
+/// Negative: masked inside a string literal.
+pub fn doc_string() -> &'static str {
+    "pub fn x() -> Box<dyn Error>"
+}
+
+pub fn use_private() -> bool {
+    helper().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test helpers may erase errors.
+    pub fn test_helper() -> Result<(), Box<dyn Error>> {
+        Ok(())
+    }
+
+    #[test]
+    fn uses_helpers() {
+        assert!(test_helper().is_ok() && load().is_ok());
+    }
+}

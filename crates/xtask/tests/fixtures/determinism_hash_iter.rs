@@ -1,0 +1,55 @@
+//! Fixture: iteration over hash-ordered collections (`hash-iter`).
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Line 7: method-form iteration over a hash-map parameter.
+pub fn degree_total(map: &HashMap<u32, u32>) -> u32 {
+    map.keys().copied().sum()
+}
+
+pub struct Pool {
+    members: HashSet<u32>,
+}
+
+impl Pool {
+    /// Line 18: for-loop over a hash-set field.
+    pub fn emit(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        for m in &self.members {
+            out.push(*m);
+        }
+        out
+    }
+}
+
+/// Negative: BTreeMap iterates in key order.
+pub fn btree_total(bmap: &BTreeMap<u32, u32>) -> u32 {
+    bmap.keys().copied().sum()
+}
+
+/// Negative: hash iteration immediately collected and sorted.
+pub fn sorted_drain(set: &HashSet<u32>) -> Vec<u32> {
+    let mut v: Vec<u32> = set.iter().copied().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Negative: masked inside a string literal.
+pub fn doc_string() -> &'static str {
+    "for x in map { map.keys() }"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_iterate_in_hash_order() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(degree_total(&m), 1);
+        for k in m.keys() {
+            let _ = k;
+        }
+    }
+}

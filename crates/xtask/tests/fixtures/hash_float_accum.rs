@@ -1,0 +1,50 @@
+//! Fixture: float reductions over hash-ordered collections
+//! (`hash-float-accum`), which subsume the underlying `hash-iter`.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Line 8: the sum's addition order is the map's hash order.
+pub fn mass(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().sum::<f64>()
+}
+
+/// Line 13: fold over hash order with a float accumulator.
+pub fn log_mass(weights: &HashMap<u32, f64>) -> f64 {
+    weights.values().fold(0.0f64, |acc, w| acc + w.ln())
+}
+
+/// Line 19: an integer reduction is order-insensitive — this is plain
+/// `hash-iter`, not a float-accumulation finding.
+pub fn arity(weights: &HashMap<u32, f64>) -> usize {
+    weights.keys().count()
+}
+
+/// Negative: collect-and-sort before the reduction fixes the order.
+pub fn mass_sorted(weights: &HashMap<u32, f64>) -> f64 {
+    let mut entries: Vec<(u32, f64)> = weights.iter().map(|(k, v)| (*k, *v)).collect();
+    entries.sort_unstable_by_key(|e| e.0);
+    entries.iter().map(|e| e.1).sum::<f64>()
+}
+
+/// Negative: a BTreeMap iterates in key order.
+pub fn mass_btree(ordered: &BTreeMap<u32, f64>) -> f64 {
+    ordered.values().sum::<f64>()
+}
+
+/// Negative: masked inside a string literal.
+pub fn doc_string() -> &'static str {
+    "weights.values().sum::<f64>()"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_reduce_in_hash_order() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 0.5f64);
+        let direct: f64 = m.values().sum();
+        assert!(direct > 0.0 && mass(&m) > 0.0);
+    }
+}

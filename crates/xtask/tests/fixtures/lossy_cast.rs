@@ -1,0 +1,58 @@
+//! Fixture: precision-losing casts (`lossy-cast`).
+
+/// Line 5: tracked `f64` binding demoted to `f32`.
+pub fn demote(x: f64) -> f32 {
+    x as f32
+}
+
+/// Line 10: a 64-bit float literal truncated to `f32`.
+pub fn demote_lit() -> f32 {
+    0.1f64 as f32
+}
+
+/// Line 15: widening to `f64` then truncating to `f32`.
+pub fn chain(n: u32) -> f32 {
+    n as f64 as f32
+}
+
+/// Line 20: pointer-width count into `f32` (lossy past 2^24).
+pub fn half(count: usize) -> f32 {
+    count as f32 * 0.5
+}
+
+/// Line 25: widen-then-truncate integer chain.
+pub fn wrap_id(x: u32) -> u32 {
+    x as u64 as u32
+}
+
+/// Negative: plain index narrowing is routine.
+pub fn to_id(idx: usize) -> u32 {
+    idx as u32
+}
+
+/// Negative: widening casts preserve value.
+pub fn widen(x: u32) -> f64 {
+    x as f64
+}
+
+/// Negative: a call's return type is unknown — out of scope by design.
+pub fn ratio(v: &[f32]) -> f32 {
+    v.len() as f32
+}
+
+/// Negative: masked inside a string literal.
+pub fn doc_string() -> &'static str {
+    "x as f32 / 0.1f64 as f32 / x as u64 as u32"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_cast_freely() {
+        let x = 0.5f64;
+        let y = x as f32;
+        assert!(y > 0.0 && demote(x) > 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Fixture: environment-derived entropy (`unseeded-rng`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Line 8: `thread_rng` draws entropy from the environment.
+pub fn env_rng_value() -> f64 {
+    rand::thread_rng().gen()
+}
+
+/// Line 13: `from_entropy` seeds from the OS.
+pub fn entropy_rng() -> StdRng {
+    StdRng::from_entropy()
+}
+
+/// Lines 18-19: `OsRng` and `rand::random` both bypass the run seed.
+pub fn os_pair() -> (u64, f32) {
+    let a = rand::rngs::OsRng.gen();
+    let b = rand::random();
+    (a, b)
+}
+
+/// Lines 24 and 25: an explicit `RandomState` is per-process hash entropy.
+pub fn hasher() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::new()
+}
+
+/// Negative: seeding from an explicit run seed is the sanctioned idiom.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Negative: a name merely containing `random` is not an entropy source.
+pub fn random_walk_len(steps: usize) -> usize {
+    steps * 2
+}
+
+/// Negative: masked inside a string literal.
+pub fn doc_string() -> &'static str {
+    "thread_rng() / OsRng / from_entropy() / RandomState"
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::Rng;
+
+    #[test]
+    fn tests_may_use_env_entropy() {
+        let x: f64 = rand::thread_rng().gen();
+        assert!((0.0..1.0).contains(&x));
+    }
+}

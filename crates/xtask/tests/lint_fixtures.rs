@@ -112,6 +112,61 @@ fn bench_bin_timing_idiom_is_exempt_only_under_bench() {
 }
 
 #[test]
+fn hash_iter_fixture() {
+    let v = scan_fixture("determinism_hash_iter.rs");
+    // Both forms fire (method chain and for-loop); the BTreeMap, the
+    // collect-and-sort, the string-masked, and the in-test iterations stay
+    // clean.
+    assert!(v.iter().all(|v| v.rule == Rule::HashIter), "{v:?}");
+    assert_eq!(v.iter().map(|v| v.line).collect::<Vec<_>>(), vec![7, 18]);
+}
+
+#[test]
+fn unseeded_rng_fixture() {
+    let v = scan_fixture("unseeded_rng.rs");
+    assert!(v.iter().all(|v| v.rule == Rule::UnseededRng), "{v:?}");
+    assert_eq!(
+        v.iter().map(|v| v.line).collect::<Vec<_>>(),
+        vec![8, 13, 18, 19, 24, 25]
+    );
+}
+
+#[test]
+fn hash_float_accum_fixture() {
+    let v = scan_fixture("hash_float_accum.rs");
+    // Float reductions report as hash-float-accum and claim their own
+    // iteration call; the integer reduction stays a plain hash-iter.
+    assert_eq!(
+        v.iter().map(|v| (v.rule, v.line)).collect::<Vec<_>>(),
+        vec![
+            (Rule::HashFloatAccum, 8),
+            (Rule::HashFloatAccum, 13),
+            (Rule::HashIter, 19),
+        ],
+        "{v:?}"
+    );
+}
+
+#[test]
+fn lossy_cast_fixture() {
+    let v = scan_fixture("lossy_cast.rs");
+    assert!(v.iter().all(|v| v.rule == Rule::LossyCast), "{v:?}");
+    assert_eq!(
+        v.iter().map(|v| v.line).collect::<Vec<_>>(),
+        vec![5, 10, 15, 20, 25]
+    );
+}
+
+#[test]
+fn boxed_error_fixture() {
+    let v = scan_fixture("boxed_error.rs");
+    // Public erased-error signatures only: private fns, typed errors,
+    // non-error boxes, strings, and test helpers stay clean.
+    assert!(v.iter().all(|v| v.rule == Rule::BoxedErrorPub), "{v:?}");
+    assert_eq!(v.iter().map(|v| v.line).collect::<Vec<_>>(), vec![6, 11]);
+}
+
+#[test]
 fn cfg_test_items_are_exempt() {
     let v = scan_fixture("cfg_test_exempt.rs");
     assert!(v.is_empty(), "test-only code flagged: {v:?}");
@@ -135,13 +190,16 @@ fn violation_display_format() {
     let v = &scan_fixture("unwrap_expect.rs")[0];
     let line = v.to_string();
     assert!(
-        line.starts_with("unwrap_expect.rs:5: no-unwrap — "),
+        line.starts_with("unwrap_expect.rs:5:7: no-unwrap — "),
         "unexpected format: {line}"
     );
     let json = v.to_json();
     assert!(json.contains("\"file\":\"unwrap_expect.rs\""), "{json}");
     assert!(json.contains("\"line\":5"), "{json}");
+    assert!(json.contains("\"col\":7"), "{json}");
     assert!(json.contains("\"rule\":\"no-unwrap\""), "{json}");
+    assert!(json.contains("\"family\":\"panic-safety\""), "{json}");
+    assert!(json.contains("\"severity\":\"error\""), "{json}");
 }
 
 #[test]

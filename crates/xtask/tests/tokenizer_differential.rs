@@ -1,0 +1,140 @@
+//! Differential test: the PR 6 lexer against the PR 1 masking scanner.
+//!
+//! `mask.rs` (regex-era comment/string blanking) is kept as the reference
+//! oracle: for every `.rs` file in the workspace — sources, tests, and the
+//! lint fixtures themselves — the token stream must
+//!
+//! 1. have strictly monotonic, non-overlapping byte spans,
+//! 2. cover every non-whitespace byte (gaps are whitespace only),
+//! 3. carry line/column positions consistent with the byte offsets, and
+//! 4. classify exactly the same comment/string/char regions that
+//!    `mask::mask_comments_and_strings` blanks out.
+//!
+//! (4) is the load-bearing property: every rule's "never fire inside a
+//! literal or comment" guarantee reduces to it.
+
+// Integration-test helpers sit outside `#[test]` fns, so the
+// `allow-panic-in-tests` carve-out does not reach them.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+use xtask::lexer::{lex, TokenKind};
+use xtask::mask::mask_comments_and_strings;
+use xtask::walk::rust_files;
+
+fn workspace_rust_files() -> Vec<PathBuf> {
+    let crates = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives under crates/")
+        .to_path_buf();
+    let files = rust_files(&crates).expect("walk crates/");
+    assert!(
+        files.len() > 50,
+        "workspace walk looks broken: only {} files",
+        files.len()
+    );
+    files
+}
+
+/// Re-derives the masked text from the token stream: blank every byte of a
+/// comment/string/char token (newlines survive), keep everything else.
+fn mask_via_tokens(src: &str) -> String {
+    let mut out = src.as_bytes().to_vec();
+    for tok in lex(src) {
+        let masked = matches!(
+            tok.kind,
+            TokenKind::Str | TokenKind::Char | TokenKind::LineComment | TokenKind::BlockComment
+        );
+        if masked {
+            for cell in &mut out[tok.start..tok.end] {
+                if *cell != b'\n' {
+                    *cell = b' ';
+                }
+            }
+        }
+    }
+    String::from_utf8(out).expect("blanking ASCII bytes preserves UTF-8")
+}
+
+#[test]
+fn spans_are_monotonic_and_gaps_are_whitespace() {
+    for path in workspace_rust_files() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let tokens = lex(&src);
+        let mut prev_end = 0usize;
+        for tok in &tokens {
+            assert!(
+                tok.start < tok.end && tok.end <= src.len(),
+                "{}: empty or out-of-range span {}..{}",
+                path.display(),
+                tok.start,
+                tok.end
+            );
+            assert!(
+                tok.start >= prev_end,
+                "{}: overlapping spans at byte {}",
+                path.display(),
+                tok.start
+            );
+            assert!(
+                src[prev_end..tok.start].chars().all(char::is_whitespace),
+                "{}: non-whitespace gap {}..{}: {:?}",
+                path.display(),
+                prev_end,
+                tok.start,
+                &src[prev_end..tok.start]
+            );
+            prev_end = tok.end;
+        }
+        assert!(
+            src[prev_end..].chars().all(char::is_whitespace),
+            "{}: trailing bytes untokenized",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn line_and_column_match_byte_offsets() {
+    for path in workspace_rust_files() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        for tok in lex(&src) {
+            let line = 1 + src[..tok.start].bytes().filter(|&b| b == b'\n').count();
+            let line_start = src[..tok.start].rfind('\n').map_or(0, |p| p + 1);
+            let col = tok.start - line_start + 1;
+            assert_eq!(
+                (tok.line, tok.col),
+                (line, col),
+                "{}: token at byte {} misplaced",
+                path.display(),
+                tok.start
+            );
+        }
+    }
+}
+
+#[test]
+fn lexer_masks_the_same_regions_as_the_reference_scanner() {
+    for path in workspace_rust_files() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let reference = mask_comments_and_strings(&src);
+        let via_tokens = mask_via_tokens(&src);
+        if reference != via_tokens {
+            let byte = reference
+                .bytes()
+                .zip(via_tokens.bytes())
+                .position(|(a, b)| a != b)
+                .unwrap_or(0);
+            let line = 1 + src[..byte].bytes().filter(|&b| b == b'\n').count();
+            panic!(
+                "{}:{}: lexer and mask.rs disagree near byte {byte}:\n\
+                 reference: {:?}\n\
+                 tokens:    {:?}",
+                path.display(),
+                line,
+                &reference[byte.saturating_sub(30)..(byte + 30).min(reference.len())],
+                &via_tokens[byte.saturating_sub(30)..(byte + 30).min(via_tokens.len())]
+            );
+        }
+    }
+}
