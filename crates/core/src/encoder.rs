@@ -8,7 +8,7 @@
 use crate::config::CpGanConfig;
 use crate::error::{model_panic, ModelError};
 use cpgan_nn::layers::{GcnConv, PairNorm};
-use cpgan_nn::{Csr, ParamStore, Tape, Var};
+use cpgan_nn::{Csr, FusedAct, ParamStore, Tape, Var};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -139,9 +139,16 @@ impl LadderEncoder {
             // §III-C2).
             let mut z = cur_x.clone();
             for conv in &self.convs_embed[l] {
-                z = self
-                    .pairnorm
-                    .forward(tape, &self.conv(tape, conv, &cur_adj, &z).relu());
+                // Sparse level: fused spmm+relu (bit-identical to the
+                // composed chain, one pass over the output); dense pooled
+                // levels keep the composed path.
+                let h = match &cur_adj {
+                    AdjInput::Sparse(csr) => {
+                        conv.forward_sparse_fused(tape, csr, &z, FusedAct::Relu)
+                    }
+                    AdjInput::Dense(a) => conv.forward_dense(tape, a, &z).relu(),
+                };
+                z = self.pairnorm.forward(tape, &h);
             }
             z_levels.push(z.clone());
 

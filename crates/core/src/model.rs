@@ -385,7 +385,9 @@ impl CpGan {
         let mut opt_d = Adam::with_lr(decay.lr0);
         let mut opt_g = Adam::with_lr(decay.lr0);
         let epochs = self.cfg.epochs;
-        let mut sample_rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(0x5eed));
+        // One seeded subgraph stream for the whole run: batch grouping can
+        // never change the sampled sequence (DESIGN.md §13).
+        let mut sampler = sampling::SubgraphSampler::new(self.cfg.seed.wrapping_add(0x5eed));
         // Spectral features are computed once on the observed graph
         // (X = X(A), §III-C1); sampled subgraphs reuse the corresponding
         // rows, keeping the encoder's input distribution stationary across
@@ -397,7 +399,7 @@ impl CpGan {
             opt_d.set_learning_rate(lr);
             opt_g.set_learning_rate(lr);
             let (sub, ids) = if g.n() > self.cfg.sample_size {
-                sampling::sample_subgraph(g, self.cfg.sample_size, &mut sample_rng)
+                sampler.next_subgraph(g, self.cfg.sample_size)
             } else {
                 (g.clone(), (0..g.n() as NodeId).collect())
             };

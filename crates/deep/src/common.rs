@@ -1,7 +1,8 @@
 //! Shared plumbing for the learning-based baselines.
 
+use cpgan_graph::sampling::SubgraphSampler;
 use cpgan_graph::{spectral, Graph, GraphBuilder, NodeId};
-use cpgan_nn::Matrix;
+use cpgan_nn::{BlockDiagCsr, Matrix};
 use rand::{Rng, RngCore};
 use std::sync::Arc;
 
@@ -22,6 +23,13 @@ pub struct DeepConfig {
     pub learning_rate: f32,
     /// Seed for init, sampling, and noise.
     pub seed: u64,
+    /// Nodes per sampled training subgraph; `0` (the default) trains on the
+    /// full observed graph every epoch, the historical behavior.
+    pub sample_size: usize,
+    /// Subgraphs per training step when `sample_size > 0`; the batch is
+    /// packed block-diagonally ([`cpgan_nn::BlockDiagCsr`]) so one fused
+    /// kernel call covers every subgraph.
+    pub batch_size: usize,
 }
 
 impl Default for DeepConfig {
@@ -33,6 +41,8 @@ impl Default for DeepConfig {
             epochs: 200,
             learning_rate: 5e-3,
             seed: 7,
+            sample_size: 0,
+            batch_size: 1,
         }
     }
 }
@@ -74,6 +84,64 @@ pub fn adjacency_target(g: &Graph) -> (Arc<Matrix>, Arc<Matrix>) {
     let pos_weight = (((n * n) as f32 - 2.0 * m) / (2.0 * m + 1.0)).clamp(1.0, 50.0);
     let weights = Arc::new(target.map(|t| if t > 0.5 { pos_weight } else { 1.0 }));
     (target, weights)
+}
+
+/// One block-diagonal training batch of sampled subgraphs (DESIGN §13).
+///
+/// The `b`-th subgraph occupies packed rows `ops.block_range(b)`; its rows
+/// in `feats` were gathered from the full graph's feature matrix, so feature
+/// semantics match the unbatched path exactly.
+pub struct SubgraphBatch {
+    /// Normalized adjacencies of every subgraph packed block-diagonally.
+    pub ops: BlockDiagCsr,
+    /// Input features for the packed node set (`total_rows x feature_dim`).
+    pub feats: Matrix,
+    /// Per-block dense reconstruction target + BCE weights.
+    pub targets: Vec<(Arc<Matrix>, Arc<Matrix>)>,
+    /// Per-block packed-row index lists, ready for `Var::gather_rows`.
+    pub rows: Vec<Arc<Vec<usize>>>,
+}
+
+impl SubgraphBatch {
+    /// Number of subgraphs in the batch.
+    pub fn blocks(&self) -> usize {
+        self.ops.blocks()
+    }
+}
+
+/// Draws `batch` subgraphs of `ns` nodes from `sampler` (one seeded stream —
+/// the batch size can never change the draw sequence, see
+/// `cpgan_graph::sampling`) and packs them into a [`SubgraphBatch`]. Feature
+/// rows are gathered from `full_feats` by the sampled original node ids.
+pub fn sample_batch(
+    g: &Graph,
+    full_feats: &Matrix,
+    sampler: &mut SubgraphSampler,
+    ns: usize,
+    batch: usize,
+) -> SubgraphBatch {
+    let draws = sampler.next_batch(g, ns, batch);
+    let dim = full_feats.cols();
+    let total: usize = draws.iter().map(|(sub, _)| sub.n()).sum();
+    let mut data = Vec::with_capacity(total * dim);
+    for (_, ids) in &draws {
+        for &id in ids {
+            data.extend_from_slice(full_feats.row(id as usize));
+        }
+    }
+    let feats = Matrix::from_vec(total, dim, data);
+    let graphs: Vec<&Graph> = draws.iter().map(|(sub, _)| sub).collect();
+    let ops = BlockDiagCsr::from_graphs(graphs.iter().copied());
+    let targets = draws.iter().map(|(sub, _)| adjacency_target(sub)).collect();
+    let rows = (0..draws.len())
+        .map(|b| Arc::new(ops.block_range(b).collect::<Vec<usize>>()))
+        .collect();
+    SubgraphBatch {
+        ops,
+        feats,
+        targets,
+        rows,
+    }
 }
 
 /// Assembles a graph with exactly `m` edges (or as many as possible) from a

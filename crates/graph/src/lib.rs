@@ -29,6 +29,7 @@ mod error;
 mod graph;
 pub mod io;
 pub mod mmd;
+pub mod sampling;
 pub mod spectral;
 pub mod stats;
 

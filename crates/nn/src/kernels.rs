@@ -365,6 +365,178 @@ pub fn dot_lanes(a: &[f32], b: &[f32]) -> f32 {
     s
 }
 
+/// Sum with the same fixed 8-lane split as [`dot_lanes`]: lane `l` sums the
+/// elements at indices `≡ l (mod NR)` of the `NR`-aligned prefix, lanes are
+/// combined in index order, then the ragged tail is added in ascending
+/// order. Depends only on `a.len()`, never on threads.
+#[inline]
+pub fn sum_lanes(a: &[f32]) -> f32 {
+    let mut acc = [0.0f32; NR];
+    let mut ca = a.chunks_exact(NR);
+    for xa in &mut ca {
+        for (o, &x) in acc.iter_mut().zip(xa) {
+            *o += x;
+        }
+    }
+    let mut s: f32 = acc.iter().sum();
+    for &x in ca.remainder() {
+        s += x;
+    }
+    s
+}
+
+/// Sum of squares with the [`dot_lanes`] lane split (see [`sum_lanes`] for
+/// the order contract).
+#[inline]
+pub fn sumsq_lanes(a: &[f32]) -> f32 {
+    let mut acc = [0.0f32; NR];
+    let mut ca = a.chunks_exact(NR);
+    for xa in &mut ca {
+        for (o, &x) in acc.iter_mut().zip(xa) {
+            *o += x * x;
+        }
+    }
+    let mut s: f32 = acc.iter().sum();
+    for &x in ca.remainder() {
+        s += x * x;
+    }
+    s
+}
+
+/// Maximum with an 8-lane inner loop. `max` is order-insensitive up to the
+/// sign of equal zeros (which no consumer observes — softmax subtracts the
+/// max, and `x - ±0.0` is the same value), so this is safe wherever the
+/// sequential fold was. Returns `-inf` for an empty slice.
+#[inline]
+pub fn max_lanes(a: &[f32]) -> f32 {
+    let mut acc = [f32::NEG_INFINITY; NR];
+    let mut ca = a.chunks_exact(NR);
+    for xa in &mut ca {
+        for (o, &x) in acc.iter_mut().zip(xa) {
+            *o = o.max(x);
+        }
+    }
+    let mut m = f32::NEG_INFINITY;
+    for &l in &acc {
+        m = m.max(l);
+    }
+    for &x in ca.remainder() {
+        m = m.max(x);
+    }
+    m
+}
+
+/// `y += alpha * x`, processed in explicit NR-wide chunks. Purely
+/// elementwise — bit-identical to the scalar loop at any width.
+#[inline]
+pub fn axpy_lanes(alpha: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    let mut cx = x.chunks_exact(NR);
+    let mut cy = y.chunks_exact_mut(NR);
+    for (xs, ys) in (&mut cx).zip(&mut cy) {
+        for (o, &v) in ys.iter_mut().zip(xs) {
+            *o += alpha * v;
+        }
+    }
+    for (o, &v) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
+        *o += alpha * v;
+    }
+}
+
+/// In-place numerically-stable softmax over one row: max via [`max_lanes`],
+/// `exp(v - max)` elementwise, then normalization by a [`sum_lanes`]
+/// reduction. The lane split is shape-determined, so rows are bit-identical
+/// at every thread count.
+#[inline]
+pub fn softmax_row(row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let max = max_lanes(row);
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+    }
+    let sum = sum_lanes(row);
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Activation fused into [`crate::Csr::matmul_dense_bias_act`] and the
+/// tape's `spmm_bias_act` op. Forward applies `apply` per element *after*
+/// the bias add; backward derives the input gradient from the **saved
+/// output** `y` alone via [`grad_from_output`](FusedAct::grad_from_output)
+/// (the "mask" is the output buffer itself — no extra saved state). Each
+/// arm reproduces the corresponding standalone tape op bit for bit:
+/// `relu` uses `y > 0` (equivalent to the pre-activation test `v > 0`
+/// because `y = max(v, 0)` preserves strict positivity), `sigmoid` and
+/// `tanh` are already output-form in `tape.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedAct {
+    /// No activation: `y = v`.
+    Identity,
+    /// `y = max(v, 0)`.
+    Relu,
+    /// `y = 1 / (1 + e^{-v})`.
+    Sigmoid,
+    /// `y = tanh(v)`.
+    Tanh,
+}
+
+impl FusedAct {
+    /// Every variant, for exhaustive test sweeps and the DESIGN.md §13
+    /// op-inventory sync test.
+    pub const ALL: [FusedAct; 4] = [
+        FusedAct::Identity,
+        FusedAct::Relu,
+        FusedAct::Sigmoid,
+        FusedAct::Tanh,
+    ];
+
+    /// Stable name used in the DESIGN.md §13 inventory.
+    pub fn name(self) -> &'static str {
+        match self {
+            FusedAct::Identity => "identity",
+            FusedAct::Relu => "relu",
+            FusedAct::Sigmoid => "sigmoid",
+            FusedAct::Tanh => "tanh",
+        }
+    }
+
+    /// Forward map, bit-identical to the standalone tape op for the same
+    /// input.
+    #[inline]
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            FusedAct::Identity => v,
+            FusedAct::Relu => v.max(0.0),
+            FusedAct::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+            FusedAct::Tanh => v.tanh(),
+        }
+    }
+
+    /// Backward: upstream gradient `g` through the activation, expressed in
+    /// terms of the saved output `y`.
+    #[inline]
+    pub fn grad_from_output(self, y: f32, g: f32) -> f32 {
+        match self {
+            FusedAct::Identity => g,
+            FusedAct::Relu => {
+                if y > 0.0 {
+                    g
+                } else {
+                    0.0
+                }
+            }
+            FusedAct::Sigmoid => g * y * (1.0 - y),
+            FusedAct::Tanh => g * (1.0 - y * y),
+        }
+    }
+}
+
 /// Reference `a * b`: the pre-blocking seed kernel, retained verbatim — the
 /// serial i-k-j loop *with* the branchy `a == 0.0` skip that defeats
 /// autovectorization. Ground truth for the property tests and the baseline
@@ -515,5 +687,80 @@ mod tests {
         let a: Vec<f32> = (0..19).map(|i| i as f32).collect();
         let b = vec![1.0f32; 19];
         assert_eq!(dot_lanes(&a, &b), (0..19).sum::<i32>() as f32);
+    }
+
+    #[test]
+    fn sum_lanes_matches_dot_with_ones() {
+        for len in [0usize, 1, 7, 8, 9, 19, 64, 100] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32 * 0.31).sin()).collect();
+            let ones = vec![1.0f32; len];
+            assert_eq!(sum_lanes(&a), dot_lanes(&a, &ones), "len {len}");
+        }
+    }
+
+    #[test]
+    fn sumsq_lanes_matches_self_dot() {
+        for len in [0usize, 1, 8, 23, 65] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32 * 0.7).cos()).collect();
+            assert_eq!(sumsq_lanes(&a), dot_lanes(&a, &a), "len {len}");
+        }
+    }
+
+    #[test]
+    fn max_lanes_matches_sequential_fold() {
+        for len in [0usize, 1, 5, 8, 17, 40] {
+            let a: Vec<f32> = (0..len).map(|i| ((i * 37 % 11) as f32) - 5.0).collect();
+            let seq = a.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            assert_eq!(max_lanes(&a), seq, "len {len}");
+        }
+    }
+
+    #[test]
+    fn axpy_lanes_is_elementwise_exact() {
+        for len in [0usize, 1, 8, 21] {
+            let x: Vec<f32> = (0..len).map(|i| (i as f32 * 0.11).sin()).collect();
+            let mut y: Vec<f32> = (0..len).map(|i| (i as f32 * 0.23).cos()).collect();
+            let mut want = y.clone();
+            for (o, &v) in want.iter_mut().zip(&x) {
+                *o += 1.7 * v;
+            }
+            axpy_lanes(1.7, &x, &mut y);
+            assert_eq!(y, want, "len {len}");
+        }
+    }
+
+    #[test]
+    fn softmax_row_normalizes_and_is_stable() {
+        let mut row = vec![1000.0f32, 1001.0, 999.0];
+        softmax_row(&mut row);
+        let total: f32 = row.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!(row.iter().all(|&p| p.is_finite() && p >= 0.0));
+        assert!(row[1] > row[0] && row[0] > row[2]);
+        let mut empty: Vec<f32> = Vec::new();
+        softmax_row(&mut empty);
+    }
+
+    #[test]
+    fn fused_act_matches_standalone_formulas() {
+        for act in FusedAct::ALL {
+            for &v in &[-2.0f32, -0.5, 0.0, 0.75, 3.0] {
+                let y = act.apply(v);
+                let want = match act {
+                    FusedAct::Identity => v,
+                    FusedAct::Relu => v.max(0.0),
+                    FusedAct::Sigmoid => 1.0 / (1.0 + (-v).exp()),
+                    FusedAct::Tanh => v.tanh(),
+                };
+                assert_eq!(y.to_bits(), want.to_bits(), "{} apply({v})", act.name());
+            }
+        }
+        // Relu mask from output equals mask from input.
+        for &v in &[-1.0f32, 0.0, 2.5] {
+            let y = FusedAct::Relu.apply(v);
+            let from_out = FusedAct::Relu.grad_from_output(y, 3.0);
+            let from_in: f32 = if v > 0.0 { 3.0 } else { 0.0 };
+            assert_eq!(from_out.to_bits(), from_in.to_bits());
+        }
     }
 }

@@ -37,6 +37,17 @@ impl Linear {
         }
     }
 
+    /// `x W` only, leaving the bias (if any) for a fused downstream op to
+    /// apply (see [`crate::Var::spmm_bias_act`]).
+    pub fn forward_weight(&self, tape: &Tape, x: &Var) -> Var {
+        x.matmul(&tape.param(&self.weight))
+    }
+
+    /// The bias parameter, if this layer has one.
+    pub fn bias(&self) -> Option<&Param> {
+        self.bias.as_ref()
+    }
+
     /// Output width.
     pub fn fan_out(&self) -> usize {
         self.weight.shape().1

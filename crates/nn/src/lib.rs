@@ -57,7 +57,8 @@ pub mod sparse;
 pub mod tape;
 
 pub use error::{NnError, ShapeError};
+pub use kernels::FusedAct;
 pub use matrix::Matrix;
 pub use params::{Param, ParamData, ParamStore};
-pub use sparse::Csr;
+pub use sparse::{BlockDiagCsr, Csr};
 pub use tape::{Tape, Var};

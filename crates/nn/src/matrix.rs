@@ -106,6 +106,24 @@ impl Matrix {
         m
     }
 
+    /// Stacks matrices vertically (all parts must share a column count;
+    /// zero-row parts are fine). Used to pack per-subgraph feature blocks
+    /// alongside [`crate::BlockDiagCsr`].
+    pub fn vstack(parts: &[&Matrix]) -> Self {
+        let cols = parts.first().map_or(0, |p| p.cols());
+        let rows: usize = parts.iter().map(|p| p.rows()).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        let mut r0 = 0;
+        for p in parts {
+            assert_eq!(p.cols(), cols, "vstack: column mismatch");
+            for r in 0..p.rows() {
+                out.row_mut(r0 + r).copy_from_slice(p.row(r));
+            }
+            r0 += p.rows();
+        }
+        out
+    }
+
     /// A 1x1 matrix holding a scalar.
     pub fn scalar(v: f32) -> Self {
         Matrix::from_vec(1, 1, vec![v])
@@ -372,31 +390,33 @@ impl Matrix {
         same_shape("axpy", self, other)?;
         par_chunks_mut(&mut self.data, PAR_GRAIN, |ci, chunk| {
             let base = ci * PAR_GRAIN;
-            for (k, o) in chunk.iter_mut().enumerate() {
-                *o += alpha * other.data[base + k];
-            }
+            crate::kernels::axpy_lanes(alpha, &other.data[base..base + chunk.len()], chunk);
         });
         Ok(())
     }
 
     /// Sum of all elements, accumulated over fixed chunks combined in index
-    /// order (bit-identical for every thread count).
+    /// order (bit-identical for every thread count). Within a chunk the
+    /// reduction uses the fixed 8-lane split of
+    /// [`crate::kernels::sum_lanes`] — shape-determined, never
+    /// thread-dependent.
     pub fn sum(&self) -> f32 {
         par_reduce(
             self.data.len(),
             PAR_GRAIN,
-            |r| self.data[r].iter().sum::<f32>(),
+            |r| crate::kernels::sum_lanes(&self.data[r]),
             |a, b| a + b,
         )
         .unwrap_or(0.0)
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm (per-chunk 8-lane sum of squares, chunks combined in
+    /// index order).
     pub fn frobenius_norm(&self) -> f32 {
         par_reduce(
             self.data.len(),
             PAR_GRAIN,
-            |r| self.data[r].iter().map(|v| v * v).sum::<f32>(),
+            |r| crate::kernels::sumsq_lanes(&self.data[r]),
             |a, b| a + b,
         )
         .unwrap_or(0.0)

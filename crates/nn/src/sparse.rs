@@ -5,8 +5,10 @@
 //! Keeping the adjacency sparse gives the `O(m + n)` per-layer cost the
 //! paper's complexity analysis relies on.
 
+use crate::kernels::FusedAct;
 use crate::Matrix;
 use cpgan_graph::Graph;
+use std::sync::Arc;
 
 /// A CSR sparse `f32` matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -161,6 +163,62 @@ impl Csr {
         out
     }
 
+    /// Fused `act(self * x + bias)` in one pass over the output.
+    ///
+    /// Identical accumulation to [`matmul_dense`](Self::matmul_dense)
+    /// followed, per output row while it is still cache-hot, by the row
+    /// bias add and the activation map. Per element the float ops and their
+    /// order are exactly the composed `spmm → add_row_broadcast → act`
+    /// sequence, so the result is bit-identical to the unfused op chain —
+    /// and, because row blocks are shape-determined, bit-identical at every
+    /// thread count.
+    ///
+    /// `bias` is a `1 × x.cols()` row (or `None` for no bias).
+    pub fn matmul_dense_bias_act(
+        &self,
+        x: &Matrix,
+        bias: Option<&Matrix>,
+        act: FusedAct,
+    ) -> Matrix {
+        assert_eq!(self.cols, x.rows(), "spmm shape mismatch");
+        if let Some(b) = bias {
+            assert_eq!(b.shape(), (1, x.cols()), "fused bias must be 1 x cols");
+        }
+        let _span = cpgan_obs::span("nn.spmm_fused");
+        cpgan_obs::hist_record("nn.spmm.nnz", self.nnz() as f64);
+        cpgan_obs::hist_record("nn.spmm.flops", 2.0 * self.nnz() as f64 * x.cols() as f64);
+        let d = x.cols();
+        let mut out = Matrix::zeros(self.rows, d);
+        if d == 0 {
+            return out;
+        }
+        let block = cpgan_parallel::grain_rows(4096, d);
+        cpgan_parallel::par_chunks_mut(out.as_mut_slice(), block * d, |ci, chunk| {
+            for (local, out_row) in chunk.chunks_mut(d).enumerate() {
+                let r = ci * block + local;
+                for i in self.offsets[r]..self.offsets[r + 1] {
+                    let c = self.indices[i] as usize;
+                    let v = self.values[i];
+                    let x_row = &x.as_slice()[c * d..(c + 1) * d];
+                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                        *o += v * xv;
+                    }
+                }
+                if let Some(b) = bias {
+                    for (o, &bv) in out_row.iter_mut().zip(b.row(0)) {
+                        *o += bv;
+                    }
+                }
+                if act != FusedAct::Identity {
+                    for o in out_row.iter_mut() {
+                        *o = act.apply(*o);
+                    }
+                }
+            }
+        });
+        out
+    }
+
     /// Transposed copy (used by autograd for non-symmetric operators).
     ///
     /// Two-pass counting transpose: pass one histograms the column indices
@@ -195,6 +253,96 @@ impl Csr {
             indices,
             values,
         }
+    }
+}
+
+/// `k` square sparse operators packed into one block-diagonal CSR, so one
+/// fused spmm call covers a whole batch of sampled subgraphs.
+///
+/// Block `b` occupies rows and columns `offsets[b]..offsets[b + 1]` of the
+/// packed operator; feature matrices are stacked the same way
+/// ([`Matrix::vstack`]). Because blocks share no columns, each packed
+/// output row accumulates exactly the entries the standalone per-block
+/// spmm would, in the same index order — packed results are bit-identical
+/// to `k` independent calls. Empty (0-node) and single-node blocks are
+/// legal; they simply contribute zero or one row.
+///
+/// The transpose is computed once at construction and shared (`Arc`), so
+/// the tape's fused op does not re-transpose per call the way the
+/// standalone spmm path does.
+#[derive(Debug, Clone)]
+pub struct BlockDiagCsr {
+    op: Arc<Csr>,
+    op_t: Arc<Csr>,
+    /// Node offsets, length `k + 1`: block `b` is rows `offsets[b]..offsets[b+1]`.
+    offsets: Arc<Vec<usize>>,
+}
+
+impl BlockDiagCsr {
+    /// Packs square blocks into one block-diagonal operator.
+    pub fn from_blocks(blocks: &[Csr]) -> Self {
+        let mut offsets = Vec::with_capacity(blocks.len() + 1);
+        offsets.push(0usize);
+        let mut total = 0usize;
+        let mut nnz = 0usize;
+        for b in blocks {
+            assert_eq!(b.rows(), b.cols(), "block-diagonal blocks must be square");
+            total += b.rows();
+            nnz += b.nnz();
+            offsets.push(total);
+        }
+        let mut triplets = Vec::with_capacity(nnz);
+        for (bi, b) in blocks.iter().enumerate() {
+            let base = offsets[bi];
+            for r in 0..b.rows() {
+                for (c, v) in b.row_iter(r) {
+                    triplets.push((base + r, base + c as usize, v));
+                }
+            }
+        }
+        let op = Csr::from_sorted_triplets(total, total, triplets);
+        let op_t = Arc::new(op.transpose());
+        BlockDiagCsr {
+            op: Arc::new(op),
+            op_t,
+            offsets: Arc::new(offsets),
+        }
+    }
+
+    /// Packs the normalized adjacencies (paper Eq. 6) of a batch of graphs.
+    pub fn from_graphs<'a>(graphs: impl IntoIterator<Item = &'a Graph>) -> Self {
+        let blocks: Vec<Csr> = graphs.into_iter().map(Csr::normalized_adjacency).collect();
+        BlockDiagCsr::from_blocks(&blocks)
+    }
+
+    /// Number of blocks `k`.
+    pub fn blocks(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total packed rows (sum of block sizes).
+    pub fn total_rows(&self) -> usize {
+        self.op.rows()
+    }
+
+    /// Packed row range of block `b`.
+    pub fn block_range(&self, b: usize) -> std::ops::Range<usize> {
+        self.offsets[b]..self.offsets[b + 1]
+    }
+
+    /// The packed operator.
+    pub fn op(&self) -> &Arc<Csr> {
+        &self.op
+    }
+
+    /// The packed operator's transpose (cached at construction).
+    pub fn op_t(&self) -> &Arc<Csr> {
+        &self.op_t
+    }
+
+    /// The shared node-offset table (length `k + 1`).
+    pub fn offsets(&self) -> &Arc<Vec<usize>> {
+        &self.offsets
     }
 }
 
@@ -247,6 +395,69 @@ mod tests {
         let t = Csr::from_sorted_triplets(2, 3, [(0, 1, 2.0), (1, 0, 3.0), (1, 2, 4.0)]);
         assert_eq!(t.transpose().transpose(), t);
         assert_eq!(t.transpose().get(1, 0), Some(2.0));
+    }
+
+    #[test]
+    fn fused_spmm_matches_composed_bitwise() {
+        let a = path3_adj();
+        let x = Matrix::from_fn(3, 4, |r, c| ((r * 4 + c) as f32 * 0.37).sin());
+        let b = Matrix::from_fn(1, 4, |_, c| (c as f32 * 0.91).cos() * 0.3);
+        for act in FusedAct::ALL {
+            let fused = a.matmul_dense_bias_act(&x, Some(&b), act);
+            let mut composed = a.matmul_dense(&x);
+            for r in 0..composed.rows() {
+                for c in 0..composed.cols() {
+                    let v = composed.get(r, c) + b.get(0, c);
+                    composed.set(r, c, act.apply(v));
+                }
+            }
+            for (i, (u, v)) in fused.as_slice().iter().zip(composed.as_slice()).enumerate() {
+                assert_eq!(u.to_bits(), v.to_bits(), "{} [{i}]", act.name());
+            }
+        }
+    }
+
+    #[test]
+    fn block_diag_packs_and_matches_per_block() {
+        let g1 = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let g2 = Graph::from_edges(1, []).unwrap(); // single node
+        let g3 = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let batch = BlockDiagCsr::from_graphs([&g1, &g2, &g3]);
+        assert_eq!(batch.blocks(), 3);
+        assert_eq!(batch.total_rows(), 8);
+        assert_eq!(batch.block_range(1), 3..4);
+        let d = 5;
+        let x = Matrix::from_fn(8, d, |r, c| ((r * d + c) as f32 * 0.13).sin());
+        let packed = batch.op().matmul_dense(&x);
+        for (bi, g) in [&g1, &g2, &g3].iter().enumerate() {
+            let adj = Csr::normalized_adjacency(g);
+            let range = batch.block_range(bi);
+            let xb = Matrix::from_fn(range.len(), d, |r, c| x.get(range.start + r, c));
+            let yb = adj.matmul_dense(&xb);
+            for r in 0..range.len() {
+                for c in 0..d {
+                    assert_eq!(
+                        packed.get(range.start + r, c).to_bits(),
+                        yb.get(r, c).to_bits(),
+                        "block {bi} ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn block_diag_empty_block_is_legal() {
+        let e = Csr::from_sorted_triplets(0, 0, []);
+        let g = Graph::from_edges(2, [(0, 1)]).unwrap();
+        let batch = BlockDiagCsr::from_blocks(&[e, Csr::normalized_adjacency(&g)]);
+        assert_eq!(batch.blocks(), 2);
+        assert_eq!(batch.block_range(0), 0..0);
+        assert_eq!(batch.total_rows(), 2);
+        let y = batch
+            .op()
+            .matmul_dense(&Matrix::from_fn(2, 3, |r, c| (r + c) as f32));
+        assert_eq!(y.shape(), (2, 3));
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! which keeps parameter lifetimes independent of any particular pass.
 
 use crate::error::{nn_panic, NnError, ShapeError};
+use crate::kernels::FusedAct;
 use crate::params::Param;
-use crate::sparse::Csr;
+use crate::sparse::{BlockDiagCsr, Csr};
 use crate::Matrix;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -29,6 +30,18 @@ enum Op {
     /// Sparse constant times dense variable; stores the operator and its
     /// transpose for the backward pass.
     SpMM(#[allow(dead_code)] Arc<Csr>, Arc<Csr>, usize),
+    /// Fused `act(S·X + b)`: one node, one pass over the output
+    /// (DESIGN.md §13). The saved output doubles as the activation mask for
+    /// backward; `blocks` carries block-diagonal row offsets in the batched
+    /// form so the bias gradient reduces per block (bitwise equal to `k`
+    /// independent calls).
+    SpmmBiasAct {
+        op_t: Arc<Csr>,
+        x: usize,
+        bias: Option<usize>,
+        act: FusedAct,
+        blocks: Option<Arc<Vec<usize>>>,
+    },
     Add(usize, usize),
     Sub(usize, usize),
     Mul(usize, usize),
@@ -195,6 +208,100 @@ impl Var {
             s.matmul_dense(&nodes[self.idx].value)
         };
         self.tape.push(value, Op::SpMM(Arc::clone(s), st, self.idx))
+    }
+
+    /// Fused `act(s * self + bias)` in a single tape node: the forward is
+    /// one pass over the output ([`Csr::matmul_dense_bias_act`]), and the
+    /// backward derives the activation mask from the saved output, so the
+    /// op is bit-identical to the composed
+    /// `spmm → add_row_broadcast → act` chain at every thread count.
+    ///
+    /// `bias` must be a `1 x cols` row on the same tape (or `None`).
+    pub fn spmm_bias_act(&self, s: &Arc<Csr>, bias: Option<&Var>, act: FusedAct) -> Var {
+        self.try_spmm_bias_act(s, bias, act)
+            .unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Var::spmm_bias_act`]: rejects cross-tape or mis-shaped
+    /// bias rows.
+    pub fn try_spmm_bias_act(
+        &self,
+        s: &Arc<Csr>,
+        bias: Option<&Var>,
+        act: FusedAct,
+    ) -> Result<Var, NnError> {
+        let st = Arc::new(s.transpose());
+        self.spmm_bias_act_with(s, st, bias, act, None)
+    }
+
+    /// Batched [`Var::spmm_bias_act`] over a [`BlockDiagCsr`]: one fused
+    /// call covers every block, reusing the batch's cached transpose, and
+    /// the bias gradient reduces per block so results stay bitwise equal to
+    /// `k` independent per-block calls.
+    pub fn spmm_bias_act_batched(
+        &self,
+        batch: &BlockDiagCsr,
+        bias: Option<&Var>,
+        act: FusedAct,
+    ) -> Var {
+        self.try_spmm_bias_act_batched(batch, bias, act)
+            .unwrap_or_else(|e| nn_panic(e))
+    }
+
+    /// Fallible [`Var::spmm_bias_act_batched`].
+    pub fn try_spmm_bias_act_batched(
+        &self,
+        batch: &BlockDiagCsr,
+        bias: Option<&Var>,
+        act: FusedAct,
+    ) -> Result<Var, NnError> {
+        self.spmm_bias_act_with(
+            batch.op(),
+            Arc::clone(batch.op_t()),
+            bias,
+            act,
+            Some(Arc::clone(batch.offsets())),
+        )
+    }
+
+    fn spmm_bias_act_with(
+        &self,
+        s: &Arc<Csr>,
+        st: Arc<Csr>,
+        bias: Option<&Var>,
+        act: FusedAct,
+        blocks: Option<Arc<Vec<usize>>>,
+    ) -> Result<Var, NnError> {
+        if let Some(b) = bias {
+            self.same_tape(b, "spmm_bias_act")?;
+        }
+        let value = {
+            let nodes = self.tape.nodes.borrow();
+            let x = &nodes[self.idx].value;
+            if let Some(b) = bias {
+                let r = &nodes[b.idx].value;
+                if r.rows() != 1 || r.cols() != x.cols() {
+                    return Err(ShapeError::new(
+                        "spmm_bias_act",
+                        format!("1x{} bias row", x.cols()),
+                        format!("{:?}", r.shape()),
+                    )
+                    .into());
+                }
+            }
+            let bm = bias.map(|b| &nodes[b.idx].value);
+            s.matmul_dense_bias_act(x, bm, act)
+        };
+        Ok(self.tape.push(
+            value,
+            Op::SpmmBiasAct {
+                op_t: st,
+                x: self.idx,
+                bias: bias.map(|b| b.idx),
+                act,
+                blocks,
+            },
+        ))
     }
 
     /// Elementwise sum.
@@ -372,7 +479,8 @@ impl Var {
     }
 
     /// Row-wise softmax, row-blocked across the pool (each row normalizes
-    /// independently, so the result is thread-count independent).
+    /// independently via the explicit 8-lane [`crate::kernels::softmax_row`]
+    /// kernel, so the result is thread-count independent).
     pub fn softmax_rows(&self) -> Var {
         let value = {
             let nodes = self.tape.nodes.borrow();
@@ -383,15 +491,7 @@ impl Var {
                 let block = cpgan_parallel::grain_rows(4096, d);
                 cpgan_parallel::par_chunks_mut(out.as_mut_slice(), block * d, |_, chunk| {
                     for row in chunk.chunks_mut(d) {
-                        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                        let mut sum = 0.0;
-                        for v in row.iter_mut() {
-                            *v = (*v - max).exp();
-                            sum += *v;
-                        }
-                        for v in row.iter_mut() {
-                            *v /= sum;
-                        }
+                        crate::kernels::softmax_row(row);
                     }
                 });
             }
@@ -687,6 +787,48 @@ fn backprop(node: &Node, grad: &Matrix, left: &mut [Node]) {
         Op::SpMM(_, st, x) => {
             let dx = st.matmul_dense(grad);
             grad_of(left, *x).axpy(1.0, &dx);
+        }
+        Op::SpmmBiasAct {
+            op_t,
+            x,
+            bias,
+            act,
+            blocks,
+        } => {
+            // Masked upstream gradient from the saved output alone: for
+            // relu `y > 0 ⇔ v > 0`, sigmoid/tanh are output-form already —
+            // bitwise what the standalone activation op would produce.
+            let a = *act;
+            let gm = node.value.zip(grad, |y, g| a.grad_from_output(y, g));
+            let dx = op_t.matmul_dense(&gm);
+            grad_of(left, *x).axpy(1.0, &dx);
+            if let Some(b) = bias {
+                let mut drow = Matrix::zeros(1, gm.cols());
+                match blocks {
+                    None => {
+                        // Row-major accumulation, matching AddRowBroadcast.
+                        for r in 0..gm.rows() {
+                            for (o, &g) in drow.row_mut(0).iter_mut().zip(gm.row(r)) {
+                                *o += g;
+                            }
+                        }
+                    }
+                    Some(offs) => {
+                        // Per-block partial sums combined in block order —
+                        // bitwise equal to k independent per-block calls.
+                        for w in offs.windows(2) {
+                            let mut local = Matrix::zeros(1, gm.cols());
+                            for r in w[0]..w[1] {
+                                for (o, &g) in local.row_mut(0).iter_mut().zip(gm.row(r)) {
+                                    *o += g;
+                                }
+                            }
+                            drow.axpy(1.0, &local);
+                        }
+                    }
+                }
+                grad_of(left, *b).axpy(1.0, &drow);
+            }
         }
         Op::Add(a, b) => {
             grad_of(left, *a).axpy(1.0, grad);

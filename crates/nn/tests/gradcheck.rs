@@ -337,6 +337,86 @@ fn grad_gaussian_kl_composite() {
     );
 }
 
+// ---- Fused spmm+bias+activation coverage (DESIGN §13) --------------------
+
+#[test]
+fn grad_spmm_bias_act_every_activation() {
+    let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]).unwrap();
+    let adj = Arc::new(Csr::normalized_adjacency(&g));
+    for act in cpgan_nn::FusedAct::ALL {
+        // d loss / d x, bias present. Inputs are shifted off zero so the
+        // ReLU kink stays away from the finite-difference window.
+        let a = adj.clone();
+        gradcheck(
+            &format!("spmm_bias_act[{}]/x", act.name()),
+            seed_matrix(5, 3, 0.2).map(|v| v + 0.25 * v.signum()),
+            move |t, x| {
+                let b = t.constant(seed_matrix(1, 3, 0.9));
+                x.spmm_bias_act(&a, Some(&b), act).square().sum_all()
+            },
+        );
+        // d loss / d bias.
+        let a = adj.clone();
+        gradcheck(
+            &format!("spmm_bias_act[{}]/bias", act.name()),
+            seed_matrix(1, 3, 0.4),
+            move |t, b| {
+                let x = t.constant(seed_matrix(5, 3, 0.3).map(|v| v + 0.25 * v.signum()));
+                x.spmm_bias_act(&a, Some(b), act).square().sum_all()
+            },
+        );
+        // No bias.
+        let a = adj.clone();
+        gradcheck(
+            &format!("spmm_bias_act[{}]/no_bias", act.name()),
+            seed_matrix(5, 3, 0.6).map(|v| v + 0.25 * v.signum()),
+            move |t, x| {
+                let _ = t;
+                x.spmm_bias_act(&a, None, act).square().sum_all()
+            },
+        );
+    }
+}
+
+#[test]
+fn grad_spmm_bias_act_batched_with_empty_and_single_node_blocks() {
+    // Three blocks: a 3-node path, an *empty* (0-node) block, and a
+    // single-node block — the degenerate shapes the packer must keep legal.
+    let g1 = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+    let empty = Csr::from_sorted_triplets(0, 0, []);
+    let single = Graph::from_edges(1, std::iter::empty()).unwrap();
+    let batch = cpgan_nn::BlockDiagCsr::from_blocks(&[
+        Csr::normalized_adjacency(&g1),
+        empty,
+        Csr::normalized_adjacency(&single),
+    ]);
+    assert_eq!(batch.total_rows(), 4);
+    for act in cpgan_nn::FusedAct::ALL {
+        let bt = batch.clone();
+        gradcheck(
+            &format!("spmm_bias_act_batched[{}]/x", act.name()),
+            seed_matrix(4, 2, 0.3).map(|v| v + 0.25 * v.signum()),
+            move |t, x| {
+                let b = t.constant(seed_matrix(1, 2, 0.8));
+                x.spmm_bias_act_batched(&bt, Some(&b), act)
+                    .square()
+                    .sum_all()
+            },
+        );
+        let bt = batch.clone();
+        gradcheck(
+            &format!("spmm_bias_act_batched[{}]/bias", act.name()),
+            seed_matrix(1, 2, 0.5),
+            move |t, b| {
+                let x = t.constant(seed_matrix(4, 2, 0.7).map(|v| v + 0.25 * v.signum()));
+                x.spmm_bias_act_batched(&bt, Some(b), act)
+                    .square()
+                    .sum_all()
+            },
+        );
+    }
+}
+
 /// Pooled buffers hold arbitrary garbage at checkout; every op must fully
 /// overwrite (or explicitly zero) what it reads. Running the same backward
 /// pass with the pool off and then on — after priming the free lists with

@@ -127,3 +127,64 @@ fn softmax_rows_bitwise_equal_across_thread_counts() {
         tape.constant(x.clone()).softmax_rows().value()
     });
 }
+
+#[test]
+fn fused_spmm_bias_act_bitwise_equal_across_thread_counts() {
+    // Same ring + chords operator as the plain spmm case, with the fused
+    // bias add and each activation applied per cache-hot row.
+    let n = 200u32;
+    let mut edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+    edges.extend((0..n / 2).map(|i| (i, i + n / 2)));
+    let g = Graph::from_edges(n as usize, edges).unwrap();
+    let s = Csr::normalized_adjacency(&g);
+    let x = seed_matrix(n as usize, 24, 0.35);
+    let b = seed_matrix(1, 24, 0.75);
+    for act in cpgan_nn::FusedAct::ALL {
+        assert_equivalent(&format!("spmm_bias_act[{}]", act.name()), || {
+            s.matmul_dense_bias_act(&x, Some(&b), act)
+        });
+    }
+}
+
+#[test]
+fn fused_forward_and_backward_bitwise_equal_across_thread_counts() {
+    // Whole fused tape step — batched forward, activation-mask backward,
+    // bias-row reduction — through the autograd layer at 1 vs N threads.
+    let sizes = [60usize, 1, 45, 70];
+    let graphs: Vec<Graph> = sizes
+        .iter()
+        .enumerate()
+        .map(|(gi, &n)| {
+            let edges: Vec<(u32, u32)> = (0..n as u32)
+                .map(|i| (i, (i + 1) % n as u32))
+                .filter(|(u, v)| u != v && !(u + gi as u32).is_multiple_of(7))
+                .collect();
+            Graph::from_edges(n, edges).unwrap()
+        })
+        .collect();
+    let batch = cpgan_nn::BlockDiagCsr::from_graphs(graphs.iter());
+    let total = batch.total_rows();
+    let x0 = seed_matrix(total, 24, 0.15);
+    let b0 = seed_matrix(1, 24, 0.55);
+    let w0 = seed_matrix(total, 24, 0.95);
+    for act in cpgan_nn::FusedAct::ALL {
+        assert_equivalent(
+            &format!("spmm_bias_act_batched[{}] grads", act.name()),
+            || {
+                let xp = cpgan_nn::Param::new(x0.clone());
+                let bp = cpgan_nn::Param::new(b0.clone());
+                let tape = Tape::new();
+                let x = tape.param(&xp);
+                let b = tape.param(&bp);
+                let out = x.spmm_bias_act_batched(&batch, Some(&b), act);
+                let w = tape.constant(w0.clone());
+                out.mul(&w).sum_all().backward();
+                // Pack forward value + both gradients into one comparison
+                // surface so a single bit flip anywhere fails loudly.
+                let gx = xp.lock().grad.clone();
+                let gb = bp.lock().grad.clone();
+                Matrix::vstack(&[&out.value(), &gx, &gb])
+            },
+        );
+    }
+}
