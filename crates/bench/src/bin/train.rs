@@ -68,7 +68,10 @@ impl Model {
 fn run_unfused(g: &cpgan_graph::Graph, feats: &Matrix, model: &Model, opt: &mut Adam) {
     let mut sampler = SubgraphSampler::new(SAMPLER_SEED);
     for _ in 0..EPOCHS_PER_REP {
-        for (sub, ids) in sampler.next_batch(g, SAMPLE_SIZE, BATCH_SIZE) {
+        let draws = sampler
+            .next_batch(g, SAMPLE_SIZE, BATCH_SIZE)
+            .unwrap_or_default();
+        for (sub, ids) in draws {
             let adj = Arc::new(Csr::normalized_adjacency(&sub));
             let (target, weights) = common::adjacency_target(&sub);
             let mut data = Vec::with_capacity(sub.n() * FEATURE_DIM);

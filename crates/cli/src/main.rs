@@ -7,6 +7,7 @@
 //! cpgan stats    --input graph.txt
 //! cpgan eval     --observed graph.txt --generated out.txt
 //! cpgan serve    --model model.json [--addr HOST:PORT] [--workers N]
+//! cpgan shard    --input graph.txt --output out.txt [--max-shard-size N] [--budget-mb N]
 //! ```
 //!
 //! Graphs are whitespace edge lists (`# nodes: N` header optional), the
@@ -44,7 +45,9 @@ fn usage() -> &'static str {
      cpgan stats    --input <edge-list>\n  \
      cpgan eval     --observed <edge-list> --generated <edge-list>\n  \
      cpgan serve    --model <model.json>[,<model.json>...] [--addr HOST:PORT] [--workers N]\n                 \
-     [--queue-depth N] [--deadline-ms N]\n\n\
+     [--queue-depth N] [--deadline-ms N]\n  \
+     cpgan shard    --input <edge-list> --output <edge-list> [--max-shard-size N] [--budget-mb N]\n                 \
+     [--epochs N] [--sample-size N] [--seed S]\n\n\
      any subcommand also accepts:\n  \
      --threads N     worker threads for parallel kernels (same as CPGAN_THREADS=N;\n                  \
      for serve: threads per in-flight generation, see DESIGN.md \u{a7}11)\n  \
@@ -73,6 +76,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "stats" => show_stats(&args),
         "eval" => eval(&args),
         "serve" => serve(&args),
+        "shard" => shard(&args),
         other => Err(format!("unknown subcommand '{other}'")),
     };
     let result = match threads {
@@ -177,6 +181,44 @@ fn serve(args: &Args) -> Result<(), String> {
         args.get_usize("queue-depth")?.unwrap_or(64),
     );
     server.wait();
+    Ok(())
+}
+
+fn shard(args: &Args) -> Result<(), String> {
+    let input = args.require("input")?;
+    let output = args.require("output")?;
+    let g = load_graph(&input)?;
+    eprintln!("observed graph: {} nodes, {} edges", g.n(), g.m());
+    let model = CpGanConfig {
+        epochs: args.get_usize("epochs")?.unwrap_or(20),
+        sample_size: args.get_usize("sample-size")?.unwrap_or(60),
+        ..CpGanConfig::tiny()
+    };
+    let cfg = cpgan_shard::ShardConfig {
+        max_shard_size: args.get_usize("max-shard-size")?.unwrap_or(4000),
+        memory_budget_bytes: args.get_usize("budget-mb")?.unwrap_or(256) << 20,
+        model,
+        seed: args.get_u64("seed")?.unwrap_or(42),
+        ..cpgan_shard::ShardConfig::default()
+    };
+    let pipeline = cpgan_shard::ShardPipeline::new(cfg).map_err(|e| e.to_string())?;
+    let report = pipeline.run(&g).map_err(|e| e.to_string())?;
+    io::save(&report.graph, &output).map_err(|e| format!("cannot write {output}: {e}"))?;
+    eprintln!(
+        "sharded generation: {} shards in {} waves (largest {} nodes, \
+         scheduled peak ~{} MiB)",
+        report.shards,
+        report.waves,
+        report.max_shard_nodes,
+        report.peak_estimate_bytes >> 20
+    );
+    eprintln!(
+        "generated {} nodes / {} edges ({} intra + {} inter) -> {output}",
+        report.graph.n(),
+        report.graph.m(),
+        report.intra_edges,
+        report.inter_edges
+    );
     Ok(())
 }
 

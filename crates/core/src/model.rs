@@ -399,7 +399,12 @@ impl CpGan {
             opt_d.set_learning_rate(lr);
             opt_g.set_learning_rate(lr);
             let (sub, ids) = if g.n() > self.cfg.sample_size {
-                sampler.next_subgraph(g, self.cfg.sample_size)
+                match sampler.next_subgraph(g, self.cfg.sample_size) {
+                    Ok(draw) => draw,
+                    // Unreachable under the guard above (sample_size < n);
+                    // train on the whole graph rather than abort mid-fit.
+                    Err(_) => (g.clone(), (0..g.n() as NodeId).collect()),
+                }
             } else {
                 (g.clone(), (0..g.n() as NodeId).collect())
             };

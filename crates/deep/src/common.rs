@@ -120,7 +120,12 @@ pub fn sample_batch(
     ns: usize,
     batch: usize,
 ) -> SubgraphBatch {
-    let draws = sampler.next_batch(g, ns, batch);
+    // Clamp to the graph size: deep baselines train whole-graph when the
+    // configured sample size exceeds `n`, so an oversized `ns` is not an
+    // error at this seam (the sampler itself rejects `k > n`).
+    let draws = sampler
+        .next_batch(g, ns.min(g.n()), batch)
+        .unwrap_or_default();
     let dim = full_feats.cols();
     let total: usize = draws.iter().map(|(sub, _)| sub.n()).sum();
     let mut data = Vec::with_capacity(total * dim);

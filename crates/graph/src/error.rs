@@ -19,6 +19,16 @@ pub enum GraphError {
     },
     /// An I/O error, carried as a string so the error type stays `Clone`.
     Io(String),
+    /// A subgraph sample was requested with more nodes than the graph has.
+    SampleTooLarge {
+        /// Requested sample size.
+        k: usize,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// A streamed edge violated the builder's self-loop or duplicate policy,
+    /// or the two passes over the edge iterator disagreed.
+    Stream(String),
 }
 
 impl fmt::Display for GraphError {
@@ -31,6 +41,10 @@ impl fmt::Display for GraphError {
                 write!(f, "edge list parse error on line {line}: {message}")
             }
             GraphError::Io(msg) => write!(f, "i/o error: {msg}"),
+            GraphError::SampleTooLarge { k, n } => {
+                write!(f, "sample size {k} exceeds graph node count {n}")
+            }
+            GraphError::Stream(msg) => write!(f, "edge stream error: {msg}"),
         }
     }
 }

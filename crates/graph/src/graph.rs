@@ -1,3 +1,4 @@
+use crate::builder::{DuplicatePolicy, SelfLoopPolicy};
 use crate::{GraphBuilder, GraphError, NodeId};
 
 /// An undirected simple graph in compressed sparse row (CSR) form.
@@ -30,6 +31,140 @@ impl Graph {
             b.add_edge(u, v)?;
         }
         Ok(b.build())
+    }
+
+    /// Builds a graph with `n` nodes from a *re-playable* edge stream in two
+    /// passes, without materializing an intermediate edge `Vec`.
+    ///
+    /// `make_edges` is called twice and must yield the same sequence both
+    /// times (e.g. a closure re-opening a file, or re-borrowing a slice).
+    /// Pass 1 counts degrees; pass 2 scatters endpoints directly into the
+    /// CSR arrays, which are then row-sorted and deduplicated in place. Peak
+    /// transient memory is the `n + 1` cursor array — the builder never holds
+    /// the `O(m)` edge list *and* a scatter buffer at once, which is what
+    /// makes the 500k-node shard ingest fit its byte budget
+    /// (`cpgan-shard`, DESIGN.md §14).
+    ///
+    /// Self-loop and duplicate handling are explicit policy arguments; with
+    /// [`SelfLoopPolicy::Drop`] and [`DuplicatePolicy::Merge`] the result is
+    /// identical to [`Graph::from_edges`] on the same sequence.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfRange`] on an endpoint `>= n`;
+    /// [`GraphError::Stream`] on a policy violation or if the two passes
+    /// disagree (a non-replayable iterator).
+    pub fn from_edge_stream<I, F>(
+        n: usize,
+        mut make_edges: F,
+        loops: SelfLoopPolicy,
+        dups: DuplicatePolicy,
+    ) -> Result<Self, GraphError>
+    where
+        F: FnMut() -> I,
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        // Pass 1: validate endpoints and count both directions of every kept
+        // edge.
+        let mut degrees = vec![0usize; n];
+        let mut kept = 0usize;
+        for (u, v) in make_edges() {
+            if u as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: u as u64, n });
+            }
+            if v as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: v as u64, n });
+            }
+            if u == v {
+                match loops {
+                    SelfLoopPolicy::Drop => continue,
+                    SelfLoopPolicy::Error => {
+                        return Err(GraphError::Stream(format!("self-loop at node {u}")));
+                    }
+                }
+            }
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+            kept += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for &d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        drop(degrees);
+
+        // Pass 2: scatter endpoints straight into the CSR neighbor array.
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0 as NodeId; acc];
+        let mut seen = 0usize;
+        for (u, v) in make_edges() {
+            if u == v || u as usize >= n || v as usize >= n {
+                continue; // pass 1 already applied the policy
+            }
+            seen += 1;
+            if seen > kept {
+                break; // diagnosed below
+            }
+            neighbors[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        if seen != kept {
+            return Err(GraphError::Stream(format!(
+                "edge stream is not replayable: pass 1 kept {kept} edges, pass 2 yielded {seen}"
+            )));
+        }
+        drop(cursor);
+
+        // Sort each neighbor run and deduplicate in place, compacting the
+        // runs leftwards (write never overtakes read).
+        let mut write = 0usize;
+        let mut compact = Vec::with_capacity(n + 1);
+        compact.push(0);
+        for v in 0..n {
+            let (s, e) = (offsets[v], offsets[v + 1]);
+            neighbors[s..e].sort_unstable();
+            let mut prev = NodeId::MAX;
+            for i in s..e {
+                let w = neighbors[i];
+                if w == prev {
+                    if dups == DuplicatePolicy::Error {
+                        let (a, b) = if (v as NodeId) < w {
+                            (v as NodeId, w)
+                        } else {
+                            (w, v as NodeId)
+                        };
+                        return Err(GraphError::Stream(format!("duplicate edge ({a}, {b})")));
+                    }
+                    continue;
+                }
+                prev = w;
+                neighbors[write] = w;
+                write += 1;
+            }
+            compact.push(write);
+        }
+        neighbors.truncate(write);
+
+        // Canonical sorted edge list from the upper-triangle scan.
+        let mut edges = Vec::with_capacity(write / 2);
+        for v in 0..n {
+            for &w in &neighbors[compact[v]..compact[v + 1]] {
+                if (v as NodeId) < w {
+                    edges.push((v as NodeId, w));
+                }
+            }
+        }
+        Ok(Graph {
+            n,
+            offsets: compact,
+            neighbors,
+            edges,
+        })
     }
 
     /// Internal constructor used by [`GraphBuilder`]; `edges` must already be
@@ -293,6 +428,97 @@ mod tests {
     fn largest_component_found() {
         let g = Graph::from_edges(6, [(0, 1), (1, 2), (3, 4)]).unwrap();
         assert_eq!(g.largest_component(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stream_matches_from_edges() {
+        // Drop+Merge must be byte-identical to the buffered path, including
+        // messy input (reversed duplicates, self-loops, unsorted order).
+        let raw: Vec<(NodeId, NodeId)> = vec![(3, 1), (0, 1), (1, 0), (2, 2), (1, 2), (0, 1)];
+        let buffered = Graph::from_edges(4, raw.iter().copied()).unwrap();
+        let streamed = Graph::from_edge_stream(
+            4,
+            || raw.iter().copied(),
+            SelfLoopPolicy::Drop,
+            DuplicatePolicy::Merge,
+        )
+        .unwrap();
+        assert_eq!(streamed, buffered);
+    }
+
+    #[test]
+    fn stream_policies_reject() {
+        let with_loop = [(0, 1), (2, 2)];
+        let err = Graph::from_edge_stream(
+            3,
+            || with_loop.iter().copied(),
+            SelfLoopPolicy::Error,
+            DuplicatePolicy::Merge,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::Stream(_)), "{err}");
+
+        let with_dup = [(0, 1), (1, 0)];
+        let err = Graph::from_edge_stream(
+            3,
+            || with_dup.iter().copied(),
+            SelfLoopPolicy::Drop,
+            DuplicatePolicy::Error,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::Stream(_)), "{err}");
+
+        let err = Graph::from_edge_stream(
+            2,
+            || [(0, 7)].iter().copied(),
+            SelfLoopPolicy::Drop,
+            DuplicatePolicy::Merge,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::NodeOutOfRange { node: 7, n: 2 }));
+    }
+
+    #[test]
+    fn stream_detects_non_replayable_iterator() {
+        use std::cell::Cell;
+        let calls = Cell::new(0usize);
+        let err = Graph::from_edge_stream(
+            4,
+            || {
+                let pass = calls.get();
+                calls.set(pass + 1);
+                // Second pass yields one edge fewer than the first.
+                let take = if pass == 0 { 3 } else { 2 };
+                [(0, 1), (1, 2), (2, 3)].into_iter().take(take)
+            },
+            SelfLoopPolicy::Drop,
+            DuplicatePolicy::Merge,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GraphError::Stream(_)), "{err}");
+    }
+
+    #[test]
+    fn stream_empty_and_edgeless() {
+        let g = Graph::from_edge_stream(
+            0,
+            std::iter::empty,
+            SelfLoopPolicy::Drop,
+            DuplicatePolicy::Merge,
+        )
+        .unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        let g = Graph::from_edge_stream(
+            5,
+            std::iter::empty,
+            SelfLoopPolicy::Drop,
+            DuplicatePolicy::Merge,
+        )
+        .unwrap();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.degree(4), 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! subgraphs in batches of any size yields the same sequence as drawing
 //! them one at a time.
 
-use crate::{Graph, NodeId};
+use crate::{Graph, GraphError, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -91,13 +91,43 @@ impl SubgraphSampler {
     }
 
     /// Draws the next induced subgraph of `k` degree-proportional nodes.
-    pub fn next_subgraph(&mut self, g: &Graph, k: usize) -> (Graph, Vec<NodeId>) {
-        sample_subgraph(g, k, &mut self.rng)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SampleTooLarge`] if `k > g.n()`: a sampler
+    /// asked for more nodes than exist cannot honor the "k distinct nodes"
+    /// contract, and silently clamping here would let a misconfigured
+    /// `sample_size` train on the whole graph without the caller noticing.
+    /// (The free functions keep their documented clamping behavior.)
+    pub fn next_subgraph(
+        &mut self,
+        g: &Graph,
+        k: usize,
+    ) -> Result<(Graph, Vec<NodeId>), GraphError> {
+        if k > g.n() {
+            return Err(GraphError::SampleTooLarge { k, n: g.n() });
+        }
+        Ok(sample_subgraph(g, k, &mut self.rng))
     }
 
     /// Draws `batch` consecutive subgraphs from the same stream.
-    pub fn next_batch(&mut self, g: &Graph, k: usize, batch: usize) -> Vec<(Graph, Vec<NodeId>)> {
-        (0..batch).map(|_| self.next_subgraph(g, k)).collect()
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SampleTooLarge`] if `k > g.n()` before
+    /// consuming any RNG state, so a failed batch never perturbs the stream.
+    pub fn next_batch(
+        &mut self,
+        g: &Graph,
+        k: usize,
+        batch: usize,
+    ) -> Result<Vec<(Graph, Vec<NodeId>)>, GraphError> {
+        if k > g.n() {
+            return Err(GraphError::SampleTooLarge { k, n: g.n() });
+        }
+        Ok((0..batch)
+            .map(|_| sample_subgraph(g, k, &mut self.rng))
+            .collect())
     }
 }
 
@@ -181,10 +211,32 @@ mod tests {
         let mut sampler = SubgraphSampler::new(99);
         let mut rng = StdRng::seed_from_u64(99);
         for _ in 0..4 {
-            let (a, ids_a) = sampler.next_subgraph(&g, 12);
+            let (a, ids_a) = sampler.next_subgraph(&g, 12).unwrap();
             let (b, ids_b) = sample_subgraph(&g, 12, &mut rng);
             assert_eq!(ids_a, ids_b);
             assert_eq!(a.edges(), b.edges());
         }
+    }
+
+    #[test]
+    fn sampler_rejects_oversized_request() {
+        // Regression: the seeded sampler must reject k > n with a typed
+        // error instead of clamping (or worse, spinning trying to find k
+        // distinct nodes) — and the failed call must not consume RNG state.
+        let g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let mut sampler = SubgraphSampler::new(7);
+        match sampler.next_subgraph(&g, 10) {
+            Err(GraphError::SampleTooLarge { k: 10, n: 3 }) => {}
+            other => panic!("expected SampleTooLarge, got {other:?}"),
+        }
+        match sampler.next_batch(&g, 4, 2) {
+            Err(GraphError::SampleTooLarge { k: 4, n: 3 }) => {}
+            other => panic!("expected SampleTooLarge, got {other:?}"),
+        }
+        // The stream is untouched by the rejected draws: it still matches a
+        // fresh sampler on the same seed.
+        let (_, ids) = sampler.next_subgraph(&g, 2).unwrap();
+        let (_, fresh_ids) = SubgraphSampler::new(7).next_subgraph(&g, 2).unwrap();
+        assert_eq!(ids, fresh_ids);
     }
 }

@@ -68,7 +68,7 @@ fn draw(seed: u64, k: usize, total: usize, batch: usize) -> Vec<(Graph, Vec<Node
     let mut out = Vec::with_capacity(total);
     while out.len() < total {
         let take = batch.min(total - out.len());
-        out.extend(sampler.next_batch(&g, k, take));
+        out.extend(sampler.next_batch(&g, k, take).unwrap());
     }
     out
 }

@@ -8,16 +8,29 @@
 use crate::kernels::FusedAct;
 use crate::Matrix;
 use cpgan_graph::Graph;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A CSR sparse `f32` matrix.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Csr {
     rows: usize,
     cols: usize,
     offsets: Vec<usize>,
     indices: Vec<u32>,
     values: Vec<f32>,
+    /// Lazily memoized transpose (see [`Csr::transpose_cached`]). Not part
+    /// of the matrix's value: equality and serialization ignore it.
+    cached_t: OnceLock<Arc<Csr>>,
+}
+
+impl PartialEq for Csr {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.offsets == other.offsets
+            && self.indices == other.indices
+            && self.values == other.values
+    }
 }
 
 impl Csr {
@@ -51,6 +64,7 @@ impl Csr {
             offsets,
             indices,
             values,
+            cached_t: OnceLock::new(),
         }
     }
 
@@ -252,7 +266,19 @@ impl Csr {
             offsets,
             indices,
             values,
+            cached_t: OnceLock::new(),
         }
+    }
+
+    /// The transpose, computed once per matrix and memoized.
+    ///
+    /// Training hits the same adjacency operator's transpose on every
+    /// backward pass (`Op::SpMM` / `Op::SpmmBiasAct` hold it per tape node);
+    /// before this cache each forward call rebuilt it from scratch. The
+    /// cache is keyed on `&self`, so clones recompute independently, and it
+    /// is invisible to `PartialEq`.
+    pub fn transpose_cached(&self) -> Arc<Csr> {
+        Arc::clone(self.cached_t.get_or_init(|| Arc::new(self.transpose())))
     }
 }
 
@@ -301,7 +327,9 @@ impl BlockDiagCsr {
             }
         }
         let op = Csr::from_sorted_triplets(total, total, triplets);
-        let op_t = Arc::new(op.transpose());
+        // Seed the packed operator's memoized transpose so the tape and any
+        // direct `transpose_cached` caller share the same Arc.
+        let op_t = op.transpose_cached();
         BlockDiagCsr {
             op: Arc::new(op),
             op_t,
@@ -365,6 +393,24 @@ mod tests {
         assert!((d00 - 0.5).abs() < 1e-6);
         let d01 = a.get(0, 1).unwrap();
         assert!((d01 - 1.0 / (2.0f32.sqrt() * 3.0f32.sqrt())).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transpose_cached_memoizes_and_matches() {
+        let a = path3_adj();
+        let t1 = a.transpose_cached();
+        let t2 = a.transpose_cached();
+        assert!(Arc::ptr_eq(&t1, &t2), "repeated calls share one transpose");
+        assert_eq!(*t1, a.transpose(), "cached transpose equals a fresh one");
+        // The cache is not part of the value: a clone is equal but rebuilds
+        // its own transpose independently.
+        let b = a.clone();
+        assert_eq!(a, b);
+        // BlockDiagCsr's construction-time transpose is the packed
+        // operator's memoized one.
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let batch = BlockDiagCsr::from_graphs([&g]);
+        assert!(Arc::ptr_eq(batch.op_t(), &batch.op().transpose_cached()));
     }
 
     #[test]

@@ -200,9 +200,12 @@ impl Var {
         Ok(self.tape.push(value, Op::MatMul(self.idx, other.idx)))
     }
 
-    /// Sparse constant times this variable: `s * self`.
+    /// Sparse constant times this variable: `s * self`. The backward
+    /// operator `sᵀ` comes from the matrix's memoized transpose
+    /// ([`Csr::transpose_cached`]), so repeated forwards on the same
+    /// adjacency share one transpose instead of rebuilding it per call.
     pub fn spmm(&self, s: &Arc<Csr>) -> Var {
-        let st = Arc::new(s.transpose());
+        let st = s.transpose_cached();
         let value = {
             let nodes = self.tape.nodes.borrow();
             s.matmul_dense(&nodes[self.idx].value)
@@ -230,7 +233,7 @@ impl Var {
         bias: Option<&Var>,
         act: FusedAct,
     ) -> Result<Var, NnError> {
-        let st = Arc::new(s.transpose());
+        let st = s.transpose_cached();
         self.spmm_bias_act_with(s, st, bias, act, None)
     }
 

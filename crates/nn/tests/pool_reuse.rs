@@ -182,6 +182,60 @@ fn warmed_fused_batched_step_allocates_nothing_fresh() {
     );
 }
 
+/// The *unfused* sparse path (`Var::spmm`) now pulls the backward operator
+/// from the adjacency's memoized transpose instead of rebuilding it per
+/// call, so a warmed-up step over a fixed operator is also a pure recycling
+/// workload: zero pool misses, and the transpose Arc is built exactly once.
+#[test]
+fn warmed_unfused_spmm_step_allocates_nothing_fresh() {
+    let _guard = POOL_LOCK.lock().unwrap();
+    memory::set_pool_enabled(true);
+    memory::pool_clear();
+
+    let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+    let adj = Arc::new(cpgan_nn::Csr::normalized_adjacency(&g));
+    let x0 = Matrix::from_fn(5, 4, |r, c| ((r * 4 + c) as f32 * 0.17).cos());
+    let target = Arc::new(Matrix::from_fn(5, 5, |r, c| ((r + c) % 2) as f32));
+
+    let mut store = ParamStore::new();
+    let mut rng = StdRng::seed_from_u64(13);
+    let l1 = Linear::new(&mut store, &mut rng, 4, 6, false);
+    let l2 = Linear::new(&mut store, &mut rng, 6, 3, false);
+    let mut opt = Adam::with_lr(1e-2);
+
+    let step = |opt: &mut Adam| {
+        let tape = Tape::new();
+        let x = tape.constant(x0.clone());
+        let h = l1.forward_weight(&tape, &x).spmm(&adj).relu();
+        let z = l2.forward_weight(&tape, &h).spmm(&adj);
+        let logits = z.matmul(&z.transpose());
+        let loss = logits.bce_with_logits_mean(&target, None);
+        store.zero_grad();
+        loss.backward();
+        opt.step(&store);
+    };
+
+    for _ in 0..3 {
+        step(&mut opt);
+    }
+    let t_before = adj.transpose_cached();
+    memory::reset_pool_stats();
+    for _ in 0..5 {
+        step(&mut opt);
+    }
+    let misses = memory::pool_misses();
+    let t_after = adj.transpose_cached();
+    memory::pool_clear();
+    assert!(
+        Arc::ptr_eq(&t_before, &t_after),
+        "steps must reuse the memoized transpose, not rebuild it"
+    );
+    assert_eq!(
+        misses, 0,
+        "warmed-up unfused spmm step must be allocation-free, saw {misses} pool misses"
+    );
+}
+
 #[test]
 fn pooled_training_steps_halve_fresh_allocations() {
     let _guard = POOL_LOCK.lock().unwrap();

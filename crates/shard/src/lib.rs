@@ -1,0 +1,63 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! Community-sharded divide-and-conquer generation (DESIGN.md §14).
+//!
+//! CPGAN's monolithic pipeline trains one model over the whole input graph,
+//! which caps the practical scale well below the paper's largest targets.
+//! This crate scales it out the way SANGEA/BTGAE-style systems do, while
+//! keeping the workspace's bit-identical determinism contract (§8):
+//!
+//! 1. **Partition** — Louvain communities under a max-shard-size budget;
+//!    oversized communities are recursively re-partitioned
+//!    ([`partition::partition_shards`]).
+//! 2. **Train + generate per shard** — each shard trains and samples its
+//!    own small CPGAN, fanned out over [`cpgan_parallel`]; every shard's
+//!    randomness derives from `(pipeline seed, shard index)`, and results
+//!    are combined in shard-index order, so neither the thread count nor
+//!    the processing order can change a bit of the output.
+//! 3. **Stitch** — inter-community edges are re-created by running the
+//!    paper's two-stage edge assembly (§III-G) on the *quotient graph* of
+//!    community-to-community edge counts, then realizing each selected
+//!    community pair's edge budget with degree-proportional endpoints
+//!    inside the generated shards.
+//!
+//! Shard scheduling is memory-budgeted: a peak-bytes estimate per shard
+//! ([`schedule::estimate_peak_bytes`]) feeds greedy bin-packing into
+//! sequential waves ([`schedule::plan_waves`]) so concurrent training never
+//! exceeds the configured byte budget.
+
+pub mod partition;
+pub mod pipeline;
+pub mod schedule;
+
+pub use partition::{partition_shards, Shard};
+pub use pipeline::{ShardConfig, ShardPipeline, ShardReport};
+
+use std::fmt;
+
+/// Errors from the sharded pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// Invalid pipeline or model configuration.
+    Config(String),
+    /// An underlying graph operation failed.
+    Graph(cpgan_graph::GraphError),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Config(msg) => write!(f, "shard config error: {msg}"),
+            ShardError::Graph(e) => write!(f, "shard graph error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+impl From<cpgan_graph::GraphError> for ShardError {
+    fn from(e: cpgan_graph::GraphError) -> Self {
+        ShardError::Graph(e)
+    }
+}

@@ -1,0 +1,148 @@
+//! Recursive Louvain sharding under a max-shard-size budget.
+//!
+//! A shard is a set of original node ids that trains and generates as one
+//! unit. Louvain supplies the community structure; communities larger than
+//! the budget are re-partitioned on their induced subgraph (with a
+//! depth-salted seed so the recursion explores fresh refinements), and a
+//! deterministic contiguous-chunk fallback guarantees termination when
+//! Louvain refuses to split further.
+
+use cpgan_community::louvain::louvain;
+use cpgan_graph::{Graph, NodeId};
+
+/// One community shard: the original node ids it owns, ascending.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    /// Original node ids, sorted ascending (the index of a node in this
+    /// list is its local id inside the shard's induced subgraph).
+    pub nodes: Vec<NodeId>,
+}
+
+/// Recursion depth cap: past this the contiguous-chunk fallback takes over
+/// (Louvain making sub-linear progress on adversarial inputs).
+const MAX_DEPTH: usize = 32;
+
+/// Partitions `g` into community shards of at most `max_shard_size` nodes.
+///
+/// Shards are returned sorted by their smallest node id, so shard indices
+/// are a pure function of `(g, max_shard_size, seed)` — the determinism
+/// anchor for per-shard seed derivation. Every node lands in exactly one
+/// shard; the empty graph yields no shards.
+pub fn partition_shards(g: &Graph, max_shard_size: usize, seed: u64) -> Vec<Shard> {
+    let max = max_shard_size.max(1);
+    let all: Vec<NodeId> = (0..g.n() as NodeId).collect();
+    let mut out = Vec::new();
+    if !all.is_empty() {
+        split(g, all, max, seed, 0, &mut out);
+    }
+    out.sort_by_key(|s| s.nodes.first().copied().unwrap_or(NodeId::MAX));
+    out
+}
+
+/// Splits `nodes` (ascending) into shards of at most `max`, recursing on
+/// oversized Louvain communities.
+fn split(g: &Graph, nodes: Vec<NodeId>, max: usize, seed: u64, depth: usize, out: &mut Vec<Shard>) {
+    if nodes.len() <= max {
+        out.push(Shard { nodes });
+        return;
+    }
+    if depth < MAX_DEPTH {
+        let (sub, order) = g.induced_subgraph(&nodes);
+        let part = louvain(&sub, seed.wrapping_add(depth as u64));
+        let k = part.community_count();
+        if k > 1 {
+            let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); k];
+            for (v, &c) in part.labels().iter().enumerate() {
+                groups[c].push(order[v]);
+            }
+            for mut grp in groups {
+                if grp.is_empty() {
+                    continue;
+                }
+                // `order` is ascending (first-occurrence of an ascending
+                // list), so each group is already sorted; keep the sort as
+                // a cheap invariant guard against future reorderings.
+                grp.sort_unstable();
+                split(g, grp, max, seed, depth + 1, out);
+            }
+            return;
+        }
+    }
+    // Louvain saw one community (or the recursion ran too deep): fall back
+    // to deterministic contiguous chunks.
+    for chunk in nodes.chunks(max) {
+        out.push(Shard {
+            nodes: chunk.to_vec(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cliques() -> Graph {
+        // Two 6-cliques joined by one bridge edge.
+        let mut edges = Vec::new();
+        for base in [0u32, 6] {
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.push((0, 6));
+        Graph::from_edges(12, edges).unwrap()
+    }
+
+    #[test]
+    fn covers_every_node_exactly_once() {
+        let g = two_cliques();
+        let shards = partition_shards(&g, 8, 1);
+        let mut seen: Vec<NodeId> = shards.iter().flat_map(|s| s.nodes.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..12).collect::<Vec<_>>());
+        for s in &shards {
+            assert!(s.nodes.len() <= 8, "oversized shard: {:?}", s.nodes);
+            assert!(s.nodes.windows(2).all(|w| w[0] < w[1]), "unsorted shard");
+        }
+    }
+
+    #[test]
+    fn cliques_stay_together() {
+        let g = two_cliques();
+        let shards = partition_shards(&g, 8, 1);
+        assert_eq!(shards.len(), 2, "{shards:?}");
+        assert_eq!(shards[0].nodes, (0..6).collect::<Vec<_>>());
+        assert_eq!(shards[1].nodes, (6..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunk_fallback_on_unsplittable_input() {
+        // A clique has one community at every resolution: the contiguous
+        // fallback must still respect the size budget.
+        let mut edges = Vec::new();
+        for i in 0..10u32 {
+            for j in (i + 1)..10 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(10, edges).unwrap();
+        let shards = partition_shards(&g, 4, 7);
+        assert!(shards.iter().all(|s| s.nodes.len() <= 4));
+        let total: usize = shards.iter().map(|s| s.nodes.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let g = two_cliques();
+        assert_eq!(partition_shards(&g, 5, 3), partition_shards(&g, 5, 3));
+    }
+
+    #[test]
+    fn empty_graph_yields_no_shards() {
+        let g = Graph::from_edges(0, []).unwrap();
+        assert!(partition_shards(&g, 10, 0).is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Memory-budgeted shard scheduling.
+//!
+//! Training a shard's model has a predictable peak-bytes envelope (dense
+//! `n_s × n_s` working matrices dominate; see the estimate below). The
+//! scheduler greedily bin-packs shards into sequential *waves* whose summed
+//! estimates fit the byte budget; shards inside a wave fan out in parallel.
+//! Packing is a pure function of the estimates, so the wave layout — like
+//! everything else in the pipeline — is independent of thread count.
+
+use cpgan::CpGanConfig;
+
+/// Estimated peak heap bytes for training + generating one shard.
+///
+/// The envelope is dominated by the dense subgraph working set: the
+/// adjacency target, logits, and gradient mirrors are `n_s × n_s` f32
+/// matrices (`n_s = min(sample_size, shard_n)`), plus hidden activations
+/// (`n_s × hidden`) and the sparse CSR of the shard itself. Constants are
+/// deliberately generous — the scheduler's job is to never exceed the
+/// budget, not to pack tightly (DESIGN.md §14).
+pub fn estimate_peak_bytes(shard_n: usize, shard_m: usize, cfg: &CpGanConfig) -> usize {
+    let ns = cfg.sample_size.min(shard_n).max(2);
+    let h = cfg.hidden_dim.max(cfg.latent_dim);
+    let dense = 8 * ns * ns * 4; // adjacency target + logits + grads + tape slack
+    let hidden = 12 * ns * h * 4; // activations + grads across layers
+    let params = 6 * h * h * 4; // weights + Adam moments
+    let csr = 24 * shard_m + 64 * shard_n; // shard CSR + spectral features
+    dense + hidden + params + csr
+}
+
+/// Greedy first-fit-decreasing bin-packing of shard indices into waves.
+///
+/// Shards are placed largest-estimate first (ties broken by index) into the
+/// earliest wave with room; a shard whose own estimate exceeds the budget
+/// gets a dedicated wave (it cannot be split, so the budget is best-effort
+/// for it — the caller reports this through the peak estimate). A `budget`
+/// of 0 means unlimited: one wave with every shard in index order.
+pub fn plan_waves(estimates: &[usize], budget: usize) -> Vec<Vec<usize>> {
+    if budget == 0 {
+        return if estimates.is_empty() {
+            Vec::new()
+        } else {
+            vec![(0..estimates.len()).collect()]
+        };
+    }
+    let mut order: Vec<usize> = (0..estimates.len()).collect();
+    order.sort_by_key(|&i| (usize::MAX - estimates[i], i));
+    let mut waves: Vec<(usize, Vec<usize>)> = Vec::new(); // (used, members)
+    for i in order {
+        let e = estimates[i];
+        match waves
+            .iter_mut()
+            .find(|(used, _)| used.saturating_add(e) <= budget)
+        {
+            Some((used, members)) => {
+                *used += e;
+                members.push(i);
+            }
+            None => waves.push((e, vec![i])),
+        }
+    }
+    // Inside a wave, process in shard-index order (cosmetic: results are
+    // index-keyed either way).
+    waves
+        .into_iter()
+        .map(|(_, mut m)| {
+            m.sort_unstable();
+            m
+        })
+        .collect()
+}
+
+/// The peak of the per-wave estimate sums — what the pipeline reports as
+/// its scheduled memory high-water mark.
+pub fn peak_estimate(estimates: &[usize], waves: &[Vec<usize>]) -> usize {
+    waves
+        .iter()
+        .map(|w| w.iter().map(|&i| estimates[i]).sum())
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waves_respect_budget() {
+        let est = vec![40, 10, 30, 20, 10];
+        let waves = plan_waves(&est, 50);
+        for w in &waves {
+            let used: usize = w.iter().map(|&i| est[i]).sum();
+            assert!(used <= 50, "wave {w:?} uses {used}");
+        }
+        let mut all: Vec<usize> = waves.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+        assert!(peak_estimate(&est, &waves) <= 50);
+    }
+
+    #[test]
+    fn oversized_shard_gets_own_wave() {
+        let est = vec![100, 5];
+        let waves = plan_waves(&est, 50);
+        assert!(waves.contains(&vec![0]));
+        assert_eq!(peak_estimate(&est, &waves), 100);
+    }
+
+    #[test]
+    fn zero_budget_means_one_wave() {
+        let est = vec![1, 2, 3];
+        assert_eq!(plan_waves(&est, 0), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn estimate_grows_with_shard_size() {
+        let cfg = CpGanConfig::tiny();
+        let small = estimate_peak_bytes(10, 20, &cfg);
+        let large = estimate_peak_bytes(10_000, 40_000, &cfg);
+        assert!(large > small);
+        // sample_size caps the dense term: two big shards differ only by
+        // the linear CSR term.
+        let larger = estimate_peak_bytes(20_000, 80_000, &cfg);
+        assert!(larger - large < large);
+    }
+}

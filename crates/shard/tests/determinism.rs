@@ -1,0 +1,146 @@
+//! Sharded-pipeline determinism suite (DESIGN.md §8, §14).
+//!
+//! The pipeline's output must be a pure function of `(input graph, config)`:
+//! neither the worker-pool thread count nor the order in which shards are
+//! processed may change a single bit of the generated edge list. Both axes
+//! are pinned here through an FNV-1a checksum of the canonical edge list,
+//! mirroring `crates/generators/tests/determinism.rs`.
+
+// Test-support helpers sit outside `#[test]` fns, where the
+// `allow-*-in-tests` carve-out does not reach.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
+use cpgan::CpGanConfig;
+use cpgan_graph::Graph;
+use cpgan_parallel::with_thread_count;
+use cpgan_shard::{ShardConfig, ShardPipeline};
+
+/// FNV-1a over the canonical edge list (order included: the list itself is
+/// canonical, so this pins both membership and ordering).
+fn edge_checksum(g: &Graph) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u32| {
+        for b in x.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for &(u, v) in g.edges() {
+        mix(u);
+        mix(v);
+    }
+    h
+}
+
+/// Four 12-cliques joined by a sparse ring of bridges — clean community
+/// structure so partitioning yields several trainable shards.
+fn fixture_graph() -> Graph {
+    let k = 4u32;
+    let size = 12u32;
+    let mut edges = Vec::new();
+    for c in 0..k {
+        let base = c * size;
+        for i in 0..size {
+            for j in (i + 1)..size {
+                edges.push((base + i, base + j));
+            }
+        }
+    }
+    for c in 0..k {
+        let next = (c + 1) % k;
+        edges.push((c * size, next * size));
+        edges.push((c * size + 1, next * size + 1));
+    }
+    Graph::from_edges((k * size) as usize, edges).unwrap()
+}
+
+fn pipeline() -> ShardPipeline {
+    let mut model = CpGanConfig::tiny();
+    model.epochs = 3;
+    model.sample_size = 24;
+    ShardPipeline::new(ShardConfig {
+        max_shard_size: 12,
+        memory_budget_bytes: 0,
+        model,
+        seed: 42,
+        inter_pair_fraction: 1.0,
+    })
+    .unwrap()
+}
+
+#[test]
+fn output_is_bit_identical_across_thread_counts() {
+    let g = fixture_graph();
+    let p = pipeline();
+    let serial = with_thread_count(1, || p.run(&g).unwrap());
+    assert!(serial.graph.m() > 0, "fixture produced an empty graph");
+    let pin = edge_checksum(&serial.graph);
+    for threads in [2, 4, 8] {
+        let parallel = with_thread_count(threads, || p.run(&g).unwrap());
+        assert_eq!(
+            edge_checksum(&parallel.graph),
+            pin,
+            "sharded output drifted at {threads} threads \
+             (serial m={}, parallel m={})",
+            serial.graph.m(),
+            parallel.graph.m()
+        );
+        assert_eq!(parallel.graph.edges(), serial.graph.edges());
+        assert_eq!(parallel.intra_edges, serial.intra_edges);
+        assert_eq!(parallel.inter_edges, serial.inter_edges);
+    }
+}
+
+#[test]
+fn output_is_bit_identical_across_shard_orderings() {
+    let g = fixture_graph();
+    let p = pipeline();
+    let baseline = p.run(&g).unwrap();
+    let k = baseline.shards;
+    assert!(k >= 2, "fixture must split into multiple shards, got {k}");
+    let pin = edge_checksum(&baseline.graph);
+
+    // Forward, reverse, and two fixed shuffles: shard-completion order is
+    // an explicit input here, so any order-dependence fails loudly.
+    let forward: Vec<usize> = (0..k).collect();
+    let reverse: Vec<usize> = (0..k).rev().collect();
+    let rotated: Vec<usize> = (0..k).map(|i| (i + k / 2) % k).collect();
+    let interleaved: Vec<usize> = (0..k)
+        .map(|i| if i % 2 == 0 { i / 2 } else { k - 1 - i / 2 })
+        .collect();
+    for order in [forward, reverse, rotated, interleaved] {
+        let out = p.run_with_order(&g, &order).unwrap();
+        assert_eq!(
+            edge_checksum(&out.graph),
+            pin,
+            "sharded output depends on processing order {order:?}"
+        );
+        assert_eq!(out.graph.edges(), baseline.graph.edges());
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    let g = fixture_graph();
+    let p = pipeline();
+    let a = p.run(&g).unwrap();
+    let b = p.run(&g).unwrap();
+    assert_eq!(a.graph.edges(), b.graph.edges());
+    assert_eq!(edge_checksum(&a.graph), edge_checksum(&b.graph));
+}
+
+#[test]
+fn seed_changes_output() {
+    let g = fixture_graph();
+    let p1 = pipeline();
+    let mut cfg = p1.config().clone();
+    cfg.seed = 4242;
+    let p2 = ShardPipeline::new(cfg).unwrap();
+    let a = p1.run(&g).unwrap();
+    let b = p2.run(&g).unwrap();
+    assert_ne!(
+        edge_checksum(&a.graph),
+        edge_checksum(&b.graph),
+        "different seeds should explore different generations"
+    );
+}

@@ -1,0 +1,69 @@
+//! Doc-sync: DESIGN.md §14 documents the sharded pipeline. If the crate's
+//! public surface or stage structure changes, the section must move with
+//! it — these tests fail on drift, mirroring the §12/§13 doc-sync suites.
+
+// Test-support helpers sit outside `#[test]` fns, where the
+// `allow-*-in-tests` carve-out does not reach.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
+/// DESIGN.md §14 body (from the section header to end of file — it is the
+/// last section; a later §15 would terminate it and still keep this sound).
+fn section_14() -> String {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../DESIGN.md");
+    let text = std::fs::read_to_string(path).expect("DESIGN.md must be readable");
+    let start = text
+        .find("## 14.")
+        .expect("DESIGN.md must have a §14 (community-sharded scale-out)");
+    let body = &text[start..];
+    let end = body[6..].find("\n## ").map(|i| i + 6).unwrap_or(body.len());
+    body[..end].to_string()
+}
+
+#[test]
+fn design_section_documents_the_pipeline_stages() {
+    let s = section_14();
+    for span in [
+        "shard.pipeline",
+        "shard.partition",
+        "shard.train_generate",
+        "shard.stitch",
+    ] {
+        assert!(
+            s.contains(span),
+            "DESIGN.md §14 must document span `{span}`"
+        );
+    }
+}
+
+#[test]
+fn design_section_documents_the_public_surface() {
+    let s = section_14();
+    for item in [
+        "partition_shards",
+        "estimate_peak_bytes",
+        "plan_waves",
+        "run_with_order",
+        "inter_pair_fraction",
+        "max_shard_size",
+        "memory_budget_bytes",
+    ] {
+        assert!(s.contains(item), "DESIGN.md §14 must mention `{item}`");
+    }
+}
+
+#[test]
+fn design_section_states_the_gate_and_artifacts() {
+    let s = section_14();
+    assert!(
+        s.contains("BENCH_scale.json"),
+        "§14 must name the bench artifact"
+    );
+    assert!(
+        s.contains("--assert-min-nodes-per-sec"),
+        "§14 must name the CI throughput gate flag"
+    );
+    assert!(
+        s.contains("crates/shard/tests/determinism.rs"),
+        "§14 must point at the determinism suite"
+    );
+}

@@ -71,6 +71,8 @@ pub enum Rule {
     LossyCast,
     /// `Box<dyn Error>` in a `pub fn` signature instead of a typed error.
     BoxedErrorPub,
+    /// Collecting a hash-ordered iterator into a `Vec` without sorting it.
+    UnboundedCollect,
 }
 
 /// Severity attached to each rule: `Error` rules protect a hard invariant
@@ -98,7 +100,7 @@ impl Severity {
 impl Rule {
     /// Every rule, in registry order (used by `--explain` and the doc-sync
     /// test; keep in step with the `DESIGN.md` §12 catalog).
-    pub const ALL: [Rule; 13] = [
+    pub const ALL: [Rule; 14] = [
         Rule::NoUnwrap,
         Rule::NoExpect,
         Rule::NoPanic,
@@ -109,6 +111,7 @@ impl Rule {
         Rule::AdHocTiming,
         Rule::HashIter,
         Rule::UnseededRng,
+        Rule::UnboundedCollect,
         Rule::HashFloatAccum,
         Rule::LossyCast,
         Rule::BoxedErrorPub,
@@ -130,6 +133,7 @@ impl Rule {
             Rule::HashFloatAccum => "hash-float-accum",
             Rule::LossyCast => "lossy-cast",
             Rule::BoxedErrorPub => "boxed-error-pub",
+            Rule::UnboundedCollect => "unbounded-collect",
         }
     }
 
@@ -147,7 +151,7 @@ impl Rule {
             Rule::FloatEq | Rule::HashFloatAccum => "float-order",
             Rule::WorkspaceDeps => "manifest",
             Rule::AdHocThreading | Rule::AdHocTiming => "runtime-gates",
-            Rule::HashIter | Rule::UnseededRng => "determinism",
+            Rule::HashIter | Rule::UnseededRng | Rule::UnboundedCollect => "determinism",
             Rule::LossyCast | Rule::BoxedErrorPub => "cast-safety",
         }
     }

@@ -1,5 +1,6 @@
 //! Determinism family: `hash-iter` (iteration over hash-seeded
-//! collections) and `unseeded-rng` (environment-derived entropy).
+//! collections), `unseeded-rng` (environment-derived entropy) and
+//! `unbounded-collect` (hash iteration frozen into a `Vec` unsorted).
 
 use super::float_order::ITER_METHODS;
 use super::violation;
@@ -12,8 +13,11 @@ use std::collections::BTreeSet;
 const ENTROPY_IDENTS: [&str; 4] = ["thread_rng", "from_entropy", "OsRng", "RandomState"];
 
 /// Runs the family over `ctx`. `claimed` holds call sites already reported
-/// by `hash-float-accum` (which subsumes the iteration it feeds on).
-pub fn check(ctx: &FileCtx, claimed: &BTreeSet<usize>, out: &mut Vec<Violation>) {
+/// by `hash-float-accum` (which subsumes the iteration it feeds on);
+/// `unbounded-collect` extends it the same way so `hash-iter` never
+/// double-reports a chain this family already flagged.
+pub fn check(ctx: &FileCtx, claimed: &mut BTreeSet<usize>, out: &mut Vec<Violation>) {
+    check_unbounded_collect(ctx, claimed, out);
     for i in 0..ctx.code.len() {
         let tok = ctx.code[i];
         if tok.kind != TokenKind::Ident || ctx.in_test(tok.start) {
@@ -51,6 +55,70 @@ pub fn check(ctx: &FileCtx, claimed: &BTreeSet<usize>, out: &mut Vec<Violation>)
                 if !claimed.contains(&site) && !ctx.sorted_context(site) {
                     out.push(hash_iter(ctx, site, name));
                 }
+            }
+        }
+    }
+}
+
+/// `unbounded-collect`: a hash-ordered iterator chain `.collect()`ed into a
+/// `Vec` with no sort in scope. The `Vec` freezes the hash map's arbitrary
+/// iteration order into positional data, which then feeds generation —
+/// strictly worse than a transient `hash-iter` because the nondeterminism
+/// persists past the statement.
+///
+/// Detection: a `.collect(` / `.collect::<` call whose chain head is a
+/// hash-classified binding, where the statement carries `Vec` evidence (a
+/// type annotation or turbofish — collects into `BTreeMap`/`BTreeSet`/
+/// `HashSet` are the other rules' business) and no sort follows in the
+/// sorted-context window. A finding claims the chain's iterator call sites
+/// so `hash-iter` does not also fire on the same statement.
+fn check_unbounded_collect(ctx: &FileCtx, claimed: &mut BTreeSet<usize>, out: &mut Vec<Violation>) {
+    for i in 0..ctx.code.len() {
+        let tok = ctx.code[i];
+        if tok.kind != TokenKind::Ident || ctx.in_test(tok.start) {
+            continue;
+        }
+        if ctx.text(i) != "collect"
+            || i == 0
+            || !ctx.is_punct(i - 1, ".")
+            || !(ctx.is_punct(i + 1, "(") || ctx.is_punct(i + 1, "::"))
+        {
+            continue;
+        }
+        let Some(name) = ctx.chain_head(i - 1) else {
+            continue;
+        };
+        if !ctx.binding(name, i).is_some_and(|c| c.is_hash()) || ctx.sorted_context(i) {
+            continue;
+        }
+        let (s, e) = ctx.statement_span(i);
+        // `Vec` evidence anywhere in the statement: `let x: Vec<_> = ...` or
+        // `.collect::<Vec<_>>()`. Without it the collect target is unknown
+        // (or a self-ordering collection) and `hash-iter` keeps the site.
+        if !(s..e).any(|j| ctx.code[j].kind == TokenKind::Ident && ctx.text(j) == "Vec") {
+            continue;
+        }
+        out.push(violation(
+            ctx,
+            i,
+            Rule::UnboundedCollect,
+            format!(
+                "hash-ordered `{name}` collected into a Vec without sorting — the Vec \
+                 freezes the hash iteration order; sort it before use or collect \
+                 into a BTree collection (DESIGN.md §8)"
+            ),
+        ));
+        // Subsume the chain's iterator sites (same pattern as
+        // `hash-float-accum`).
+        claimed.insert(i);
+        for j in s..e {
+            if ctx.code[j].kind == TokenKind::Ident
+                && ITER_METHODS.contains(&ctx.text(j))
+                && j > 0
+                && ctx.is_punct(j - 1, ".")
+                && ctx.chain_head(j - 1) == Some(name)
+            {
+                claimed.insert(j);
             }
         }
     }

@@ -150,6 +150,21 @@ pub fn doc(rule: Rule) -> RuleDoc {
             example_good: "let mut rng = SplitMix64::new(cfg.seed);",
             suppression: "None — even diagnostics should derive from the run seed.",
         },
+        Rule::UnboundedCollect => RuleDoc {
+            rule,
+            summary: "hash-ordered iterator collected into a `Vec` without sorting",
+            rationale: "Collecting `HashMap`/`HashSet` iteration into a `Vec` freezes \
+                        the per-process hash order into positional data; when that Vec \
+                        later feeds generation (edge assembly, node selection), every \
+                        run produces a different graph. Worse than a transient \
+                        `hash-iter` because the nondeterminism outlives the statement \
+                        (DESIGN.md §8).",
+            example_bad: "let nodes: Vec<u32> = members.keys().copied().collect();",
+            example_good: "let mut nodes: Vec<u32> = members.keys().copied().collect();\n\
+                           nodes.sort_unstable();",
+            suppression: "A Vec that is provably consumed order-insensitively before \
+                          any RNG or output touches it — document why.",
+        },
         Rule::HashFloatAccum => RuleDoc {
             rule,
             summary: "float reduction (`sum`/`fold`) fed by a hash-ordered iterator",

@@ -20,7 +20,7 @@ pub fn scan_source(file: &str, source: &str) -> Vec<Violation> {
     let mut out = Vec::new();
     rules::float_order::check(&ctx, &mut claimed, &mut out);
     rules::panic_safety::check(&ctx, &mut claimed, &mut out);
-    rules::determinism::check(&ctx, &claimed, &mut out);
+    rules::determinism::check(&ctx, &mut claimed, &mut out);
     rules::runtime_gates::check(&ctx, &mut out);
     rules::casts::check(&ctx, &mut out);
     out.sort_by(|a, b| {
@@ -181,8 +181,38 @@ mod tests {
                    out\n\
                    }\n";
         let v = scan_source("t.rs", src);
+        // The unsorted Vec collect is the stronger `unbounded-collect`
+        // finding, which claims the chain so `hash-iter` stays quiet; the
+        // sorted variant in `g` is clean under both rules.
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UnboundedCollect);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn unbounded_collect_requires_vec_evidence() {
+        // Collecting into a HashSet (turbofish, no `Vec` in the statement)
+        // is not an unbounded collect — `hash-iter` keeps the site.
+        let src = "use std::collections::{HashMap, HashSet};\n\
+                   fn f(m: &HashMap<u32, f64>) -> HashSet<u32> {\n\
+                   let out = m.keys().copied().collect::<HashSet<u32>>();\n\
+                   out\n\
+                   }\n";
+        let v = scan_source("t.rs", src);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].rule, Rule::HashIter);
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn unbounded_collect_turbofish_form() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, f64>) -> Vec<u32> {\n\
+                   m.keys().copied().collect::<Vec<u32>>()\n\
+                   }\n";
+        let v = scan_source("t.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, Rule::UnboundedCollect);
         assert_eq!(v[0].line, 3);
     }
 

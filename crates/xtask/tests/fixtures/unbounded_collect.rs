@@ -1,0 +1,51 @@
+//! Fixture: hash iteration frozen into an unsorted `Vec`
+//! (`unbounded-collect`).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Line 8: annotated Vec target, never sorted — fires.
+pub fn frozen_order(map: &HashMap<u32, f64>) -> Vec<u32> {
+    let ids: Vec<u32> = map.keys().copied().collect();
+    ids
+}
+
+/// Line 14: turbofish Vec target — fires.
+pub fn turbofish(set: &HashSet<u32>) -> Vec<u32> {
+    set.iter().copied().collect::<Vec<u32>>()
+}
+
+/// Negative: collected then sorted before use.
+pub fn sorted(map: &HashMap<u32, f64>) -> Vec<u32> {
+    let mut ids: Vec<u32> = map.keys().copied().collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Negative: a BTree target is self-ordering.
+pub fn btree_target(map: &HashMap<u32, f64>) -> BTreeSet<u32> {
+    map.keys().copied().collect::<BTreeSet<u32>>()
+}
+
+/// Negative for this rule (no Vec evidence): plain `hash-iter` keeps the
+/// site — line 31.
+pub fn hashset_target(map: &HashMap<u32, f64>) -> HashSet<u32> {
+    map.keys().copied().collect::<HashSet<u32>>()
+}
+
+/// Negative: masked inside a string literal.
+pub fn doc_string() -> &'static str {
+    "let v: Vec<u32> = map.keys().collect();"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_freeze_hash_order() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2.0f64);
+        let ids: Vec<u32> = m.keys().copied().collect();
+        assert_eq!(ids.len(), 1);
+    }
+}

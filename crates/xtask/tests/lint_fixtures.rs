@@ -122,6 +122,23 @@ fn hash_iter_fixture() {
 }
 
 #[test]
+fn unbounded_collect_fixture() {
+    let v = scan_fixture("unbounded_collect.rs");
+    // The two unsorted Vec collects fire; collect-then-sort and BTree
+    // targets stay clean; the HashSet-target collect (no Vec evidence)
+    // falls through to plain `hash-iter`; strings and tests are masked.
+    assert_eq!(
+        v.iter().map(|v| (v.rule, v.line)).collect::<Vec<_>>(),
+        vec![
+            (Rule::UnboundedCollect, 8),
+            (Rule::UnboundedCollect, 14),
+            (Rule::HashIter, 32),
+        ],
+        "{v:?}"
+    );
+}
+
+#[test]
 fn unseeded_rng_fixture() {
     let v = scan_fixture("unseeded_rng.rs");
     assert!(v.iter().all(|v| v.rule == Rule::UnseededRng), "{v:?}");
