@@ -1,28 +1,54 @@
 //! Closed-loop load generator for `cpgan-serve`, written to
 //! `results/BENCH_serve.json`.
 //!
-//! Usage: `cargo run --release -p bench --bin serve [-- --fast]`
+//! Usage: `cargo run --release -p bench --bin serve [-- --fast]
+//!         [--assert-min-rps R] [--assert-max-p99-ms X]
+//!         [--assert-min-cached-over-cold R]`
 //!
-//! A tiny model is fitted in-process and served on a loopback port; 1, 2
-//! and 4 closed-loop clients then hammer `POST /v1/generate` for a fixed
-//! window (workers = 2, queue 16), reporting throughput, p50/p95/p99
-//! latency and rejection rate. A final backpressure scenario (1 worker,
-//! queue depth 1, 4 clients) provokes 429s to measure the fast-reject
-//! path. Clients run on the deterministic pool via `par_map_owned`;
-//! `--fast` shrinks the windows for CI smoke runs.
+//! A tiny model is fitted in-process and served on a loopback port;
+//! closed-loop clients then hammer `POST /v1/generate` with framed reads
+//! (`cpgan_serve::http::parse_reply`), reporting throughput and
+//! p50/p95/p99 latency per scenario:
+//!
+//! - `close_c4`: connection-per-request, the PR-5 front-end shape.
+//! - `keepalive_c4_cold`: same load over persistent connections.
+//! - `keepalive_c128_cold`: 128 keep-alive clients, unique seeds, cache
+//!   disabled — generation-bound throughput.
+//! - `keepalive_c128_cached`: 128 keep-alive clients drawing from a
+//!   16-seed pool with the cache on — connection-layer-bound throughput.
+//! - `backpressure_c4`: 1 worker, queue depth 1 — the 429 fast-reject
+//!   path (rejects close the connection, so clients also measure
+//!   reconnect cost).
+//!
+//! Clients run on the deterministic pool via `par_map_owned`; `--fast`
+//! shrinks the windows for CI smoke runs. The `--assert-*` flags gate CI
+//! on the `keepalive_c128_cached` scenario (exit 1 on violation) after
+//! the report is written, so the artifact survives a failed gate.
 
 use bench::BenchMeta;
 use cpgan::{CpGan, CpGanConfig};
 use cpgan_graph::Graph;
 use cpgan_parallel::{with_thread_count, Pool};
+use cpgan_serve::http::parse_reply;
 use cpgan_serve::{ModelRegistry, ServeConfig, Server};
 use std::fmt::Write as _;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
 
-/// Server worker count shared by every closed-loop scenario.
+/// Server worker count shared by every scenario except backpressure.
 const WORKERS: usize = 2;
+/// Requested graph shape: big enough that a cold generation costs
+/// milliseconds (so cache hits are measurably cheaper), small enough
+/// that the body stays in content-length framing territory.
+const GEN_NODES: usize = 1200;
+const GEN_EDGES: usize = 2400;
+/// Seed pool for the cached scenario: every request after warm-up hits.
+const SEED_POOL: u64 = 16;
+/// The connection-per-request throughput recorded by the PR-5 bench on
+/// the reference box; kept in the report so the keep-alive ratio is
+/// visible without digging through git history.
+const PR5_CLOSE_RPS: f64 = 450.0;
 
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
@@ -46,30 +72,93 @@ fn bench_graph() -> Graph {
     Graph::from_edges(36, edges).unwrap_or_else(|e| die(&format!("bench graph: {e}")))
 }
 
-/// One request round-trip: returns (status, seconds), or an Err for
-/// transport failures (connect refused, truncated reply).
-fn round_trip(addr: SocketAddr, seed: u64) -> Result<(u16, f64), std::io::Error> {
-    let start = Instant::now();
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    let body = format!("{{\"seed\":{seed}}}");
-    stream.write_all(
-        format!(
-            "POST /v1/generate HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+/// How a client picks seeds and treats connections.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Fresh connection per request, unique seeds (the PR-5 shape).
+    Close,
+    /// Persistent connection, unique seeds (every request generates).
+    ColdKeepAlive,
+    /// Persistent connection, seeds drawn from a small pool (cache hits).
+    CachedKeepAlive,
+}
+
+/// A load client: one socket reused across requests in keep-alive
+/// modes, with framed reads so replies are delimited by HTTP framing,
+/// never by connection close.
+struct HttpClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+    close_mode: bool,
+}
+
+impl HttpClient {
+    fn new(addr: SocketAddr, close_mode: bool) -> HttpClient {
+        HttpClient {
+            addr,
+            stream: None,
+            buf: Vec::new(),
+            close_mode,
+        }
+    }
+
+    /// One request round-trip: returns (status, seconds). Transport
+    /// failures surface as `Err` and drop the connection.
+    fn request(&mut self, seed: u64) -> Result<(u16, f64), std::io::Error> {
+        let start = Instant::now();
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            stream.set_nodelay(true)?;
+            self.stream = Some(stream);
+            self.buf.clear();
+        }
+        let conn = if self.close_mode {
+            "connection: close\r\n"
+        } else {
+            ""
+        };
+        let body = format!("{{\"nodes\":{GEN_NODES},\"edges\":{GEN_EDGES},\"seed\":{seed}}}");
+        let wire = format!(
+            "POST /v1/generate HTTP/1.1\r\nhost: b\r\n{conn}content-length: {}\r\n\r\n{body}",
             body.len()
-        )
-        .as_bytes(),
-    )?;
-    let mut buf = Vec::new();
-    stream.read_to_end(&mut buf)?;
-    let head = std::str::from_utf8(buf.get(..12).unwrap_or(&buf))
-        .map_err(|_| std::io::Error::other("non-utf8 status line"))?;
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| std::io::Error::other("unparseable status line"))?;
-    Ok((status, start.elapsed().as_secs_f64()))
+        );
+        let result = self.exchange(wire.as_bytes());
+        if result.is_err() {
+            self.stream = None;
+        }
+        let (status, keep) = result?;
+        // The server closes after close-mode and non-200 replies; honor
+        // that instead of writing into a dead socket next round.
+        if self.close_mode || !keep {
+            self.stream = None;
+        }
+        Ok((status, start.elapsed().as_secs_f64()))
+    }
+
+    fn exchange(&mut self, wire: &[u8]) -> Result<(u16, bool), std::io::Error> {
+        let stream = match self.stream.as_mut() {
+            Some(s) => s,
+            None => return Err(std::io::Error::other("no connection")),
+        };
+        stream.write_all(wire)?;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some((reply, used)) = parse_reply(&self.buf)
+                .map_err(|e| std::io::Error::other(format!("bad reply: {e}")))?
+            {
+                self.buf.drain(..used);
+                let keep = reply.header("connection") != Some("close");
+                return Ok((reply.status, keep));
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::other("closed mid-reply"));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
 }
 
 /// Outcome counts and success latencies for one client's closed loop.
@@ -83,14 +172,18 @@ struct ClientStats {
 }
 
 /// Issues requests back-to-back until the window closes.
-fn run_client(addr: SocketAddr, client: usize, window: Duration) -> ClientStats {
+fn run_client(addr: SocketAddr, client: usize, mode: Mode, window: Duration) -> ClientStats {
+    let mut http = HttpClient::new(addr, mode == Mode::Close);
     let mut stats = ClientStats::default();
     let start = Instant::now();
     let mut req = 0u64;
     while start.elapsed() < window {
-        let seed = client as u64 * 1_000_000 + req;
+        let seed = match mode {
+            Mode::CachedKeepAlive => req % SEED_POOL,
+            _ => client as u64 * 10_000_000 + req,
+        };
         req += 1;
-        match round_trip(addr, seed) {
+        match http.request(seed) {
             Ok((200, s)) => {
                 stats.ok += 1;
                 stats.latencies_s.push(s);
@@ -117,6 +210,7 @@ struct ScenarioRow {
     clients: usize,
     workers: usize,
     queue_depth: usize,
+    cache: bool,
     duration_s: f64,
     requests: u64,
     ok: u64,
@@ -130,16 +224,18 @@ struct ScenarioRow {
     rejection_rate: f64,
 }
 
-/// Boots a fresh server, runs `clients` closed loops against it, and
-/// aggregates the outcome.
-fn run_scenario(
-    name: &str,
-    model: &CpGan,
+struct Scenario {
+    name: &'static str,
     clients: usize,
     workers: usize,
     queue_depth: usize,
-    window: Duration,
-) -> ScenarioRow {
+    cache_bytes: usize,
+    mode: Mode,
+}
+
+/// Boots a fresh server, runs `clients` closed loops against it, and
+/// aggregates the outcome.
+fn run_scenario(sc: &Scenario, model: &CpGan, window: Duration) -> ScenarioRow {
     let mut registry = ModelRegistry::new();
     let copy = CpGan::from_snapshot(model.snapshot())
         .unwrap_or_else(|e| die(&format!("model snapshot round-trip: {e}")));
@@ -149,9 +245,13 @@ fn run_scenario(
     let server = Server::start(
         ServeConfig {
             addr: "127.0.0.1:0".into(),
-            workers,
-            queue_depth,
-            deadline_ms: 2_000,
+            workers: sc.workers,
+            queue_depth: sc.queue_depth,
+            // Generous: closed-loop clients queue at most one request
+            // each, so waits stay bounded and 408s would only mean the
+            // box is pathologically slow.
+            deadline_ms: 30_000,
+            cache_bytes: sc.cache_bytes,
             // Keep each generation serial: the pool threads are the
             // *clients* here, and client concurrency is what is measured.
             gen_threads: Some(1),
@@ -162,10 +262,22 @@ fn run_scenario(
     .unwrap_or_else(|e| die(&format!("server start: {e}")));
     let addr = server.addr();
 
+    if sc.mode == Mode::CachedKeepAlive {
+        // Warm every pool seed once so the window measures pure hits.
+        let mut warm = HttpClient::new(addr, false);
+        for seed in 0..SEED_POOL {
+            if let Err(e) = warm.request(seed) {
+                die(&format!("cache warm-up failed: {e}"));
+            }
+        }
+    }
+
     let wall = Instant::now();
+    let clients = sc.clients;
+    let mode = sc.mode;
     let per_client = with_thread_count(clients, || {
         Pool::global().par_map_owned((0..clients).collect(), move |_, c| {
-            run_client(addr, c, window)
+            run_client(addr, c, mode, window)
         })
     });
     let duration_s = wall.elapsed().as_secs_f64();
@@ -182,10 +294,11 @@ fn run_scenario(
     all.latencies_s.sort_unstable_by(f64::total_cmp);
     let requests = all.ok + all.rejected + all.timed_out + all.errors;
     ScenarioRow {
-        name: name.to_string(),
-        clients,
-        workers,
-        queue_depth,
+        name: sc.name.to_string(),
+        clients: sc.clients,
+        workers: sc.workers,
+        queue_depth: sc.queue_depth,
+        cache: sc.cache_bytes > 0,
         duration_s,
         requests,
         ok: all.ok,
@@ -200,15 +313,84 @@ fn run_scenario(
     }
 }
 
+const CACHE_16_MIB: usize = 16 * 1024 * 1024;
+
+const SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "close_c4",
+        clients: 4,
+        workers: WORKERS,
+        queue_depth: 16,
+        cache_bytes: 0,
+        mode: Mode::Close,
+    },
+    Scenario {
+        name: "keepalive_c4_cold",
+        clients: 4,
+        workers: WORKERS,
+        queue_depth: 16,
+        cache_bytes: 0,
+        mode: Mode::ColdKeepAlive,
+    },
+    Scenario {
+        name: "keepalive_c128_cold",
+        clients: 128,
+        workers: WORKERS,
+        queue_depth: 256,
+        cache_bytes: 0,
+        mode: Mode::ColdKeepAlive,
+    },
+    Scenario {
+        name: "keepalive_c128_cached",
+        clients: 128,
+        workers: WORKERS,
+        queue_depth: 256,
+        cache_bytes: CACHE_16_MIB,
+        mode: Mode::CachedKeepAlive,
+    },
+    Scenario {
+        name: "backpressure_c4",
+        clients: 4,
+        workers: 1,
+        queue_depth: 1,
+        cache_bytes: 0,
+        mode: Mode::ColdKeepAlive,
+    },
+];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+    };
     let fast = args.iter().any(|a| a == "--fast");
+    let min_rps = flag("--assert-min-rps").and_then(|v| v.parse::<f64>().ok());
+    let max_p99_ms = flag("--assert-max-p99-ms").and_then(|v| v.parse::<f64>().ok());
+    let min_cached_over_cold =
+        flag("--assert-min-cached-over-cold").and_then(|v| v.parse::<f64>().ok());
     let window = if fast {
-        Duration::from_millis(300)
+        Duration::from_millis(400)
     } else {
-        Duration::from_millis(1_500)
+        Duration::from_millis(2_000)
     };
     let meta = BenchMeta::capture(WORKERS);
+    // Same convention as BENCH_scale: on a single-core box the client
+    // fan-out oversubscribes the one hardware thread, so latency then
+    // includes scheduling overhead, not connection-layer cost.
+    let warning = if meta.available_parallelism == 1 {
+        Some(
+            "available_parallelism() == 1: closed-loop clients are \
+             oversubscribed onto one hardware thread; latency includes \
+             scheduling overhead, not connection-layer cost",
+        )
+    } else {
+        None
+    };
+    if let Some(w) = warning {
+        eprintln!("WARNING: {w}");
+    }
 
     eprintln!("fitting bench model...");
     let g = bench_graph();
@@ -220,52 +402,85 @@ fn main() {
     model.fit(&g);
 
     let mut rows = Vec::new();
-    for clients in [1usize, 2, 4] {
-        let name = format!("closed_loop_c{clients}");
-        eprintln!("scenario {name}: {clients} client(s), {WORKERS} workers, queue 16...");
-        let row = run_scenario(&name, &model, clients, WORKERS, 16, window);
+    for sc in SCENARIOS {
+        eprintln!(
+            "scenario {}: {} client(s), {} worker(s), queue {}, cache {}...",
+            sc.name,
+            sc.clients,
+            sc.workers,
+            sc.queue_depth,
+            if sc.cache_bytes > 0 { "on" } else { "off" }
+        );
+        let row = run_scenario(sc, &model, window);
         eprintln!(
             "  {} req in {:.2}s: {:.0} rps, p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms, \
-             rejected {:.1}%",
+             rejected {:.1}%, errors {}",
             row.requests,
             row.duration_s,
             row.throughput_rps,
             row.p50_ms,
             row.p95_ms,
             row.p99_ms,
-            row.rejection_rate * 100.0
+            row.rejection_rate * 100.0,
+            row.errors,
         );
         rows.push(row);
     }
-    eprintln!("scenario backpressure_c4: 4 clients, 1 worker, queue 1...");
-    let row = run_scenario("backpressure_c4", &model, 4, 1, 1, window);
+
+    let rps_of = |name: &str| {
+        rows.iter()
+            .find(|r| r.name == name)
+            .map(|r| r.throughput_rps)
+            .unwrap_or(0.0)
+    };
+    let close_rps = rps_of("close_c4");
+    let cold_rps = rps_of("keepalive_c128_cold");
+    let cached_rps = rps_of("keepalive_c128_cached");
+    let cached_over_cold = cached_rps / cold_rps.max(1e-9);
+    let keepalive_over_close = cached_rps / close_rps.max(1e-9);
+    let keepalive_over_pr5 = cached_rps / PR5_CLOSE_RPS;
     eprintln!(
-        "  {} req: {:.0} rps ok, rejected {:.1}% ({} fast 429s)",
-        row.requests,
-        row.throughput_rps,
-        row.rejection_rate * 100.0,
-        row.rejected
+        "ratios: cached/cold {cached_over_cold:.1}x, keepalive/close {keepalive_over_close:.1}x, \
+         vs PR-5 baseline {keepalive_over_pr5:.1}x"
     );
-    rows.push(row);
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(&meta.json_fields("  "));
     let _ = writeln!(json, "  \"fast\": {fast},");
+    match warning {
+        Some(w) => {
+            let _ = writeln!(json, "  \"warning\": \"{w}\",");
+        }
+        None => json.push_str("  \"warning\": null,\n"),
+    }
+    let _ = writeln!(json, "  \"gen_nodes\": {GEN_NODES},");
+    let _ = writeln!(json, "  \"gen_edges\": {GEN_EDGES},");
+    let _ = writeln!(json, "  \"baseline_pr5_close_rps\": {PR5_CLOSE_RPS:.1},");
+    let _ = writeln!(json, "  \"cached_over_cold\": {cached_over_cold:.2},");
+    let _ = writeln!(
+        json,
+        "  \"keepalive_over_close\": {keepalive_over_close:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"keepalive_over_pr5_baseline\": {keepalive_over_pr5:.2},"
+    );
     json.push_str("  \"scenarios\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 < rows.len() { "," } else { "" };
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"clients\": {}, \"workers\": {}, \
-             \"queue_depth\": {}, \"duration_s\": {:.3}, \"requests\": {}, \
-             \"ok\": {}, \"rejected\": {}, \"timed_out\": {}, \"errors\": {}, \
-             \"throughput_rps\": {:.2}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
-             \"p99_ms\": {:.3}, \"rejection_rate\": {:.4}}}{comma}",
+             \"queue_depth\": {}, \"cache\": {}, \"duration_s\": {:.3}, \
+             \"requests\": {}, \"ok\": {}, \"rejected\": {}, \"timed_out\": {}, \
+             \"errors\": {}, \"throughput_rps\": {:.2}, \"p50_ms\": {:.3}, \
+             \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"rejection_rate\": {:.4}}}{comma}",
             r.name,
             r.clients,
             r.workers,
             r.queue_depth,
+            r.cache,
             r.duration_s,
             r.requests,
             r.ok,
@@ -286,4 +501,34 @@ fn main() {
         die(&format!("failed to write {out}: {e}"));
     }
     eprintln!("wrote {out}");
+
+    // Gates run after the report is written so the artifact survives a
+    // failed assertion (same order as the scale bench).
+    if let Some(min) = min_rps {
+        if cached_rps < min {
+            die(&format!(
+                "GATE FAILED: keepalive_c128_cached {cached_rps:.0} rps < --assert-min-rps {min}"
+            ));
+        }
+    }
+    if let Some(max) = max_p99_ms {
+        let p99 = rows
+            .iter()
+            .find(|r| r.name == "keepalive_c128_cached")
+            .map(|r| r.p99_ms)
+            .unwrap_or(f64::INFINITY);
+        if p99 > max {
+            die(&format!(
+                "GATE FAILED: keepalive_c128_cached p99 {p99:.2}ms > --assert-max-p99-ms {max}"
+            ));
+        }
+    }
+    if let Some(min) = min_cached_over_cold {
+        if cached_over_cold < min {
+            die(&format!(
+                "GATE FAILED: cached/cold ratio {cached_over_cold:.2} < \
+                 --assert-min-cached-over-cold {min}"
+            ));
+        }
+    }
 }

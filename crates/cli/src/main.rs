@@ -45,7 +45,7 @@ fn usage() -> &'static str {
      cpgan stats    --input <edge-list>\n  \
      cpgan eval     --observed <edge-list> --generated <edge-list>\n  \
      cpgan serve    --model <model.json>[,<model.json>...] [--addr HOST:PORT] [--workers N]\n                 \
-     [--queue-depth N] [--deadline-ms N]\n  \
+     [--queue-depth N] [--deadline-ms N] [--idle-ms N] [--cache-mb N] [--max-conns N]\n  \
      cpgan shard    --input <edge-list> --output <edge-list> [--max-shard-size N] [--budget-mb N]\n                 \
      [--epochs N] [--sample-size N] [--seed S]\n\n\
      any subcommand also accepts:\n  \
@@ -167,6 +167,10 @@ fn serve(args: &Args) -> Result<(), String> {
         queue_depth: args.get_usize("queue-depth")?.unwrap_or(64),
         deadline_ms: args.get_u64("deadline-ms")?.unwrap_or(5_000),
         gen_threads: args.get_usize("threads")?,
+        idle_ms: args.get_u64("idle-ms")?.unwrap_or(5_000),
+        // `--cache-mb 0` disables the generation cache entirely.
+        cache_bytes: args.get_usize("cache-mb")?.unwrap_or(16) * 1024 * 1024,
+        max_conns: args.get_usize("max-conns")?.unwrap_or(1024),
         ..ServeConfig::default()
     };
     // The metrics endpoint serves the merged cpgan-obs report; a server

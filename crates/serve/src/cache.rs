@@ -1,0 +1,249 @@
+//! Seed-keyed generation cache.
+//!
+//! Generation is a pure function of `(model, snapshot-rev, canonicalized
+//! params, seed)` — the byte-identical-to-CLI contract — so identical
+//! requests can be answered from memory without touching a worker. The
+//! cache is bounded by **bytes** (not entries) with deterministic LRU
+//! eviction, and bodies are stored behind `Arc<Vec<u8>>` so a hit is
+//! served with zero body copies (the response writer streams straight
+//! from the shared buffer). Hits, misses, and evictions are counted via
+//! `cpgan-obs` (`serve.cache.hit` / `serve.cache.miss` /
+//! `serve.cache.evict`, gauge `serve.cache.bytes`).
+
+use cpgan_obs::{counter_add, gauge_set};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Identity of a cacheable generation. Built **after** defaulting, so an
+/// empty request body and an explicit request for the trained shape with
+/// the default seed share one entry. `rev` is the registry's snapshot
+/// revision for the model, so replacing a snapshot under the same name
+/// can never serve stale bytes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Resolved model name.
+    pub model: String,
+    /// Registry snapshot revision of that model.
+    pub rev: u64,
+    /// Canonical (post-default) node count.
+    pub nodes: usize,
+    /// Canonical (post-default) edge count.
+    pub edges: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+struct CacheState {
+    /// key -> (body, last-use tick).
+    map: BTreeMap<CacheKey, (Arc<Vec<u8>>, u64)>,
+    /// last-use tick -> key; the smallest tick is the LRU victim. Ticks
+    /// are unique (bumped on every touch), so this is a total order and
+    /// eviction is deterministic.
+    lru: BTreeMap<u64, CacheKey>,
+    /// Sum of cached body lengths.
+    bytes: usize,
+    /// Monotonic use counter.
+    tick: u64,
+}
+
+/// A byte-bounded, deterministically-LRU-evicting response cache.
+pub struct GenCache {
+    state: Mutex<CacheState>,
+    capacity_bytes: usize,
+}
+
+impl GenCache {
+    /// A cache holding at most `capacity_bytes` of body bytes. Zero
+    /// disables caching entirely (every lookup misses, inserts are
+    /// dropped).
+    pub fn new(capacity_bytes: usize) -> GenCache {
+        GenCache {
+            state: Mutex::new(CacheState {
+                map: BTreeMap::new(),
+                lru: BTreeMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+            capacity_bytes,
+        }
+    }
+
+    /// Whether caching is enabled.
+    pub fn enabled(&self) -> bool {
+        self.capacity_bytes > 0
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit. Counts
+    /// `serve.cache.hit` / `serve.cache.miss`.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
+        if !self.enabled() {
+            counter_add("serve.cache.miss", 1);
+            return None;
+        }
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        s.tick += 1;
+        let tick = s.tick;
+        match s.map.get_mut(key) {
+            Some(entry) => {
+                let old_tick = entry.1;
+                let body = Arc::clone(&entry.0);
+                entry.1 = tick;
+                s.lru.remove(&old_tick);
+                s.lru.insert(tick, key.clone());
+                drop(s);
+                counter_add("serve.cache.hit", 1);
+                Some(body)
+            }
+            None => {
+                drop(s);
+                counter_add("serve.cache.miss", 1);
+                None
+            }
+        }
+    }
+
+    /// Inserts `body` under `key`, evicting least-recently-used entries
+    /// until the byte budget holds. A body larger than the whole budget
+    /// is not cached. Re-inserting an existing key refreshes its body
+    /// and recency.
+    pub fn insert(&self, key: CacheKey, body: Arc<Vec<u8>>) {
+        if !self.enabled() || body.len() > self.capacity_bytes {
+            return;
+        }
+        let mut s = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        s.tick += 1;
+        let tick = s.tick;
+        if let Some((old_body, old_tick)) = s.map.remove(&key) {
+            s.bytes -= old_body.len();
+            s.lru.remove(&old_tick);
+        }
+        s.bytes += body.len();
+        s.map.insert(key.clone(), (body, tick));
+        s.lru.insert(tick, key);
+        let mut evicted = 0u64;
+        while s.bytes > self.capacity_bytes {
+            // Oldest tick first: deterministic LRU.
+            let Some((&victim_tick, _)) = s.lru.iter().next() else {
+                break;
+            };
+            let Some(victim_key) = s.lru.remove(&victim_tick) else {
+                break;
+            };
+            if let Some((victim_body, _)) = s.map.remove(&victim_key) {
+                s.bytes -= victim_body.len();
+            }
+            evicted += 1;
+        }
+        let bytes_now = s.bytes;
+        drop(s);
+        if evicted > 0 {
+            counter_add("serve.cache.evict", evicted);
+        }
+        gauge_set("serve.cache.bytes", bytes_now as f64);
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .map
+            .len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total cached body bytes.
+    pub fn bytes(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(seed: u64) -> CacheKey {
+        CacheKey {
+            model: "m".to_string(),
+            rev: 1,
+            nodes: 10,
+            edges: 20,
+            seed,
+        }
+    }
+
+    fn body(n: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![b'x'; n])
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_bytes() {
+        let c = GenCache::new(1024);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), body(8));
+        assert_eq!(c.get(&key(1)).map(|b| b.len()), Some(8));
+        assert!(c.get(&key(2)).is_none(), "different seed, different entry");
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 8);
+    }
+
+    #[test]
+    fn rev_changes_invalidate_by_keying() {
+        let c = GenCache::new(1024);
+        c.insert(key(1), body(8));
+        let mut newer = key(1);
+        newer.rev = 2;
+        assert!(c.get(&newer).is_none(), "new snapshot rev must miss");
+    }
+
+    #[test]
+    fn eviction_is_lru_and_byte_bounded() {
+        let c = GenCache::new(30);
+        c.insert(key(1), body(10));
+        c.insert(key(2), body(10));
+        c.insert(key(3), body(10));
+        assert_eq!(c.len(), 3);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(c.get(&key(1)).is_some());
+        c.insert(key(4), body(10));
+        assert!(c.get(&key(2)).is_none(), "LRU entry evicted");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        assert!(c.get(&key(4)).is_some());
+        assert!(c.bytes() <= 30);
+    }
+
+    #[test]
+    fn oversized_bodies_are_not_cached() {
+        let c = GenCache::new(16);
+        c.insert(key(1), body(17));
+        assert!(c.is_empty());
+        assert!(c.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let c = GenCache::new(0);
+        assert!(!c.enabled());
+        c.insert(key(1), body(1));
+        assert!(c.get(&key(1)).is_none());
+        assert_eq!(c.bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_keeps_byte_accounting() {
+        let c = GenCache::new(64);
+        c.insert(key(1), body(10));
+        c.insert(key(1), body(20));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.bytes(), 20);
+        assert_eq!(c.get(&key(1)).map(|b| b.len()), Some(20));
+    }
+}

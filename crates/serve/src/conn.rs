@@ -1,0 +1,384 @@
+//! Per-connection state for the event loop.
+//!
+//! A [`Conn`] owns one non-blocking socket plus its receive buffer and
+//! (while responding) a [`ResponseWriter`]. Connections move through a
+//! strict sequential state machine — `Reading → Dispatched → Writing →
+//! Reading` — so pipelined requests on one socket are answered in order
+//! (bytes for later requests simply wait in the buffer). The writer
+//! streams response bodies straight from their backing buffer (owned or
+//! a shared `Arc` cache entry) with `transfer-encoding: chunked` framing
+//! for large bodies, so serving a cached graph never copies the body.
+
+use crate::http::{encode_head, Body, Response};
+use cpgan_obs::Stopwatch;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Bodies at or above this size are streamed with chunked framing (and
+/// chunks are emitted at this granularity).
+pub const CHUNK_BYTES: usize = 64 * 1024;
+
+/// Where a connection is in its request/response cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Waiting for (more of) a request.
+    Reading,
+    /// A complete request was handed to the worker queue; the poller
+    /// ignores this socket until the completion arrives.
+    Dispatched,
+    /// A response is being written (possibly across many `POLLOUT`s).
+    Writing,
+}
+
+/// One client connection owned by the event loop.
+pub struct Conn {
+    /// The non-blocking socket.
+    pub stream: TcpStream,
+    /// Bytes received but not yet consumed by the parser. Pipelined
+    /// requests accumulate here and are drained one at a time.
+    pub buf: Vec<u8>,
+    /// State-machine position.
+    pub state: ConnState,
+    /// The in-flight response writer (`Writing` state).
+    pub writer: Option<ResponseWriter>,
+    /// Started when the first byte of the current request arrives;
+    /// cleared after the response is fully written. Drives the
+    /// per-request deadline (slow headers/bodies → `408`).
+    pub request_sw: Option<Stopwatch>,
+    /// Reset on every read/write; drives the idle keep-alive deadline.
+    pub idle_sw: Stopwatch,
+    /// Close after the current response finishes (client asked, error
+    /// made framing unrecoverable, or the server is draining).
+    pub close_after_write: bool,
+    /// The peer half-closed its read side.
+    pub eof: bool,
+    /// The current request speaks HTTP/1.1 (may receive chunked
+    /// framing). Tracked on the connection so completions arriving from
+    /// workers frame correctly for HTTP/1.0 peers.
+    pub http11: bool,
+    /// Requests answered on this connection (observability).
+    pub served: u64,
+}
+
+impl Conn {
+    /// Wraps an accepted socket (already set non-blocking).
+    pub fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            buf: Vec::new(),
+            state: ConnState::Reading,
+            writer: None,
+            request_sw: None,
+            idle_sw: Stopwatch::start(),
+            close_after_write: false,
+            eof: false,
+            http11: true,
+            served: 0,
+        }
+    }
+
+    /// Drains everything currently readable into `buf` (until
+    /// `WouldBlock`). Returns the number of bytes read; sets `eof` when
+    /// the peer closed. `Err` means the connection is broken.
+    pub fn read_available(&mut self) -> io::Result<usize> {
+        let mut total = 0usize;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    total += n;
+                    if self.request_sw.is_none() {
+                        self.request_sw = Some(Stopwatch::start());
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if total > 0 {
+            self.idle_sw = Stopwatch::start();
+        }
+        Ok(total)
+    }
+
+    /// Begins writing `response`; `allow_chunked` is false for HTTP/1.0
+    /// peers (they cannot decode chunked framing).
+    pub fn begin_response(&mut self, response: Response, allow_chunked: bool) {
+        if !self.close_after_write {
+            // An error status makes request framing unrecoverable for
+            // 400/408/413, and 429/503 answers are close-mode too: the
+            // client should back off and reconnect.
+            if response.status != 200 {
+                self.close_after_write = true;
+            }
+        }
+        let keep_alive = !self.close_after_write;
+        self.writer = Some(ResponseWriter::new(response, keep_alive, allow_chunked));
+        self.state = ConnState::Writing;
+    }
+
+    /// Pushes pending response bytes to the socket. Returns `Ok(true)`
+    /// when the response is complete (the caller rotates the state
+    /// machine), `Ok(false)` when the socket is full (`WouldBlock` —
+    /// wait for `POLLOUT`).
+    pub fn write_pending(&mut self) -> io::Result<bool> {
+        let Some(writer) = self.writer.as_mut() else {
+            return Ok(true);
+        };
+        let done = writer.write_to(&mut self.stream)?;
+        if done {
+            self.writer = None;
+            self.request_sw = None;
+            self.served += 1;
+            self.idle_sw = Stopwatch::start();
+            self.state = ConnState::Reading;
+        }
+        Ok(done)
+    }
+}
+
+/// Incremental, non-blocking response serialization.
+///
+/// The head is rendered once; body bytes are written directly from the
+/// [`Body`] (owned or shared) without intermediate copies. Bodies of
+/// [`CHUNK_BYTES`] or more use chunked transfer-encoding: framing bytes
+/// live in a small staging buffer between body slices, so even a
+/// multi-megabyte cached graph streams with zero body-sized allocations.
+pub struct ResponseWriter {
+    head: Vec<u8>,
+    head_pos: usize,
+    body: Body,
+    body_pos: usize,
+    /// End of the body range currently being written.
+    chunk_end: usize,
+    /// Pending framing bytes (chunk size lines / terminator).
+    stage: Vec<u8>,
+    stage_pos: usize,
+    chunked: bool,
+    /// The zero-chunk terminator has been staged.
+    terminated: bool,
+    status: u16,
+}
+
+impl ResponseWriter {
+    /// Prepares a writer for `response`. Chunked framing is used when
+    /// the peer supports it and the body is [`CHUNK_BYTES`] or larger.
+    pub fn new(response: Response, keep_alive: bool, allow_chunked: bool) -> ResponseWriter {
+        let chunked = allow_chunked && response.body.len() >= CHUNK_BYTES;
+        let head = encode_head(&response, keep_alive, chunked);
+        let status = response.status;
+        let mut w = ResponseWriter {
+            head,
+            head_pos: 0,
+            body: response.body,
+            body_pos: 0,
+            chunk_end: 0,
+            stage: Vec::new(),
+            stage_pos: 0,
+            chunked,
+            terminated: false,
+            status,
+        };
+        if w.chunked {
+            w.stage_next_chunk(true);
+        } else {
+            w.chunk_end = w.body.len();
+        }
+        w
+    }
+
+    /// The response's status code (for logging/counters at completion).
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    fn stage_next_chunk(&mut self, first: bool) {
+        self.stage.clear();
+        self.stage_pos = 0;
+        if !first {
+            // Terminates the previous chunk's data.
+            self.stage.extend_from_slice(b"\r\n");
+        }
+        let remaining = self.body.len() - self.body_pos;
+        if remaining == 0 {
+            self.stage.extend_from_slice(b"0\r\n\r\n");
+            self.terminated = true;
+        } else {
+            let size = remaining.min(CHUNK_BYTES);
+            self.stage
+                .extend_from_slice(format!("{size:x}\r\n").as_bytes());
+            self.chunk_end = self.body_pos + size;
+        }
+    }
+
+    /// Writes as much as the sink accepts. `Ok(true)` = response fully
+    /// written; `Ok(false)` = sink is full (`WouldBlock`).
+    pub fn write_to(&mut self, sink: &mut impl Write) -> io::Result<bool> {
+        loop {
+            let pending: &[u8] = if self.head_pos < self.head.len() {
+                &self.head[self.head_pos..]
+            } else if self.stage_pos < self.stage.len() {
+                &self.stage[self.stage_pos..]
+            } else if self.body_pos < self.chunk_end {
+                &self.body.as_slice()[self.body_pos..self.chunk_end]
+            } else {
+                if !self.chunked {
+                    return Ok(true);
+                }
+                if self.terminated {
+                    return Ok(true);
+                }
+                self.stage_next_chunk(false);
+                continue;
+            };
+            match sink.write(pending) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    if self.head_pos < self.head.len() {
+                        self.head_pos += n;
+                    } else if self.stage_pos < self.stage.len() {
+                        self.stage_pos += n;
+                    } else {
+                        self.body_pos += n;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::parse_reply;
+    use std::sync::Arc;
+
+    fn drain(mut w: ResponseWriter) -> Vec<u8> {
+        let mut out = Vec::new();
+        assert!(w.write_to(&mut out).unwrap());
+        out
+    }
+
+    #[test]
+    fn small_bodies_use_content_length() {
+        let wire = drain(ResponseWriter::new(
+            Response::text(200, b"hello".to_vec()),
+            true,
+            true,
+        ));
+        let text = String::from_utf8(wire.clone()).unwrap();
+        assert!(text.contains("content-length: 5\r\n"), "{text}");
+        assert!(!text.contains("chunked"), "{text}");
+        let (reply, used) = parse_reply(&wire).unwrap().unwrap();
+        assert_eq!(reply.body, b"hello");
+        assert_eq!(used, wire.len());
+    }
+
+    #[test]
+    fn large_bodies_stream_chunked_and_round_trip() {
+        let body: Vec<u8> = (0..3 * CHUNK_BYTES + 17).map(|i| (i % 251) as u8).collect();
+        let wire = drain(ResponseWriter::new(
+            Response::shared(200, Arc::new(body.clone())),
+            true,
+            true,
+        ));
+        let head = String::from_utf8_lossy(&wire[..128]);
+        assert!(head.contains("transfer-encoding: chunked"), "{head}");
+        let (reply, used) = parse_reply(&wire).unwrap().unwrap();
+        assert_eq!(reply.body, body, "chunked framing must round-trip");
+        assert_eq!(used, wire.len());
+    }
+
+    #[test]
+    fn http10_peers_never_get_chunked_framing() {
+        let body = vec![b'z'; 2 * CHUNK_BYTES];
+        let wire = drain(ResponseWriter::new(
+            Response::text(200, body.clone()),
+            false,
+            false,
+        ));
+        let head = String::from_utf8_lossy(&wire[..128]);
+        assert!(!head.contains("chunked"), "{head}");
+        let (reply, _) = parse_reply(&wire).unwrap().unwrap();
+        assert_eq!(reply.body, body);
+    }
+
+    /// A sink that accepts at most N bytes per write and interleaves
+    /// WouldBlock, exercising every resume point in the writer.
+    struct Trickle {
+        out: Vec<u8>,
+        budget: usize,
+        starve: bool,
+    }
+
+    impl Write for Trickle {
+        fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+            self.starve = !self.starve;
+            if self.starve {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+            }
+            let n = data.len().min(self.budget);
+            self.out.extend_from_slice(&data[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn partial_writes_and_wouldblock_resume_cleanly() {
+        let body: Vec<u8> = (0..CHUNK_BYTES + 999).map(|i| (i % 17) as u8).collect();
+        let mut w = ResponseWriter::new(Response::text(200, body.clone()), true, true);
+        let mut sink = Trickle {
+            out: Vec::new(),
+            budget: 1333,
+            starve: false,
+        };
+        let mut rounds = 0;
+        while !w.write_to(&mut sink).unwrap() {
+            rounds += 1;
+            assert!(rounds < 10_000, "writer failed to make progress");
+        }
+        let (reply, used) = parse_reply(&sink.out).unwrap().unwrap();
+        assert_eq!(reply.body, body);
+        assert_eq!(used, sink.out.len());
+        assert!(rounds > 1, "trickle sink must actually fragment writes");
+    }
+
+    #[test]
+    fn conn_error_responses_force_close_mode() {
+        // begin_response on a non-200 flips close_after_write, and the
+        // encoded head advertises `connection: close`.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        drop(client);
+        let mut conn = Conn::new(server_side);
+        conn.begin_response(Response::json(400, "{}".to_string()), true);
+        assert!(conn.close_after_write);
+        assert_eq!(conn.state, ConnState::Writing);
+        let head = String::from_utf8(encode_head(
+            &Response::json(400, "{}".to_string()),
+            false,
+            false,
+        ))
+        .unwrap();
+        assert!(head.contains("connection: close"));
+    }
+}

@@ -45,10 +45,19 @@ pub enum ServeError {
     },
     /// The server is draining and no longer accepts new requests. `503`.
     ShuttingDown,
+    /// The connection limit is reached; new sockets are turned away
+    /// before they can consume event-loop state. `503` with
+    /// `Retry-After`.
+    OverCapacity {
+        /// The configured connection limit that was hit.
+        limit: usize,
+    },
     /// A model file could not be loaded into the registry at startup.
     ModelLoad(String),
     /// Transport-level I/O failure (bind, accept, read, write).
     Io(std::io::Error),
+    /// The worker failed unexpectedly (generation panicked). `500`.
+    Internal(String),
 }
 
 impl ServeError {
@@ -61,8 +70,8 @@ impl ServeError {
             ServeError::DeadlineExceeded { .. } => 408,
             ServeError::PayloadTooLarge { .. } => 413,
             ServeError::QueueFull { .. } => 429,
-            ServeError::ShuttingDown => 503,
-            ServeError::ModelLoad(_) | ServeError::Io(_) => 500,
+            ServeError::ShuttingDown | ServeError::OverCapacity { .. } => 503,
+            ServeError::ModelLoad(_) | ServeError::Io(_) | ServeError::Internal(_) => 500,
         }
     }
 
@@ -77,8 +86,10 @@ impl ServeError {
             ServeError::PayloadTooLarge { .. } => "payload_too_large",
             ServeError::QueueFull { .. } => "queue_full",
             ServeError::ShuttingDown => "shutting_down",
+            ServeError::OverCapacity { .. } => "over_capacity",
             ServeError::ModelLoad(_) => "model_load",
             ServeError::Io(_) => "io",
+            ServeError::Internal(_) => "internal",
         }
     }
 }
@@ -106,8 +117,12 @@ impl fmt::Display for ServeError {
                 write!(f, "request queue full ({depth} waiting); retry later")
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::OverCapacity { limit } => {
+                write!(f, "connection limit reached ({limit}); retry later")
+            }
             ServeError::ModelLoad(m) => write!(f, "cannot load model: {m}"),
             ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
@@ -153,6 +168,8 @@ mod tests {
             ),
             (ServeError::QueueFull { depth: 4 }, 429, "queue_full"),
             (ServeError::ShuttingDown, 503, "shutting_down"),
+            (ServeError::OverCapacity { limit: 9 }, 503, "over_capacity"),
+            (ServeError::Internal("boom".into()), 500, "internal"),
         ];
         for (err, status, code) in cases {
             assert_eq!(err.status(), status, "{err}");

@@ -1,13 +1,16 @@
-//! Minimal std-only HTTP/1.1 framing.
+//! Minimal std-only HTTP/1.1 framing for the event-loop connection layer.
 //!
-//! Just enough of RFC 9112 for the serving API: one request per
-//! connection (`Connection: close` on every response), `Content-Length`
-//! bodies only (no chunked transfer), and hard limits on header and body
-//! size so a hostile peer cannot balloon memory. Anything outside that
-//! subset is a [`ServeError::BadRequest`].
+//! Just enough of RFC 9112 for the serving API, parsed **incrementally**:
+//! [`parse_request`] consumes a prefix of a connection's receive buffer
+//! and either yields a complete request (plus the byte count to drain),
+//! asks for more bytes, or fails with a typed [`ServeError`]. Responses
+//! support HTTP/1.1 keep-alive and `Transfer-Encoding: chunked` bodies;
+//! [`parse_reply`] is the matching client-side decoder used by the
+//! integration tests and the load bench. Hard limits on head and body
+//! size keep a hostile peer from ballooning memory.
 
 use crate::error::ServeError;
-use std::io::{Read, Write};
+use std::sync::Arc;
 
 /// Maximum accepted size of the request line + headers, in bytes.
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
@@ -26,6 +29,8 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The request body (empty when no `Content-Length` was sent).
     pub body: Vec<u8>,
+    /// HTTP minor version (`1` for HTTP/1.1, `0` for HTTP/1.0).
+    pub version_minor: u8,
 }
 
 impl Request {
@@ -35,6 +40,21 @@ impl Request {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client wants the connection kept open after this
+    /// exchange: HTTP/1.1 defaults to keep-alive unless `Connection:
+    /// close`; HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+    pub fn wants_keep_alive(&self) -> bool {
+        let conn = self
+            .header("connection")
+            .map(str::to_ascii_lowercase)
+            .unwrap_or_default();
+        if self.version_minor >= 1 {
+            conn != "close"
+        } else {
+            conn == "keep-alive"
+        }
     }
 }
 
@@ -47,34 +67,28 @@ fn head_end(buf: &[u8]) -> Option<usize> {
         .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|p| p + 2))
 }
 
-/// Reads and parses one request from `stream`.
+/// Incrementally parses one request from the front of `buf`.
 ///
-/// Timeouts configured on the stream surface as [`ServeError::Io`] with
-/// kind `WouldBlock`/`TimedOut`; the caller maps those onto the request
-/// deadline (`408`). Oversized heads/bodies and malformed framing are
-/// `400`/`413`.
-pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ServeError> {
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut tmp = [0u8; 2048];
-    let head_len = loop {
-        if let Some(end) = head_end(&buf) {
-            break end;
-        }
+/// Returns `Ok(Some((request, consumed)))` when a complete request is
+/// present (`consumed` bytes must be drained from `buf`; the remainder is
+/// the next pipelined request), `Ok(None)` when more bytes are needed,
+/// and `Err` for malformed framing (`400`) or over-limit heads/bodies
+/// (`400`/`413`) — after which the connection's framing is unrecoverable
+/// and the caller must close it once the error response is written.
+pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, ServeError> {
+    let Some(head_len) = head_end(buf) else {
         if buf.len() > MAX_HEAD_BYTES {
             return Err(ServeError::BadRequest(format!(
                 "request head exceeds {MAX_HEAD_BYTES} bytes"
             )));
         }
-        let n = stream.read(&mut tmp)?;
-        if n == 0 {
-            return Err(ServeError::BadRequest(if buf.is_empty() {
-                "connection closed before any request bytes".to_string()
-            } else {
-                "connection closed mid-request-head".to_string()
-            }));
-        }
-        buf.extend_from_slice(&tmp[..n]);
+        return Ok(None);
     };
+    if head_len > MAX_HEAD_BYTES {
+        return Err(ServeError::BadRequest(format!(
+            "request head exceeds {MAX_HEAD_BYTES} bytes"
+        )));
+    }
 
     let head = std::str::from_utf8(&buf[..head_len])
         .map_err(|_| ServeError::BadRequest("request head is not valid UTF-8".to_string()))?;
@@ -94,11 +108,16 @@ pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ServeError> {
     let version = parts
         .next()
         .ok_or_else(|| ServeError::BadRequest("missing HTTP version".to_string()))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(ServeError::BadRequest(format!(
-            "unsupported protocol version '{version}'"
-        )));
-    }
+    let version_minor = match version {
+        "HTTP/1.1" => 1,
+        "HTTP/1.0" => 0,
+        other if other.starts_with("HTTP/1.") => 1,
+        other => {
+            return Err(ServeError::BadRequest(format!(
+                "unsupported protocol version '{other}'"
+            )));
+        }
+    };
 
     let mut headers = Vec::new();
     for line in lines {
@@ -119,26 +138,52 @@ pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ServeError> {
             limit: MAX_BODY_BYTES,
         });
     }
-
-    let mut body = buf[head_len..].to_vec();
-    while body.len() < content_length {
-        let n = stream.read(&mut tmp)?;
-        if n == 0 {
-            return Err(ServeError::BadRequest(format!(
-                "body truncated: got {} of {content_length} declared bytes",
-                body.len()
-            )));
-        }
-        body.extend_from_slice(&tmp[..n]);
+    let total = head_len + content_length;
+    if buf.len() < total {
+        return Ok(None);
     }
-    body.truncate(content_length);
 
-    Ok(Request {
-        method,
-        path,
-        headers,
-        body,
-    })
+    Ok(Some((
+        Request {
+            method,
+            path,
+            headers,
+            body: buf[head_len..total].to_vec(),
+            version_minor,
+        },
+        total,
+    )))
+}
+
+/// A response body: owned bytes, or a shared cache entry served without
+/// copying (the head is assembled separately; body bytes are written to
+/// the socket straight from the `Arc`).
+#[derive(Debug, Clone)]
+pub enum Body {
+    /// Response-local bytes.
+    Owned(Vec<u8>),
+    /// A shared (cached) body.
+    Shared(Arc<Vec<u8>>),
+}
+
+impl Body {
+    /// The body bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            Body::Owned(v) => v,
+            Body::Shared(a) => a,
+        }
+    }
+
+    /// Body length in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
 }
 
 /// An HTTP response about to be written.
@@ -148,8 +193,8 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` value.
     pub content_type: &'static str,
-    /// Response body bytes.
-    pub body: Vec<u8>,
+    /// Response body.
+    pub body: Body,
     /// Optional `Retry-After` header value in seconds (`429`/`503`).
     pub retry_after: Option<u64>,
 }
@@ -160,7 +205,7 @@ impl Response {
         Response {
             status,
             content_type: "application/json",
-            body: body.into_bytes(),
+            body: Body::Owned(body.into_bytes()),
             retry_after: None,
         }
     }
@@ -170,7 +215,18 @@ impl Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
-            body,
+            body: Body::Owned(body),
+            retry_after: None,
+        }
+    }
+
+    /// A plain-text response sharing an existing (cached) body without
+    /// copying it.
+    pub fn shared(status: u16, body: Arc<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: Body::Shared(body),
             retry_after: None,
         }
     }
@@ -192,39 +248,168 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes `response` (with `Connection: close`) and flushes.
-pub fn write_response<W: Write>(stream: &mut W, response: &Response) -> std::io::Result<()> {
+/// Renders the response head (status line + headers + blank line).
+/// `chunked` selects `transfer-encoding: chunked` framing instead of
+/// `content-length`; `keep_alive` selects the `connection` header.
+pub fn encode_head(response: &Response, keep_alive: bool, chunked: bool) -> Vec<u8> {
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\n",
         response.status,
         reason(response.status),
         response.content_type,
-        response.body.len()
     );
+    if chunked {
+        head.push_str("transfer-encoding: chunked\r\n");
+    } else {
+        head.push_str(&format!("content-length: {}\r\n", response.body.len()));
+    }
+    head.push_str(if keep_alive {
+        "connection: keep-alive\r\n"
+    } else {
+        "connection: close\r\n"
+    });
     if let Some(secs) = response.retry_after {
         head.push_str(&format!("retry-after: {secs}\r\n"));
     }
     head.push_str("\r\n");
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(&response.body)?;
-    stream.flush()
+    head.into_bytes()
+}
+
+/// A decoded response, as seen by a client (tests, the load bench).
+#[derive(Debug)]
+pub struct Reply {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The de-framed body (chunked bodies are reassembled).
+    pub body: Vec<u8>,
+}
+
+impl Reply {
+    /// The first value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Incrementally decodes one response from the front of `buf`: the
+/// client-side mirror of [`parse_request`]. Returns the reply plus the
+/// byte count to drain (so keep-alive clients can decode back-to-back
+/// responses from one buffer), `Ok(None)` when more bytes are needed.
+pub fn parse_reply(buf: &[u8]) -> Result<Option<(Reply, usize)>, ServeError> {
+    let Some(head_len) = head_end(buf) else {
+        return Ok(None);
+    };
+    let head = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| ServeError::BadRequest("reply head is not valid UTF-8".to_string()))?;
+    let mut lines = head.lines().filter(|l| !l.trim().is_empty());
+    let status_line = lines
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("empty reply head".to_string()))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ServeError::BadRequest(format!("bad status line '{status_line}'")))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ServeError::BadRequest(format!("malformed header line '{line}'")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let chunked = headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    if !chunked {
+        let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
+            Some((_, v)) => v
+                .parse::<usize>()
+                .map_err(|_| ServeError::BadRequest(format!("unparseable content-length '{v}'")))?,
+            None => 0,
+        };
+        let total = head_len + content_length;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        return Ok(Some((
+            Reply {
+                status,
+                headers,
+                body: buf[head_len..total].to_vec(),
+            },
+            total,
+        )));
+    }
+
+    // Chunked: `<hex size>\r\n<data>\r\n`... terminated by a zero chunk.
+    let mut body = Vec::new();
+    let mut pos = head_len;
+    loop {
+        let rest = &buf[pos..];
+        let Some(line_end) = rest.windows(2).position(|w| w == b"\r\n") else {
+            return Ok(None);
+        };
+        let size_text = std::str::from_utf8(&rest[..line_end])
+            .map_err(|_| ServeError::BadRequest("non-utf8 chunk size".to_string()))?
+            .trim();
+        let size = usize::from_str_radix(size_text, 16)
+            .map_err(|_| ServeError::BadRequest(format!("bad chunk size '{size_text}'")))?;
+        let data_start = pos + line_end + 2;
+        if size == 0 {
+            // Trailing CRLF after the zero chunk.
+            if buf.len() < data_start + 2 {
+                return Ok(None);
+            }
+            return Ok(Some((
+                Reply {
+                    status,
+                    headers,
+                    body,
+                },
+                data_start + 2,
+            )));
+        }
+        if buf.len() < data_start + size + 2 {
+            return Ok(None);
+        }
+        body.extend_from_slice(&buf[data_start..data_start + size]);
+        pos = data_start + size + 2;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn parse(text: &str) -> Result<Request, ServeError> {
-        read_request(&mut text.as_bytes())
+    fn parse(text: &str) -> Result<Option<(Request, usize)>, ServeError> {
+        parse_request(text.as_bytes())
+    }
+
+    fn parse_complete(text: &str) -> Request {
+        match parse(text) {
+            Ok(Some((r, used))) => {
+                assert_eq!(used, text.len(), "must consume the whole request");
+                r
+            }
+            other => panic!("expected a complete request, got {other:?}"),
+        }
     }
 
     #[test]
     fn parses_get_without_body() {
-        let r = parse("GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n").unwrap();
+        let r = parse_complete("GET /healthz HTTP/1.1\r\nhost: x\r\n\r\n");
         assert_eq!(r.method, "GET");
         assert_eq!(r.path, "/healthz");
         assert_eq!(r.header("host"), Some("x"));
         assert!(r.body.is_empty());
+        assert_eq!(r.version_minor, 1);
+        assert!(r.wants_keep_alive(), "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -234,20 +419,49 @@ mod tests {
             "POST /v1/generate HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         );
-        let r = parse(&text).unwrap();
+        let r = parse_complete(&text);
         assert_eq!(r.method, "POST");
         assert_eq!(r.body, body.as_bytes());
     }
 
     #[test]
+    fn incomplete_requests_ask_for_more_bytes() {
+        assert!(matches!(parse("GET /x HTTP/1.1\r\nhost"), Ok(None)));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc"),
+            Ok(None),
+        ));
+        assert!(matches!(parse(""), Ok(None)));
+    }
+
+    #[test]
+    fn pipelined_requests_consume_one_at_a_time() {
+        let text = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let (r, used) = parse(text).unwrap().unwrap();
+        assert_eq!(r.path, "/a");
+        let (r2, used2) = parse_request(&text.as_bytes()[used..]).unwrap().unwrap();
+        assert_eq!(r2.path, "/b");
+        assert_eq!(used + used2, text.len());
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let r = parse_complete("GET / HTTP/1.1\r\nconnection: close\r\n\r\n");
+        assert!(!r.wants_keep_alive());
+        let r = parse_complete("GET / HTTP/1.0\r\n\r\n");
+        assert!(!r.wants_keep_alive(), "HTTP/1.0 defaults to close");
+        let r = parse_complete("GET / HTTP/1.0\r\nconnection: keep-alive\r\n\r\n");
+        assert!(r.wants_keep_alive());
+    }
+
+    #[test]
     fn tolerates_bare_lf_heads() {
-        let r = parse("GET /v1/models HTTP/1.1\nhost: y\n\n").unwrap();
+        let r = parse_complete("GET /v1/models HTTP/1.1\nhost: y\n\n");
         assert_eq!(r.path, "/v1/models");
     }
 
     #[test]
     fn rejects_bad_framing() {
-        assert!(matches!(parse(""), Err(ServeError::BadRequest(_))));
         assert!(matches!(
             parse("garbage\r\n\r\n"),
             Err(ServeError::BadRequest(_))
@@ -267,6 +481,12 @@ mod tests {
     }
 
     #[test]
+    fn oversized_head_rejected_even_before_terminator() {
+        let text = format!("GET /{} HTTP/1.1", "x".repeat(MAX_HEAD_BYTES + 8));
+        assert!(matches!(parse(&text), Err(ServeError::BadRequest(_))));
+    }
+
+    #[test]
     fn rejects_oversized_body_declaration() {
         let text = format!(
             "POST / HTTP/1.1\r\ncontent-length: {}\r\n\r\n",
@@ -279,21 +499,44 @@ mod tests {
     }
 
     #[test]
-    fn truncated_body_is_bad_request() {
-        let text = "POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc";
-        assert!(matches!(parse(text), Err(ServeError::BadRequest(_))));
+    fn head_encodes_framing_and_connection_modes() {
+        let mut resp = Response::json(429, "{}".to_string());
+        resp.retry_after = Some(1);
+        let head = String::from_utf8(encode_head(&resp, false, false)).unwrap();
+        assert!(
+            head.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{head}"
+        );
+        assert!(head.contains("content-length: 2\r\n"));
+        assert!(head.contains("connection: close\r\n"));
+        assert!(head.contains("retry-after: 1\r\n"));
+        assert!(head.ends_with("\r\n\r\n"));
+
+        let resp = Response::text(200, b"hello".to_vec());
+        let head = String::from_utf8(encode_head(&resp, true, true)).unwrap();
+        assert!(head.contains("transfer-encoding: chunked\r\n"));
+        assert!(!head.contains("content-length"), "{head}");
+        assert!(head.contains("connection: keep-alive\r\n"));
     }
 
     #[test]
-    fn response_round_trips_headers() {
-        let mut out = Vec::new();
-        let mut resp = Response::json(429, "{}".to_string());
-        resp.retry_after = Some(1);
-        write_response(&mut out, &resp).unwrap();
-        let text = String::from_utf8(out).unwrap();
-        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
-        assert!(text.contains("retry-after: 1\r\n"));
-        assert!(text.contains("connection: close\r\n"));
-        assert!(text.ends_with("\r\n\r\n{}"));
+    fn reply_parser_round_trips_content_length() {
+        let wire =
+            b"HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\ncontent-length: 5\r\n\r\nhello<next>";
+        let (reply, used) = parse_reply(wire).unwrap().unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.body, b"hello");
+        assert_eq!(&wire[used..], b"<next>");
+        assert!(matches!(parse_reply(&wire[..used - 1]), Ok(None)));
+    }
+
+    #[test]
+    fn reply_parser_reassembles_chunked_bodies() {
+        let wire = b"HTTP/1.1 200 OK\r\ntransfer-encoding: chunked\r\n\r\n4\r\nwiki\r\n5\r\npedia\r\n0\r\n\r\nrest";
+        let (reply, used) = parse_reply(wire).unwrap().unwrap();
+        assert_eq!(reply.body, b"wikipedia");
+        assert_eq!(&wire[used..], b"rest");
+        // Truncated mid-chunk: incomplete.
+        assert!(matches!(parse_reply(&wire[..wire.len() - 10]), Ok(None)));
     }
 }

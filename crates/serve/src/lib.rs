@@ -1,31 +1,38 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-//! `cpgan-serve` — a batched, backpressured graph-generation server.
+//! `cpgan-serve` — a keep-alive, cached, backpressured graph-generation
+//! server.
 //!
-//! A dependency-free (std + workspace crates) HTTP/1.1 server that turns
-//! trained CPGAN snapshots into a long-lived generation service
-//! (DESIGN.md §11):
+//! A dependency-free (std + workspace crates + the `polling` shim) HTTP/1.1
+//! server that turns trained CPGAN snapshots into a long-lived generation
+//! service (DESIGN.md §11):
 //!
 //! * `POST /v1/generate` — body `{"model","nodes","edges","seed"}` (all
 //!   optional), answers the generated graph as a plain-text edge list
 //!   **byte-identical** to what `cpgan generate` writes for the same
-//!   model/seed/size,
+//!   model/seed/size — cached or not,
 //! * `GET /v1/models` — the loaded [`ModelRegistry`] with parameter
 //!   counts and trained shapes,
-//! * `GET /healthz` — liveness plus queue/worker state,
+//! * `GET /healthz` — liveness plus queue/cache state,
 //! * `GET /metrics` — the merged `cpgan-obs` report as JSON.
 //!
-//! Architecture: an acceptor thread admits connections into a bounded
-//! MPMC queue ([`queue::Bounded`]) and a fixed worker pool drains them in
-//! micro-batches. Robustness semantics are explicit and typed
-//! ([`ServeError`]): malformed requests are `400`s, a full queue rejects
-//! instantly with `429` + `Retry-After`, requests that outlive the
-//! per-request deadline are `408`s, and shutdown stops accepting but
-//! answers everything already admitted. Every stage is instrumented with
-//! `cpgan-obs` spans (`serve.request/serve.parse/serve.generate/
-//! serve.write`) and latency histograms (`serve.queue_wait_ns`,
-//! `serve.request_latency_ns`).
+//! Architecture: a single `poll(2)`-based event-loop thread owns every
+//! socket — non-blocking accept, incremental parsing, HTTP/1.1
+//! keep-alive with pipelined request draining, idle/slow-header
+//! deadlines, and chunked streaming writes. Because generation is a pure
+//! function of `(model, snapshot-rev, params, seed)`, a seed-keyed LRU
+//! [`cache`](crate) answers repeat requests inline with zero body
+//! copies; only cache misses reach the bounded queue
+//! ([`queue::Bounded`]) and its fixed worker pool. Robustness semantics
+//! are explicit and typed ([`ServeError`]): malformed requests are
+//! `400`s, oversized bodies `413`s, a full queue rejects instantly with
+//! `429` + `Retry-After`, requests that outlive the per-request deadline
+//! are `408`s, the connection limit turns sockets away with `503`, and
+//! shutdown stops accepting but answers everything already admitted.
+//! Every stage is instrumented with `cpgan-obs` counters/histograms
+//! (`serve.cache.hit/miss/evict`, `serve.queue_wait_ns`,
+//! `serve.request_latency_ns`, ...).
 //!
 //! ```no_run
 //! use cpgan_serve::{ModelRegistry, ServeConfig, Server};
@@ -41,13 +48,17 @@
 //! server.wait();
 //! ```
 
+mod cache;
+mod conn;
 mod error;
+mod event;
 pub mod http;
 mod protocol;
 pub mod queue;
 mod registry;
 mod server;
 
+pub use cache::{CacheKey, GenCache};
 pub use error::ServeError;
 pub use protocol::{GenerateRequest, DEFAULT_SEED};
 pub use registry::ModelRegistry;

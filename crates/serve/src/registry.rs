@@ -13,10 +13,15 @@ use std::path::Path;
 use std::sync::Arc;
 
 /// Loaded models by name. Insertion order is irrelevant: iteration is
-/// name-sorted, so `/v1/models` output is deterministic.
+/// name-sorted, so `/v1/models` output is deterministic. Every entry
+/// carries a monotonically increasing **snapshot revision** (1, 2, ...
+/// in registration order) that the generation cache folds into its key,
+/// so re-registering a name under a fresh registry can never alias a
+/// stale cached body.
 #[derive(Default)]
 pub struct ModelRegistry {
-    models: BTreeMap<String, Arc<CpGan>>,
+    models: BTreeMap<String, (Arc<CpGan>, u64)>,
+    next_rev: u64,
 }
 
 impl ModelRegistry {
@@ -35,7 +40,9 @@ impl ModelRegistry {
                 "duplicate model name '{name}'"
             )));
         }
-        self.models.insert(name.to_string(), Arc::new(model));
+        self.next_rev += 1;
+        self.models
+            .insert(name.to_string(), (Arc::new(model), self.next_rev));
         Ok(())
     }
 
@@ -57,7 +64,13 @@ impl ModelRegistry {
 
     /// Looks a model up by name.
     pub fn get(&self, name: &str) -> Option<Arc<CpGan>> {
-        self.models.get(name).cloned()
+        self.models.get(name).map(|(m, _)| Arc::clone(m))
+    }
+
+    /// Looks a model up by name, returning its snapshot revision too
+    /// (the cache-key component).
+    pub fn get_with_rev(&self, name: &str) -> Option<(Arc<CpGan>, u64)> {
+        self.models.get(name).map(|(m, r)| (Arc::clone(m), *r))
     }
 
     /// When exactly one model is loaded, that model (the default for
@@ -67,7 +80,7 @@ impl ModelRegistry {
             self.models
                 .iter()
                 .next()
-                .map(|(name, m)| (name.as_str(), Arc::clone(m)))
+                .map(|(name, (m, _))| (name.as_str(), Arc::clone(m)))
         } else {
             None
         }
@@ -93,7 +106,7 @@ impl ModelRegistry {
         let models: Vec<Value> = self
             .models
             .iter()
-            .map(|(name, m)| {
+            .map(|(name, (m, _))| {
                 let (nodes, edges) = match m.trained_shape() {
                     Some((n, e)) => (Value::UInt(n as u64), Value::UInt(e as u64)),
                     None => (Value::Null, Value::Null),
@@ -133,6 +146,16 @@ mod tests {
         reg.insert("b", CpGan::new(CpGanConfig::tiny())).unwrap();
         assert!(reg.sole_model().is_none(), "ambiguous once two models load");
         assert_eq!(reg.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn revisions_increase_in_registration_order() {
+        let mut reg = ModelRegistry::new();
+        reg.insert("a", CpGan::new(CpGanConfig::tiny())).unwrap();
+        reg.insert("b", CpGan::new(CpGanConfig::tiny())).unwrap();
+        assert_eq!(reg.get_with_rev("a").map(|(_, r)| r), Some(1));
+        assert_eq!(reg.get_with_rev("b").map(|(_, r)| r), Some(2));
+        assert!(reg.get_with_rev("c").is_none());
     }
 
     #[test]

@@ -1,34 +1,43 @@
-//! The server: one acceptor, a bounded queue, a fixed worker pool.
+//! The server: one event loop, a bounded queue, a fixed worker pool.
 //!
-//! Threading model (DESIGN.md §11): the acceptor thread only accepts TCP
-//! connections and enqueues them — it never reads request bytes, so a
-//! slow or hostile client cannot stall admission. Workers pop micro-
-//! batches from the bounded queue and do everything else (parse, route,
-//! generate, write). Overload is shed at the acceptor (`429` when the
-//! queue is full), staleness at the workers (`408` once the per-request
-//! deadline passes), and shutdown drains: accepting stops, every queued
-//! and in-flight request still gets its response.
+//! Threading model (DESIGN.md §11): a single `serve-event` thread owns
+//! the listener and **every** client socket through a `poll(2)`-based
+//! readiness loop — it accepts, reads, parses incrementally, answers
+//! cheap routes (health, models, metrics, errors, **cache hits**)
+//! inline, and hands only cache-miss generation work to the bounded
+//! queue. Workers do nothing but generate: they pop jobs, run the
+//! model, insert the body into the seed-keyed [`GenCache`], and post a
+//! completion back to the event loop via the poller's wakeup. Overload
+//! is shed at admission (`429` when the queue is full, `503` at the
+//! connection limit), staleness at deadlines (`408`), and shutdown
+//! drains: accepting stops, every admitted request still gets its
+//! response — with **no sleep-polling anywhere** (every wait is a
+//! `poll(2)` or condvar wait with an exact deadline).
 
+use crate::cache::{CacheKey, GenCache};
 use crate::error::ServeError;
-use crate::http::{self, Request, Response};
+use crate::event;
+use crate::http::{Request, Response};
 use crate::protocol::{GenerateRequest, DEFAULT_SEED};
-use crate::queue::{Bounded, PushError};
+use crate::queue::Bounded;
 use crate::registry::ModelRegistry;
+use cpgan::CpGan;
 use cpgan_graph::io as graph_io;
 use cpgan_obs::{counter_add, gauge_set, hist_record, span, Stopwatch};
+use polling::Poller;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Value;
-use std::io::Read;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Server configuration. `Default` gives a loopback server with
-/// hardware-sized workers, a 64-deep queue, and a 5 s deadline.
+/// hardware-sized workers, a 64-deep queue, a 5 s request deadline, a
+/// 5 s keep-alive idle timeout, and a 16 MiB generation cache.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:8787` (`:0` picks a free port).
@@ -39,16 +48,26 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Bounded queue depth; admission beyond it is rejected with `429`.
     pub queue_depth: usize,
-    /// Per-request deadline in milliseconds, measured from accept;
-    /// requests that cannot finish in time are answered `408`.
+    /// Per-request deadline in milliseconds, measured from the first
+    /// byte of the request; requests that cannot finish in time are
+    /// answered `408`.
     pub deadline_ms: u64,
-    /// Maximum requests a worker drains from the queue per wakeup.
+    /// Maximum jobs a worker drains from the queue per wakeup.
     pub batch_size: usize,
     /// Threads each worker may use *inside* one generation; `None` splits
     /// the `cpgan-parallel` thread count evenly across workers so
     /// concurrent requests do not oversubscribe cores. Results are
     /// bit-identical at any setting (the runtime's determinism contract).
     pub gen_threads: Option<usize>,
+    /// Keep-alive idle timeout in milliseconds: a connection with no
+    /// request in flight is closed after this much silence.
+    pub idle_ms: u64,
+    /// Byte budget for the seed-keyed generation cache; `0` disables
+    /// caching.
+    pub cache_bytes: usize,
+    /// Maximum simultaneously open client connections; beyond this new
+    /// sockets are answered `503` and closed.
+    pub max_conns: usize,
 }
 
 impl Default for ServeConfig {
@@ -60,44 +79,88 @@ impl Default for ServeConfig {
             deadline_ms: 5_000,
             batch_size: 8,
             gen_threads: None,
+            idle_ms: 5_000,
+            cache_bytes: 16 * 1024 * 1024,
+            max_conns: 1024,
         }
     }
 }
 
-/// One accepted connection waiting for (or in) service. The stopwatch
-/// starts at accept and is the request's deadline anchor.
-struct Pending {
-    stream: TcpStream,
-    sw: Stopwatch,
+/// A cache-miss generation admitted to the worker queue. The stopwatch
+/// started at the request's first byte and anchors its deadline.
+pub(crate) struct Job {
+    /// Event-loop connection id awaiting the completion.
+    pub conn_id: usize,
+    /// Canonical cache key (also the full generation parameter set).
+    pub key: CacheKey,
+    /// The resolved model.
+    pub model: Arc<CpGan>,
+    /// Deadline anchor.
+    pub sw: Stopwatch,
 }
 
-/// State shared by the acceptor and every worker.
-struct Shared {
-    registry: ModelRegistry,
-    queue: Bounded<Pending>,
-    deadline: Duration,
-    gen_threads: usize,
-    workers: usize,
-    batch_size: usize,
-    stop: AtomicBool,
+/// A finished job travelling back to the event loop.
+pub(crate) struct Completion {
+    /// The connection the response belongs to.
+    pub conn_id: usize,
+    /// The response to write (`200` with a shared cached body, or an
+    /// error from the taxonomy).
+    pub response: Response,
+}
+
+/// State shared by the event loop and every worker.
+pub(crate) struct Shared {
+    pub registry: ModelRegistry,
+    pub queue: Bounded<Job>,
+    pub cache: GenCache,
+    completions: Mutex<Vec<Completion>>,
+    pub poller: Poller,
+    pub deadline: Duration,
+    pub idle: Duration,
+    pub gen_threads: usize,
+    pub workers: usize,
+    pub batch_size: usize,
+    pub max_conns: usize,
+    pub stop: AtomicBool,
+}
+
+impl Shared {
+    /// Posts a completion and wakes the event loop.
+    pub fn complete(&self, completion: Completion) {
+        self.completions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(completion);
+        if self.poller.notify().is_err() {
+            counter_add("serve.notify_error", 1);
+        }
+    }
+
+    /// Drains all pending completions (event-loop side).
+    pub fn take_completions(&self) -> Vec<Completion> {
+        std::mem::take(
+            &mut *self
+                .completions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        )
+    }
 }
 
 /// A running server. Dropping it performs a graceful drain (stop
-/// accepting, finish queued and in-flight requests, join every thread).
+/// accepting, finish everything admitted, join every thread).
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    event: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `cfg.addr`, loads nothing (models come pre-loaded in
-    /// `registry`), and starts the acceptor and worker threads.
+    /// `registry`), and starts the event-loop and worker threads.
     pub fn start(cfg: ServeConfig, registry: ModelRegistry) -> Result<Server, ServeError> {
         let listener = TcpListener::bind(&cfg.addr)?;
-        // Non-blocking accept lets the acceptor poll the stop flag, so
-        // shutdown never needs a wake-up connection.
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
 
@@ -109,16 +172,21 @@ impl Server {
         let shared = Arc::new(Shared {
             registry,
             queue: Bounded::new(cfg.queue_depth),
+            cache: GenCache::new(cfg.cache_bytes),
+            completions: Mutex::new(Vec::new()),
+            poller: Poller::new()?,
             deadline: Duration::from_millis(cfg.deadline_ms.max(1)),
+            idle: Duration::from_millis(cfg.idle_ms.max(1)),
             gen_threads,
             workers,
             batch_size: cfg.batch_size.max(1),
+            max_conns: cfg.max_conns.max(1),
             stop: AtomicBool::new(false),
         });
 
-        let acceptor = {
+        let event = {
             let shared = Arc::clone(&shared);
-            cpgan_parallel::spawn_service("serve-accept", move || accept_loop(&listener, &shared))?
+            cpgan_parallel::spawn_service("serve-event", move || event::run(listener, &shared))?
         };
         let mut worker_handles = Vec::with_capacity(workers);
         for i in 0..workers {
@@ -132,7 +200,7 @@ impl Server {
         Ok(Server {
             addr,
             shared,
-            acceptor: Some(acceptor),
+            event: Some(event),
             workers: worker_handles,
         })
     }
@@ -142,19 +210,19 @@ impl Server {
         self.addr
     }
 
-    /// Worker threads serving requests.
+    /// Worker threads serving generation jobs.
     pub fn worker_count(&self) -> usize {
         self.shared.workers
     }
 
-    /// Requests currently queued (admission-side observability).
+    /// Jobs currently queued (admission-side observability).
     pub fn queue_len(&self) -> usize {
         self.shared.queue.len()
     }
 
     /// Gracefully drains the server: stops accepting, answers everything
-    /// already queued or in flight, and joins all threads. Equivalent to
-    /// dropping the server, spelled out for call sites that mean it.
+    /// already admitted, and joins all threads. Equivalent to dropping
+    /// the server, spelled out for call sites that mean it.
     pub fn shutdown(self) {
         drop(self);
     }
@@ -162,18 +230,23 @@ impl Server {
     /// Blocks until the server stops (for the CLI, that is "forever":
     /// only process termination ends a `cpgan serve` run).
     pub fn wait(mut self) {
-        if let Some(handle) = self.acceptor.take() {
-            join_quietly(handle, "acceptor");
+        if let Some(handle) = self.event.take() {
+            join_quietly(handle, "event loop");
         }
-        // Reached only if the acceptor stopped; drain as usual via Drop.
+        // Reached only if the event loop stopped; drain as usual via Drop.
     }
 
     fn drain(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.acceptor.take() {
-            join_quietly(handle, "acceptor");
+        // The poller wakeup replaces the old sleep-poll shutdown dance:
+        // the event loop notices `stop` on the very next `poll` return.
+        if self.shared.poller.notify().is_err() {
+            counter_add("serve.notify_error", 1);
         }
-        // Only close after the acceptor exits so nothing it admitted
+        if let Some(handle) = self.event.take() {
+            join_quietly(handle, "event loop");
+        }
+        // Only close after the event loop exits so nothing it admitted
         // lands on a closed queue.
         self.shared.queue.close();
         for handle in self.workers.drain(..) {
@@ -211,85 +284,95 @@ fn resolve_workers(configured: usize) -> usize {
     cpgan_parallel::current_threads().max(1)
 }
 
-// ------------------------------------------------------------- acceptor
+// -------------------------------------------------------------- routing
 
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
-    loop {
-        if shared.stop.load(Ordering::SeqCst) {
-            break;
+/// What the event loop should do with a parsed request.
+pub(crate) enum Routed {
+    /// Answer immediately (cheap routes and errors).
+    Respond(Response),
+    /// Run generation: check the cache under `key`, else dispatch.
+    Generate {
+        /// The canonical cache key.
+        key: CacheKey,
+        /// The resolved model.
+        model: Arc<CpGan>,
+    },
+}
+
+/// Routes one request. Everything except generation is answered inline;
+/// generation resolves its model and canonical parameters here so the
+/// cache key is complete before any queueing happens.
+pub(crate) fn route(shared: &Shared, request: &Request) -> Result<Routed, ServeError> {
+    let path = request.path.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => Ok(Routed::Respond(health(shared))),
+        ("GET", "/v1/models") => Ok(Routed::Respond(Response::json(
+            200,
+            render_json(&shared.registry.to_json_value()),
+        ))),
+        ("GET", "/metrics") => Ok(Routed::Respond(Response::json(
+            200,
+            cpgan_obs::snapshot().to_json(),
+        ))),
+        ("POST", "/v1/generate") => prepare_generate(shared, request),
+        (_, "/healthz" | "/v1/models" | "/metrics" | "/v1/generate") => {
+            Err(ServeError::MethodNotAllowed {
+                method: request.method.clone(),
+                path: path.to_string(),
+            })
         }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let _g = span("serve.accept");
-                counter_add("serve.accepted", 1);
-                // Accepted sockets may inherit the listener's non-blocking
-                // mode (platform-dependent); workers want blocking reads
-                // bounded by read timeouts.
-                if stream.set_nonblocking(false).is_err() {
-                    counter_add("serve.accept_error", 1);
-                    continue;
-                }
-                let pending = Pending {
-                    stream,
-                    sw: Stopwatch::start(),
-                };
-                match shared.queue.try_push(pending) {
-                    Ok(()) => {
-                        gauge_set("serve.queue_depth", shared.queue.len() as f64);
-                    }
-                    Err(PushError::Full(p)) => {
-                        counter_add("serve.err.queue_full", 1);
-                        reject(
-                            p.stream,
-                            &ServeError::QueueFull {
-                                depth: shared.queue.capacity(),
-                            },
-                        );
-                    }
-                    Err(PushError::Closed(p)) => {
-                        counter_add("serve.err.shutting_down", 1);
-                        reject(p.stream, &ServeError::ShuttingDown);
-                    }
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            Err(_) => {
-                counter_add("serve.accept_error", 1);
-                std::thread::sleep(Duration::from_millis(1));
-            }
-        }
+        _ => Err(ServeError::NotFound(request.path.clone())),
     }
 }
 
-/// Fast-rejection path (`429`/`503`): answer without reading the request,
-/// then drain whatever the client already sent so closing the socket
-/// cannot RST the response away before the client reads it.
-fn reject(mut stream: TcpStream, err: &ServeError) {
-    let response = error_response(err);
-    if http::write_response(&mut stream, &response).is_err() {
-        counter_add("serve.write_error", 1);
-    }
-    drain_connection(&mut stream);
-}
-
-/// Half-closes the write side and consumes leftover request bytes (with a
-/// short timeout) so `close()` never discards an already-written response.
-fn drain_connection(stream: &mut TcpStream) {
-    let _ = stream.shutdown(Shutdown::Write);
-    if stream
-        .set_read_timeout(Some(Duration::from_millis(100)))
-        .is_err()
-    {
-        return;
-    }
-    let mut sink = [0u8; 512];
-    while let Ok(n) = stream.read(&mut sink) {
-        if n == 0 {
-            break;
+/// Resolves model, shape, and seed into a canonical [`CacheKey`] —
+/// defaulting mirrors `cpgan generate` (trained shape unless overridden,
+/// [`DEFAULT_SEED`] unless set), so an empty body and the equivalent
+/// explicit request share one cache entry.
+fn prepare_generate(shared: &Shared, request: &Request) -> Result<Routed, ServeError> {
+    let body = GenerateRequest::from_body(&request.body)?;
+    let (name, model, rev) = match &body.model {
+        Some(name) => {
+            let (model, rev) = shared
+                .registry
+                .get_with_rev(name)
+                .ok_or_else(|| ServeError::UnknownModel(name.clone()))?;
+            (name.clone(), model, rev)
         }
-    }
+        None => {
+            let (name, _) = shared.registry.sole_model().ok_or_else(|| {
+                ServeError::BadRequest(format!(
+                    "request must name a model; loaded: {}",
+                    shared.registry.names().join(", ")
+                ))
+            })?;
+            let name = name.to_string();
+            let (model, rev) = shared
+                .registry
+                .get_with_rev(&name)
+                .ok_or_else(|| ServeError::UnknownModel(name.clone()))?;
+            (name, model, rev)
+        }
+    };
+    let (n, m) = match (model.trained_shape(), body.nodes, body.edges) {
+        (_, Some(n), Some(m)) => (n, m),
+        (Some((dn, dm)), n, m) => (n.unwrap_or(dn), m.unwrap_or(dm)),
+        (None, _, _) => {
+            return Err(ServeError::BadRequest(format!(
+                "model '{name}' is untrained; request must set nodes and edges"
+            )));
+        }
+    };
+    Ok(Routed::Generate {
+        key: CacheKey {
+            model: name,
+            rev,
+            nodes: n,
+            edges: m,
+            seed: body.seed.unwrap_or(DEFAULT_SEED),
+        },
+        model,
+    })
 }
 
 // -------------------------------------------------------------- workers
@@ -303,18 +386,13 @@ fn worker_loop(shared: &Shared) {
             hist_record("serve.batch_size", batch.len() as f64);
             gauge_set("serve.queue_depth", shared.queue.len() as f64);
         }
-        for pending in batch {
-            // A panicking handler must not kill the worker: the pool is
-            // fixed-size, so a lost worker would silently shrink capacity
-            // for the rest of the process.
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                cpgan_parallel::with_thread_count(shared.gen_threads, || {
-                    handle_pending(shared, pending)
-                })
-            }));
-            if outcome.is_err() {
-                counter_add("serve.handler_panic", 1);
-            }
+        for job in batch {
+            hist_record("serve.queue_wait_ns", job.sw.elapsed_ns() as f64);
+            let response = run_job(shared, &job);
+            shared.complete(Completion {
+                conn_id: job.conn_id,
+                response,
+            });
         }
         if done {
             break;
@@ -322,143 +400,65 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-fn handle_pending(shared: &Shared, mut pending: Pending) {
-    let _root = span("serve.request");
-    hist_record("serve.queue_wait_ns", pending.sw.elapsed_ns() as f64);
-    counter_add("serve.requests", 1);
-    let (response, request_consumed) = match serve_one(shared, &mut pending.stream, pending.sw) {
-        Ok(response) => (response, true),
-        Err(err) => {
+/// Runs one generation job to a response. A panicking model must not
+/// kill the worker (the pool is fixed-size) **and** must still answer
+/// its connection — otherwise the event loop would hold the socket until
+/// its deadline.
+fn run_job(shared: &Shared, job: &Job) -> Response {
+    if let Err(err) = remaining_deadline(shared, job.sw) {
+        count_error(&err);
+        return error_response(&err);
+    }
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        cpgan_parallel::with_thread_count(shared.gen_threads, || {
+            generate_body(&job.model, &job.key)
+        })
+    }));
+    match outcome {
+        Ok(Ok(body)) => {
+            let body = Arc::new(body);
+            shared.cache.insert(job.key.clone(), Arc::clone(&body));
+            counter_add("serve.generated", 1);
+            Response::shared(200, body)
+        }
+        Ok(Err(err)) => {
             count_error(&err);
-            (error_response(&err), false)
+            error_response(&err)
         }
-    };
-    {
-        let _w = span("serve.write");
-        let ok = response.status == 200;
-        match http::write_response(&mut pending.stream, &response) {
-            Ok(()) if ok => counter_add("serve.ok", 1),
-            Ok(()) => {}
-            Err(_) => counter_add("serve.write_error", 1),
+        Err(_) => {
+            counter_add("serve.handler_panic", 1);
+            let err = ServeError::Internal("generation panicked".to_string());
+            count_error(&err);
+            error_response(&err)
         }
-    }
-    if !request_consumed {
-        // The request may be half-read; drain it so close cannot RST the
-        // error response away.
-        drain_connection(&mut pending.stream);
-    }
-    hist_record("serve.request_latency_ns", pending.sw.elapsed_ns() as f64);
-}
-
-/// Parses and routes one request, enforcing the deadline at each stage
-/// boundary (queue exit, parse, pre-generate).
-fn serve_one(
-    shared: &Shared,
-    stream: &mut TcpStream,
-    sw: Stopwatch,
-) -> Result<Response, ServeError> {
-    let remaining = remaining_deadline(shared, sw)?;
-    stream.set_read_timeout(Some(remaining))?;
-    let request = {
-        let _g = span("serve.parse");
-        match http::read_request(stream) {
-            Ok(request) => request,
-            Err(ServeError::Io(e))
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                // The read timeout is the remaining deadline, so running
-                // out of socket is running out of time.
-                return Err(deadline_exceeded(shared, sw));
-            }
-            Err(err) => return Err(err),
-        }
-    };
-    route(shared, sw, &request)
-}
-
-fn remaining_deadline(shared: &Shared, sw: Stopwatch) -> Result<Duration, ServeError> {
-    let elapsed = Duration::from_nanos(sw.elapsed_ns());
-    if elapsed >= shared.deadline {
-        return Err(deadline_exceeded(shared, sw));
-    }
-    Ok((shared.deadline - elapsed).max(Duration::from_millis(1)))
-}
-
-fn deadline_exceeded(shared: &Shared, sw: Stopwatch) -> ServeError {
-    ServeError::DeadlineExceeded {
-        waited_ms: sw.elapsed_ns() / 1_000_000,
-        deadline_ms: shared.deadline.as_millis() as u64,
     }
 }
 
-fn route(shared: &Shared, sw: Stopwatch, request: &Request) -> Result<Response, ServeError> {
-    let path = request.path.split('?').next().unwrap_or("");
-    match (request.method.as_str(), path) {
-        ("GET", "/healthz") => Ok(health(shared)),
-        ("GET", "/v1/models") => Ok(Response::json(
-            200,
-            render_json(&shared.registry.to_json_value()),
-        )),
-        ("GET", "/metrics") => Ok(Response::json(200, cpgan_obs::snapshot().to_json())),
-        ("POST", "/v1/generate") => generate(shared, sw, request),
-        (_, "/healthz" | "/v1/models" | "/metrics" | "/v1/generate") => {
-            Err(ServeError::MethodNotAllowed {
-                method: request.method.clone(),
-                path: path.to_string(),
-            })
-        }
-        _ => Err(ServeError::NotFound(request.path.clone())),
-    }
-}
-
-fn generate(shared: &Shared, sw: Stopwatch, request: &Request) -> Result<Response, ServeError> {
-    let body = GenerateRequest::from_body(&request.body)?;
-    let (name, model) = match &body.model {
-        Some(name) => {
-            let model = shared
-                .registry
-                .get(name)
-                .ok_or_else(|| ServeError::UnknownModel(name.clone()))?;
-            (name.clone(), model)
-        }
-        None => shared
-            .registry
-            .sole_model()
-            .map(|(n, m)| (n.to_string(), m))
-            .ok_or_else(|| {
-                ServeError::BadRequest(format!(
-                    "request must name a model; loaded: {}",
-                    shared.registry.names().join(", ")
-                ))
-            })?,
-    };
-    // Defaulting mirrors `cpgan generate`: the trained shape unless
-    // overridden; an untrained model needs both overrides.
-    let (n, m) = match (model.trained_shape(), body.nodes, body.edges) {
-        (_, Some(n), Some(m)) => (n, m),
-        (Some((dn, dm)), n, m) => (n.unwrap_or(dn), m.unwrap_or(dm)),
-        (None, _, _) => {
-            return Err(ServeError::BadRequest(format!(
-                "model '{name}' is untrained; request must set nodes and edges"
-            )));
-        }
-    };
-    // Generation is the expensive stage; do not start it for a request
-    // that has already missed its deadline.
-    remaining_deadline(shared, sw)?;
-    let seed = body.seed.unwrap_or(DEFAULT_SEED);
+/// Generates the edge-list body for `key` — the same
+/// seed → `StdRng` → `write_edge_list` pipeline as `cpgan generate`, so
+/// served bytes (cached or not) are byte-identical to the CLI.
+fn generate_body(model: &CpGan, key: &CacheKey) -> Result<Vec<u8>, ServeError> {
     let graph = {
         let _g = span("serve.generate");
-        let mut rng = StdRng::seed_from_u64(seed);
-        model.generate(n, m, &mut rng)
+        let mut rng = StdRng::seed_from_u64(key.seed);
+        model.generate(key.nodes, key.edges, &mut rng)
     };
     let mut out = Vec::new();
     graph_io::write_edge_list(&graph, &mut out)
         .map_err(|e| ServeError::Io(std::io::Error::other(e.to_string())))?;
-    Ok(Response::text(200, out))
+    Ok(out)
+}
+
+/// `Err(DeadlineExceeded)` once `sw` has outlived the deadline.
+pub(crate) fn remaining_deadline(shared: &Shared, sw: Stopwatch) -> Result<Duration, ServeError> {
+    let elapsed = Duration::from_nanos(sw.elapsed_ns());
+    if elapsed >= shared.deadline {
+        return Err(ServeError::DeadlineExceeded {
+            waited_ms: sw.elapsed_ns() / 1_000_000,
+            deadline_ms: shared.deadline.as_millis() as u64,
+        });
+    }
+    Ok(shared.deadline - elapsed)
 }
 
 fn health(shared: &Shared) -> Response {
@@ -481,6 +481,18 @@ fn health(shared: &Shared) -> Response {
             "deadline_ms".to_string(),
             Value::UInt(shared.deadline.as_millis() as u64),
         ),
+        (
+            "idle_ms".to_string(),
+            Value::UInt(shared.idle.as_millis() as u64),
+        ),
+        (
+            "cache_entries".to_string(),
+            Value::UInt(shared.cache.len() as u64),
+        ),
+        (
+            "cache_bytes".to_string(),
+            Value::UInt(shared.cache.bytes() as u64),
+        ),
     ]);
     Response::json(200, render_json(&body))
 }
@@ -502,13 +514,16 @@ pub fn error_response(err: &ServeError) -> Response {
         ]),
     )]);
     let mut response = Response::json(err.status(), render_json(&body));
-    if matches!(err, ServeError::QueueFull { .. } | ServeError::ShuttingDown) {
+    if matches!(
+        err,
+        ServeError::QueueFull { .. } | ServeError::ShuttingDown | ServeError::OverCapacity { .. }
+    ) {
         response.retry_after = Some(1);
     }
     response
 }
 
-fn count_error(err: &ServeError) {
+pub(crate) fn count_error(err: &ServeError) {
     let name = match err {
         ServeError::BadRequest(_) => "serve.err.bad_request",
         ServeError::NotFound(_) => "serve.err.not_found",
@@ -518,8 +533,10 @@ fn count_error(err: &ServeError) {
         ServeError::PayloadTooLarge { .. } => "serve.err.payload_too_large",
         ServeError::QueueFull { .. } => "serve.err.queue_full",
         ServeError::ShuttingDown => "serve.err.shutting_down",
+        ServeError::OverCapacity { .. } => "serve.err.over_capacity",
         ServeError::ModelLoad(_) => "serve.err.model_load",
         ServeError::Io(_) => "serve.err.io",
+        ServeError::Internal(_) => "serve.err.internal",
     };
     counter_add(name, 1);
 }

@@ -1,0 +1,81 @@
+//! Doc-sync: DESIGN.md §11 documents the serving architecture. If the
+//! connection layer, cache, or bench gate changes, the section must move
+//! with it — these tests fail on drift, mirroring the §12/§13/§14 suites.
+
+// Test-support helpers sit outside `#[test]` fns, where the
+// `allow-*-in-tests` carve-out does not reach.
+#![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
+
+/// DESIGN.md §11 body (from the section header to the next `## `).
+fn section_11() -> String {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../DESIGN.md");
+    let text = std::fs::read_to_string(path).expect("DESIGN.md must be readable");
+    let start = text
+        .find("## 11.")
+        .expect("DESIGN.md must have a §11 (serving architecture)");
+    let body = &text[start..];
+    let end = body[6..].find("\n## ").map(|i| i + 6).unwrap_or(body.len());
+    body[..end].to_string()
+}
+
+#[test]
+fn design_section_documents_the_event_loop() {
+    let s = section_11();
+    for item in [
+        "poll(2)",
+        "Reading",
+        "Dispatched",
+        "Writing",
+        "keep-alive",
+        "Poller::notify",
+        "--max-conns",
+        "--idle-ms",
+        "slowloris",
+    ] {
+        assert!(s.contains(item), "DESIGN.md §11 must mention `{item}`");
+    }
+}
+
+#[test]
+fn design_section_documents_the_cache_and_streaming() {
+    let s = section_11();
+    for item in [
+        "GenCache",
+        "CacheKey",
+        "--cache-mb",
+        "LRU",
+        "Arc<Vec<u8>>",
+        "serve.cache.hit",
+        "serve.cache.miss",
+        "transfer-encoding: chunked",
+        "content-length",
+    ] {
+        assert!(s.contains(item), "DESIGN.md §11 must mention `{item}`");
+    }
+}
+
+#[test]
+fn design_section_states_the_taxonomy_and_gate() {
+    let s = section_11();
+    for code in [
+        "bad_request",
+        "deadline_exceeded",
+        "payload_too_large",
+        "queue_full",
+        "over_capacity",
+        "shutting_down",
+    ] {
+        assert!(s.contains(code), "§11 must keep wire code `{code}`");
+    }
+    assert!(
+        s.contains("BENCH_serve.json"),
+        "§11 must name the bench artifact"
+    );
+    for flag in [
+        "--assert-min-rps",
+        "--assert-max-p99-ms",
+        "--assert-min-cached-over-cold",
+    ] {
+        assert!(s.contains(flag), "§11 must name the CI gate flag `{flag}`");
+    }
+}

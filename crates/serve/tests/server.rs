@@ -1,130 +1,22 @@
 //! End-to-end serving tests over real TCP sockets: the determinism
-//! contract (served bytes == CLI bytes), the robustness taxonomy
-//! (400/404/405/408/429), and graceful drain.
+//! contract (served bytes == CLI bytes, cached or not), the robustness
+//! taxonomy (400/404/405/408/429), and graceful drain without
+//! sleep-polling.
 
 // Integration-test helpers sit outside `#[test]` fns, so the
 // `allow-panic-in-tests` carve-out does not reach them.
 #![allow(clippy::panic, clippy::unwrap_used, clippy::expect_used)]
 
+mod common;
+
+use common::{get, post_generate, registry_for, small_graph, temp_model_path, Client};
 use cpgan::{CpGan, CpGanConfig};
-use cpgan_graph::{io as graph_io, Graph};
-use cpgan_serve::{ModelRegistry, ServeConfig, Server};
+use cpgan_graph::io as graph_io;
+use cpgan_serve::{ServeConfig, Server};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
-use std::path::{Path, PathBuf};
+use std::net::TcpStream;
 use std::time::Duration;
-
-/// A small 3-community graph (same family as the persist tests).
-fn small_graph() -> Graph {
-    let mut edges = Vec::new();
-    for c in 0..3u32 {
-        let base = c * 12;
-        for a in 0..12u32 {
-            for b in (a + 1)..12 {
-                if (a + b) % 2 == 0 {
-                    edges.push((base + a, base + b));
-                }
-            }
-        }
-        edges.push((base, (base + 12) % 36));
-    }
-    Graph::from_edges(36, edges).unwrap()
-}
-
-fn temp_model_path(tag: &str, model: &CpGan) -> PathBuf {
-    let dir = std::env::temp_dir().join("cpgan_serve_tests");
-    std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join(format!("{tag}.json"));
-    model.save(&path).unwrap();
-    path
-}
-
-fn registry_for(path: &Path) -> ModelRegistry {
-    let mut registry = ModelRegistry::new();
-    registry.load_file(path.to_str().unwrap()).unwrap();
-    registry
-}
-
-struct Reply {
-    status: u16,
-    headers: HashMap<String, String>,
-    body: Vec<u8>,
-}
-
-/// Sends raw request bytes and reads the whole reply (the server closes
-/// every connection after one exchange).
-fn exchange(addr: SocketAddr, raw: &[u8]) -> Reply {
-    let mut stream = TcpStream::connect(addr).unwrap();
-    stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
-        .unwrap();
-    stream.write_all(raw).unwrap();
-    let mut buf = Vec::new();
-    stream.read_to_end(&mut buf).unwrap();
-    parse_reply(&buf)
-}
-
-fn parse_reply(buf: &[u8]) -> Reply {
-    let head_end = buf
-        .windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .expect("reply must have a complete head")
-        + 4;
-    let head = std::str::from_utf8(&buf[..head_end]).unwrap();
-    let mut lines = head.lines();
-    let status_line = lines.next().unwrap();
-    let status: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .unwrap()
-        .parse()
-        .unwrap();
-    let mut headers = HashMap::new();
-    for line in lines {
-        if let Some((name, value)) = line.split_once(':') {
-            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
-        }
-    }
-    Reply {
-        status,
-        headers,
-        body: buf[head_end..].to_vec(),
-    }
-}
-
-fn post_generate(addr: SocketAddr, body: &str) -> Reply {
-    let raw = format!(
-        "POST /v1/generate HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\n\r\n{body}",
-        body.len()
-    );
-    exchange(addr, raw.as_bytes())
-}
-
-fn get(addr: SocketAddr, path: &str) -> Reply {
-    exchange(
-        addr,
-        format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n").as_bytes(),
-    )
-}
-
-/// A connection that connects and sends nothing, pinning a worker (or a
-/// queue slot) until the server's deadline expires.
-fn stall(addr: SocketAddr) -> TcpStream {
-    let stream = TcpStream::connect(addr).unwrap();
-    stream
-        .set_read_timeout(Some(Duration::from_secs(10)))
-        .unwrap();
-    stream
-}
-
-fn read_reply(mut stream: TcpStream) -> Reply {
-    let mut buf = Vec::new();
-    stream.read_to_end(&mut buf).unwrap();
-    parse_reply(&buf)
-}
 
 // ----------------------------------------------------------- determinism
 
@@ -162,8 +54,9 @@ fn served_generation_is_byte_identical_to_cli_generation() {
     graph_io::save(&cli_graph, &out_path).unwrap();
     let cli_bytes = std::fs::read(&out_path).unwrap();
 
-    // Served generation with the same model and seed, twice (the second
-    // proves the server is stateless across requests).
+    // Served generation with the same model and seed, twice: round 0 is
+    // a cache miss (a worker generates), round 1 a cache hit (answered
+    // inline from the seed-keyed cache) — both must equal the CLI bytes.
     for round in 0..2 {
         let reply = post_generate(addr, r#"{"seed":3}"#);
         assert_eq!(reply.status, 200, "round {round}");
@@ -173,7 +66,9 @@ fn served_generation_is_byte_identical_to_cli_generation() {
         );
     }
 
-    // Defaults mirror the CLI too: an empty body is seed 7 + trained shape.
+    // Defaults mirror the CLI too: an empty body is seed 7 + trained
+    // shape, and because keys canonicalize *after* defaulting, the
+    // explicit spelling of the defaults shares the same cache entry.
     let mut rng7 = StdRng::seed_from_u64(7);
     let mut default_bytes = Vec::new();
     graph_io::write_edge_list(&cli_model.generate(n, m, &mut rng7), &mut default_bytes).unwrap();
@@ -182,6 +77,12 @@ fn served_generation_is_byte_identical_to_cli_generation() {
     assert_eq!(
         reply.body, default_bytes,
         "empty body must equal CLI defaults"
+    );
+    let reply = post_generate(addr, &format!(r#"{{"nodes":{n},"edges":{m},"seed":7}}"#));
+    assert_eq!(reply.status, 200);
+    assert_eq!(
+        reply.body, default_bytes,
+        "explicit defaults must hit the same entry"
     );
 
     server.shutdown();
@@ -231,12 +132,19 @@ fn malformed_and_misrouted_requests_map_to_the_error_taxonomy() {
     // Unknown route -> 404; known route with wrong method -> 405.
     assert_eq!(get(addr, "/v2/whatever").status, 404);
     assert_eq!(get(addr, "/v1/generate").status, 405);
-    let reply = exchange(addr, b"DELETE /healthz HTTP/1.1\r\n\r\n");
+    let reply = common::exchange(addr, b"DELETE /healthz HTTP/1.1\r\n\r\n");
     assert_eq!(reply.status, 405);
 
     // Broken HTTP framing -> 400.
-    let reply = exchange(addr, b"NOT-HTTP\r\n\r\n");
+    let reply = common::exchange(addr, b"NOT-HTTP\r\n\r\n");
     assert_eq!(reply.status, 400);
+
+    // Error responses close the connection (framing is unrecoverable).
+    assert_eq!(
+        reply.header("connection"),
+        Some("close"),
+        "errors must advertise close"
+    );
 
     // An untrained model *with* explicit shape serves 200 (control).
     let reply = post_generate(addr, r#"{"nodes":24,"edges":40,"seed":1}"#);
@@ -256,8 +164,10 @@ fn full_queue_rejects_with_429_and_retry_after() {
             addr: "127.0.0.1:0".into(),
             workers: 1,
             queue_depth: 2,
-            deadline_ms: 600,
+            deadline_ms: 60_000,
             batch_size: 1,
+            gen_threads: Some(1),
+            cache_bytes: 0, // force every request through the queue
             ..ServeConfig::default()
         },
         registry_for(&path),
@@ -265,40 +175,42 @@ fn full_queue_rejects_with_429_and_retry_after() {
     .unwrap();
     let addr = server.addr();
 
-    // Pin the single worker with a silent connection...
-    let in_flight = stall(addr);
-    std::thread::sleep(Duration::from_millis(150));
-    assert_eq!(
-        server.queue_len(),
-        0,
-        "worker should have claimed the stall"
-    );
-    // ...then fill both queue slots...
-    let queued_a = stall(addr);
-    let queued_b = stall(addr);
-    std::thread::sleep(Duration::from_millis(150));
-    assert_eq!(server.queue_len(), 2, "both stalls should be queued");
-
-    // ...so the next admission is rejected instantly, well before any
-    // deadline could fire.
-    let reply = read_reply(stall(addr));
-    assert_eq!(reply.status, 429);
-    assert_eq!(
-        reply.headers.get("retry-after").map(String::as_str),
-        Some("1")
-    );
-    let body = String::from_utf8(reply.body).unwrap();
-    assert!(body.contains("\"code\":\"queue_full\""), "{body}");
-
-    // The pinned connections all resolve to 408 once the deadline passes.
-    for (who, stream) in [
-        ("in-flight", in_flight),
-        ("queued-a", queued_a),
-        ("queued-b", queued_b),
-    ] {
-        let reply = read_reply(stream);
-        assert_eq!(reply.status, 408, "{who}");
+    // Eight generations, each expensive enough (~100ms+ even in release)
+    // that the single worker cannot drain the 2-deep queue while the
+    // batch is being submitted — submissions take microseconds, so the
+    // overflow *must* be rejected instantly with 429.
+    let mut clients = Vec::new();
+    for seed in 0..8 {
+        let mut client = Client::connect(addr);
+        client.post_generate(&format!(r#"{{"nodes":10000,"edges":20000,"seed":{seed}}}"#));
+        clients.push(client);
     }
+
+    let mut ok = 0;
+    let mut rejected = 0;
+    for (i, client) in clients.iter_mut().enumerate() {
+        let reply = client.read_reply();
+        match reply.status {
+            200 => ok += 1,
+            429 => {
+                rejected += 1;
+                assert_eq!(
+                    reply.header("retry-after"),
+                    Some("1"),
+                    "429 must carry Retry-After"
+                );
+                let body = String::from_utf8(reply.body).unwrap();
+                assert!(body.contains("\"code\":\"queue_full\""), "{body}");
+            }
+            other => panic!("client {i}: unexpected status {other}"),
+        }
+    }
+    assert!(ok >= 1, "the admitted head of the burst must be served");
+    assert!(
+        rejected >= 1,
+        "overflow beyond worker+queue must shed as 429 ({ok} ok)"
+    );
+    assert_eq!(ok + rejected, 8);
 
     // And the server is healthy again afterwards.
     let reply = post_generate(addr, r#"{"nodes":16,"edges":20,"seed":2}"#);
@@ -309,15 +221,17 @@ fn full_queue_rejects_with_429_and_retry_after() {
 }
 
 #[test]
-fn deadline_expires_stalled_and_overqueued_requests_with_408() {
-    let path = temp_model_path("deadline", &CpGan::new(CpGanConfig::tiny()));
+fn queue_wait_past_deadline_answers_408_without_generating() {
+    let path = temp_model_path("queue_deadline", &CpGan::new(CpGanConfig::tiny()));
     let server = Server::start(
         ServeConfig {
             addr: "127.0.0.1:0".into(),
             workers: 1,
             queue_depth: 8,
-            deadline_ms: 200,
+            deadline_ms: 120,
             batch_size: 1,
+            gen_threads: Some(1),
+            cache_bytes: 0,
             ..ServeConfig::default()
         },
         registry_for(&path),
@@ -325,37 +239,25 @@ fn deadline_expires_stalled_and_overqueued_requests_with_408() {
     .unwrap();
     let addr = server.addr();
 
-    // Two silent connections occupy the single worker back to back; a
-    // *valid* request sent now therefore waits in queue longer than its
-    // own deadline and must be answered 408 without ever being parsed.
-    // (Reading the victim first keeps the stalled sockets unread, so the
-    // worker's post-response drain of each stall holds the line long
-    // enough for the victim's queue wait to exceed its deadline.)
-    let stall_a = stall(addr);
-    let stall_b = stall(addr);
-    std::thread::sleep(Duration::from_millis(50));
-    let victim = {
-        let mut stream = stall(addr);
-        let body = r#"{"nodes":16,"edges":20,"seed":2}"#;
-        stream
-            .write_all(
-                format!(
-                    "POST /v1/generate HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
-                    body.len()
-                )
-                .as_bytes(),
-            )
-            .unwrap();
-        stream
-    };
+    // The first generation occupies the sole worker for well over the
+    // 120ms deadline (n=16000 takes ~300ms in release, seconds in
+    // debug); the second request is admitted behind it and must come
+    // back 408 once the worker reaches it — generation never starts for
+    // a request that has already missed its deadline.
+    let mut first = Client::connect(addr);
+    first.post_generate(r#"{"nodes":16000,"edges":32000,"seed":1}"#);
+    std::thread::sleep(Duration::from_millis(40)); // worker has popped it
+    let mut second = Client::connect(addr);
+    second.post_generate(r#"{"nodes":16000,"edges":32000,"seed":2}"#);
 
-    let reply = read_reply(victim);
+    let reply = second.read_reply();
     assert_eq!(reply.status, 408, "queued-past-deadline request must 408");
-    let reply = read_reply(stall_a);
-    assert_eq!(reply.status, 408, "stalled parse must time out");
     let body = String::from_utf8(reply.body).unwrap();
     assert!(body.contains("\"code\":\"deadline_exceeded\""), "{body}");
-    assert_eq!(read_reply(stall_b).status, 408);
+
+    // The in-flight request itself still completes (deadlines are
+    // enforced at stage boundaries, never mid-generation).
+    assert_eq!(first.read_reply().status, 200);
 
     server.shutdown();
     std::fs::remove_file(&path).ok();
@@ -369,8 +271,10 @@ fn graceful_drain_answers_everything_already_admitted() {
             addr: "127.0.0.1:0".into(),
             workers: 1,
             queue_depth: 8,
-            deadline_ms: 2_000,
+            deadline_ms: 60_000,
             batch_size: 1,
+            gen_threads: Some(1),
+            cache_bytes: 0,
             ..ServeConfig::default()
         },
         registry_for(&path),
@@ -384,48 +288,30 @@ fn graceful_drain_answers_everything_already_admitted() {
     let mut expected = Vec::new();
     graph_io::write_edge_list(&model.generate(20, 30, &mut rng), &mut expected).unwrap();
 
-    // Pin the worker with a *partial* request (headers still in flight),
-    // then queue a complete request behind it.
-    let mut slow = stall(addr);
-    slow.write_all(b"POST /v1/generate HTTP/1.1\r\n").unwrap();
-    std::thread::sleep(Duration::from_millis(50));
-    let queued = {
-        let mut stream = stall(addr);
-        let body = r#"{"nodes":20,"edges":30,"seed":5}"#;
-        stream
-            .write_all(
-                format!(
-                    "POST /v1/generate HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
-                    body.len()
-                )
-                .as_bytes(),
-            )
-            .unwrap();
-        stream
-    };
-    std::thread::sleep(Duration::from_millis(50));
+    // Pin the worker with an expensive generation, then queue a cheap
+    // request behind it.
+    let mut slow = Client::connect(addr);
+    slow.post_generate(r#"{"nodes":16000,"edges":32000,"seed":9}"#);
+    std::thread::sleep(Duration::from_millis(40));
+    let mut queued = Client::connect(addr);
+    queued.post_generate(r#"{"nodes":20,"edges":30,"seed":5}"#);
+    std::thread::sleep(Duration::from_millis(40));
 
-    // Begin shutdown while both requests are genuinely in flight; it must
-    // block until they are answered, not cut them off.
+    // Begin shutdown while both requests are genuinely in flight; it
+    // must block until they are answered, not cut them off.
     let drainer = std::thread::spawn(move || {
         server.shutdown();
     });
-    std::thread::sleep(Duration::from_millis(150));
 
-    // Finish the slow request mid-drain; both replies must now complete.
-    let body = r#"{"nodes":16,"edges":20,"seed":2}"#;
-    slow.write_all(format!("content-length: {}\r\n\r\n{body}", body.len()).as_bytes())
-        .unwrap();
-    drainer.join().expect("shutdown thread must not panic");
-
-    let reply = read_reply(slow);
+    let reply = slow.read_reply();
     assert_eq!(reply.status, 200, "in-flight request must finish, not drop");
-    let reply = read_reply(queued);
+    let reply = queued.read_reply();
     assert_eq!(
         reply.status, 200,
         "queued request must be served, not dropped"
     );
     assert_eq!(reply.body, expected, "drained response must still be exact");
+    drainer.join().expect("shutdown thread must not panic");
 
     // New connections are refused once the listener is gone.
     assert!(
@@ -433,6 +319,29 @@ fn graceful_drain_answers_everything_already_admitted() {
         "post-shutdown connections must be refused"
     );
     std::fs::remove_file(&path).ok();
+}
+
+/// The shutdown path (and everything else in the serving layer) must be
+/// wakeup-driven: no `thread::sleep` poll loops, no short
+/// `set_read_timeout` dances anywhere in `crates/serve/src`.
+#[test]
+fn no_sleep_polling_anywhere_in_the_serving_layer() {
+    let src = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src");
+    for entry in std::fs::read_dir(&src).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        for needle in ["thread::sleep", "set_read_timeout"] {
+            assert!(
+                !text.contains(needle),
+                "{} contains `{needle}` — the serving layer must be \
+                 wakeup-driven (poller notify / condvar), never sleep-polled",
+                path.display()
+            );
+        }
+    }
 }
 
 // ------------------------------------------------------------ endpoints
@@ -459,6 +368,7 @@ fn models_healthz_and_metrics_endpoints() {
     assert!(body.contains("\"status\":\"ok\""), "{body}");
     assert!(body.contains("\"workers\":2"), "{body}");
     assert!(body.contains("\"queue_capacity\":4"), "{body}");
+    assert!(body.contains("\"cache_entries\":"), "{body}");
 
     let reply = get(addr, "/v1/models");
     assert_eq!(reply.status, 200);

@@ -73,6 +73,9 @@ pub enum Rule {
     BoxedErrorPub,
     /// Collecting a hash-ordered iterator into a `Vec` without sorting it.
     UnboundedCollect,
+    /// `thread::sleep` or `set_read_timeout` inside a loop body — a
+    /// sleep-poll standing in for a blocking primitive.
+    SleepPoll,
 }
 
 /// Severity attached to each rule: `Error` rules protect a hard invariant
@@ -100,7 +103,7 @@ impl Severity {
 impl Rule {
     /// Every rule, in registry order (used by `--explain` and the doc-sync
     /// test; keep in step with the `DESIGN.md` §12 catalog).
-    pub const ALL: [Rule; 14] = [
+    pub const ALL: [Rule; 15] = [
         Rule::NoUnwrap,
         Rule::NoExpect,
         Rule::NoPanic,
@@ -109,6 +112,7 @@ impl Rule {
         Rule::WorkspaceDeps,
         Rule::AdHocThreading,
         Rule::AdHocTiming,
+        Rule::SleepPoll,
         Rule::HashIter,
         Rule::UnseededRng,
         Rule::UnboundedCollect,
@@ -128,6 +132,7 @@ impl Rule {
             Rule::WorkspaceDeps => "workspace-deps",
             Rule::AdHocThreading => "ad-hoc-threading",
             Rule::AdHocTiming => "ad-hoc-timing",
+            Rule::SleepPoll => "sleep-poll",
             Rule::HashIter => "hash-iter",
             Rule::UnseededRng => "unseeded-rng",
             Rule::HashFloatAccum => "hash-float-accum",
@@ -150,7 +155,7 @@ impl Rule {
             }
             Rule::FloatEq | Rule::HashFloatAccum => "float-order",
             Rule::WorkspaceDeps => "manifest",
-            Rule::AdHocThreading | Rule::AdHocTiming => "runtime-gates",
+            Rule::AdHocThreading | Rule::AdHocTiming | Rule::SleepPoll => "runtime-gates",
             Rule::HashIter | Rule::UnseededRng | Rule::UnboundedCollect => "determinism",
             Rule::LossyCast | Rule::BoxedErrorPub => "cast-safety",
         }

@@ -128,6 +128,19 @@ pub fn doc(rule: Rule) -> RuleDoc {
             example_good: "let _span = cpgan_obs::span!(\"train.epoch\");",
             suppression: "None — crates/obs and crates/bench are the only clock readers.",
         },
+        Rule::SleepPoll => RuleDoc {
+            rule,
+            summary: "`thread::sleep` or `set_read_timeout` re-armed inside a loop",
+            rationale: "A sleep-poll trades latency for idle burn: reaction time \
+                        degrades to the sleep quantum and the CPU wakes just to \
+                        re-check. Blocking primitives already exist — Condvar waits \
+                        in the queue, the polling shim's wait/notify in the serve \
+                        event loop (DESIGN.md §11).",
+            example_bad: "loop {\n    stream.set_read_timeout(Some(SHORT))?;\n    ..\n}",
+            example_good: "poller.wait(&mut events, timeout)?; // woken by notify()",
+            suppression: "Only where no waitable event exists (e.g. watching a \
+                          foreign file for change) — document what is being polled.",
+        },
         Rule::HashIter => RuleDoc {
             rule,
             summary: "iteration over a `HashMap`/`HashSet` outside a sorted context",

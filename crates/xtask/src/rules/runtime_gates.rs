@@ -1,6 +1,6 @@
-//! Runtime-gate family: `ad-hoc-threading` and `ad-hoc-timing`. Both rules
-//! funnel capability use (threads, the wall clock) through the one crate
-//! that is allowed to own it.
+//! Runtime-gate family: `ad-hoc-threading`, `ad-hoc-timing` and
+//! `sleep-poll`. All three funnel capability use (threads, the wall
+//! clock, blocking) through the one mechanism that is allowed to own it.
 
 use super::violation;
 use crate::context::FileCtx;
@@ -12,6 +12,7 @@ pub fn check(ctx: &FileCtx, out: &mut Vec<Violation>) {
     let threading_exempt = ctx.file.starts_with("crates/parallel/");
     let timing_exempt =
         ctx.file.starts_with("crates/obs/") || ctx.file.starts_with("crates/bench/");
+    check_sleep_poll(ctx, out);
     for i in 0..ctx.code.len() {
         let tok = ctx.code[i];
         if tok.kind != TokenKind::Ident || ctx.in_test(tok.start) {
@@ -60,4 +61,119 @@ pub fn check(ctx: &FileCtx, out: &mut Vec<Violation>) {
             _ => {}
         }
     }
+}
+
+/// `sleep-poll`: `thread::sleep(..)` or `.set_read_timeout(..)` inside a
+/// loop body. Both turn a blocking handoff into a wake-and-check poll:
+/// latency becomes the sleep quantum and idle CPU is burned re-arming.
+/// The sanctioned replacements block for real — `Condvar` waits in the
+/// queue, the `polling` shim's `wait`/`notify` in the serve event loop.
+/// Load generators measure the other side of the socket, so
+/// `crates/bench/` is exempt alongside tests.
+fn check_sleep_poll(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    if ctx.file.starts_with("crates/bench/") {
+        return;
+    }
+    let bodies = loop_bodies(ctx);
+    if bodies.is_empty() {
+        return;
+    }
+    let in_loop = |i: usize| bodies.iter().any(|&(open, close)| open < i && i < close);
+    for i in 0..ctx.code.len() {
+        let tok = ctx.code[i];
+        if tok.kind != TokenKind::Ident || ctx.in_test(tok.start) || !in_loop(i) {
+            continue;
+        }
+        match ctx.text(i) {
+            "thread" if ctx.is_punct(i + 1, "::") && ctx.is_ident(i + 2, "sleep") => {
+                out.push(violation(
+                    ctx,
+                    i,
+                    Rule::SleepPoll,
+                    "`thread::sleep` inside a loop is a poll — block on the real \
+                     event instead (Condvar wait, `polling::Poller::wait`/`notify`)"
+                        .to_string(),
+                ));
+            }
+            "set_read_timeout" if i > 0 && ctx.is_punct(i - 1, ".") => {
+                out.push(violation(
+                    ctx,
+                    i,
+                    Rule::SleepPoll,
+                    "re-arming `set_read_timeout` inside a loop is a poll — use a \
+                     non-blocking socket registered with the `polling` event loop"
+                        .to_string(),
+                ));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Token spans `(open_brace, close_brace)` of every loop body in the file.
+fn loop_bodies(ctx: &FileCtx) -> Vec<(usize, usize)> {
+    let mut bodies = Vec::new();
+    for i in 0..ctx.code.len() {
+        if ctx.code[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let is_header = match ctx.text(i) {
+            "loop" | "while" => true,
+            // `for` heads a loop unless it is a trait impl (`impl T for U`,
+            // previous token an identifier or a closing `>`) or an HRTB
+            // (`for<'a>`, next token `<`).
+            "for" => {
+                let prev_ok = match i.checked_sub(1) {
+                    Some(p) => ctx.code[p].kind != TokenKind::Ident && !ctx.is_punct(p, ">"),
+                    None => true,
+                };
+                prev_ok && !ctx.is_punct(i + 1, "<")
+            }
+            _ => false,
+        };
+        if !is_header {
+            continue;
+        }
+        if let Some(open) = body_open(ctx, i) {
+            if let Some(close) = matching_brace(ctx, open) {
+                bodies.push((open, close));
+            }
+        }
+    }
+    bodies
+}
+
+/// Finds the `{` opening the body of the loop headed at token `header`:
+/// the first `{` past the header at paren/bracket depth 0 (closure bodies
+/// inside a `while` condition sit at depth > 0 and are skipped).
+fn body_open(ctx: &FileCtx, header: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for j in (header + 1)..ctx.code.len() {
+        match ctx.code[j].text(ctx.src) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return Some(j),
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The index of the `}` matching the `{` at `open`.
+fn matching_brace(ctx: &FileCtx, open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for j in open..ctx.code.len() {
+        match ctx.code[j].text(ctx.src) {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }

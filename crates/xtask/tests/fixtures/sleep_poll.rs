@@ -1,0 +1,57 @@
+//! Fixture: sleep-poll loops (and the sanctioned non-violations).
+
+/// Line 6 sleeps inside a `while` loop — a poll.
+pub fn spin_wait(flag: &std::sync::atomic::AtomicBool) {
+    while !flag.load(std::sync::atomic::Ordering::Acquire) {
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+/// Line 14 re-arms a short read timeout every turn of a `loop` — the
+/// connection-per-request shutdown dance.
+pub fn timeout_poll(stream: &std::net::TcpStream, stop: &std::sync::atomic::AtomicBool) {
+    loop {
+        let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(100)));
+        if stop.load(std::sync::atomic::Ordering::Acquire) {
+            break;
+        }
+    }
+}
+
+/// Line 24 sleeps inside a `for` sweep — still a poll.
+pub fn backoff(tries: usize) {
+    for _ in 0..tries {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+}
+
+/// Non-violations: a sleep outside any loop, a timeout armed once before
+/// the loop, and a loop that blocks on nothing.
+pub fn fine(stream: &std::net::TcpStream) {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let _ = stream.set_read_timeout(None);
+    let mut n = 0;
+    while n < 3 {
+        n += 1;
+    }
+}
+
+pub struct Waiter;
+
+/// A trait `for` must not be mistaken for a loop header.
+impl std::fmt::Display for Waiter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("waiter")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    /// Tests may sleep-poll (integration helpers waiting on a server).
+    fn test_poll() {
+        loop {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            break;
+        }
+    }
+}

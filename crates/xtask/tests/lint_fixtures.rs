@@ -112,6 +112,24 @@ fn bench_bin_timing_idiom_is_exempt_only_under_bench() {
 }
 
 #[test]
+fn sleep_poll_fixture() {
+    let v = scan_fixture("sleep_poll.rs");
+    let sp: Vec<_> = v.iter().filter(|v| v.rule == Rule::SleepPoll).collect();
+    assert_eq!(sp.len(), 3, "{v:?}");
+    assert_eq!(
+        sp.iter().map(|v| v.line).collect::<Vec<_>>(),
+        vec![6, 14, 24]
+    );
+    // Load generators measure the other side of the socket: short client
+    // timeouts inside request loops are the workload, not a poll.
+    let v = scan_source("crates/bench/src/bin/serve.rs", &fixture("sleep_poll.rs"));
+    assert!(
+        v.iter().all(|v| v.rule != Rule::SleepPoll),
+        "bench exempt, yet flagged: {v:?}"
+    );
+}
+
+#[test]
 fn hash_iter_fixture() {
     let v = scan_fixture("determinism_hash_iter.rs");
     // Both forms fire (method chain and for-loop); the BTreeMap, the

@@ -1,0 +1,415 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `polling` crate: readiness polling over
+//! `poll(2)`, covering exactly the API surface this workspace uses.
+//!
+//! The serving layer needs one capability std does not expose: "block
+//! until any of these sockets is readable/writable, or until I am
+//! notified, or until a timeout". This shim provides it with a single,
+//! tiny FFI declaration of `poll(2)` (the symbol is already linked into
+//! every std binary via libc) — no `libc` crate, no epoll, no event-loop
+//! framework. Differences from the real `polling` crate, documented
+//! because callers rely on them:
+//!
+//! * **Level-triggered**, not oneshot: an interest stays armed until
+//!   [`Poller::modify`]/[`Poller::delete`] changes it. The serve event
+//!   loop re-computes interest on every state transition, so oneshot
+//!   re-arming would be pure overhead.
+//! * `POLLHUP`/`POLLERR` surface as *readable* (and writable, when write
+//!   interest is registered) so the owner observes the condition via its
+//!   normal read/write path; there is no separate error event.
+//! * [`Poller::notify`] is a self-wakeup: it makes a concurrent or future
+//!   [`Poller::wait`] return early. It is the shutdown/completion wakeup
+//!   mechanism — nothing in this workspace may sleep-poll (see the
+//!   `sleep-poll` xtask lint).
+//!
+//! The implementation is Unix-only (the workspace targets Linux); every
+//! fd-facing call goes through safe `std::os::fd` types, and the single
+//! `unsafe` block is the `poll(2)` call itself, whose invariants
+//! (pointer + length of a live, repr(C) slice) are local and checked by
+//! construction.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::{Mutex, PoisonError};
+use std::time::Duration;
+
+/// Readiness interest (or readiness result) for one registered source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen key identifying the source in [`Events`].
+    pub key: usize,
+    /// Interest in (or occurrence of) readability.
+    pub readable: bool,
+    /// Interest in (or occurrence of) writability.
+    pub writable: bool,
+}
+
+impl Event {
+    /// Read-only interest.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Write-only interest.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Read + write interest.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+
+    /// No interest (the source stays registered; only `POLLHUP`/`POLLERR`
+    /// conditions will surface, as readable).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+}
+
+/// Buffer of readiness events filled by [`Poller::wait`].
+#[derive(Debug, Default)]
+pub struct Events {
+    list: Vec<Event>,
+}
+
+impl Events {
+    /// An empty event buffer.
+    pub fn new() -> Events {
+        Events::default()
+    }
+
+    /// Iterates the events recorded by the last [`Poller::wait`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.list.iter().copied()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+
+    /// Clears the buffer (done automatically by [`Poller::wait`]).
+    pub fn clear(&mut self) {
+        self.list.clear();
+    }
+}
+
+// `struct pollfd` from poll(2), bit-for-bit.
+#[repr(C)]
+struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+extern "C" {
+    // int poll(struct pollfd *fds, nfds_t nfds, int timeout);
+    fn poll(fds: *mut PollFd, nfds: std::ffi::c_ulong, timeout: std::ffi::c_int)
+        -> std::ffi::c_int;
+}
+
+/// A readiness poller over a registered set of file descriptors.
+///
+/// Registration is keyed by raw fd; interests live in a `BTreeMap` so the
+/// pollfd array handed to the kernel has a deterministic order. All
+/// methods take `&self` (interest table behind a mutex), so an event-loop
+/// thread can `wait` while other threads `notify`/`modify`.
+pub struct Poller {
+    interest: Mutex<BTreeMap<RawFd, Event>>,
+    notify_recv: UnixStream,
+    notify_send: UnixStream,
+}
+
+fn ms_timeout(timeout: Option<Duration>) -> std::ffi::c_int {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            if d.is_zero() {
+                0
+            } else {
+                // Round up so a 0.4 ms deadline does not spin at 0 ms.
+                let ms = d
+                    .as_millis()
+                    .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0));
+                std::ffi::c_int::try_from(ms).unwrap_or(std::ffi::c_int::MAX)
+            }
+        }
+    }
+}
+
+impl Poller {
+    /// Creates a poller with its internal notify channel (a non-blocking
+    /// `UnixStream` pair).
+    pub fn new() -> io::Result<Poller> {
+        let (notify_send, notify_recv) = UnixStream::pair()?;
+        notify_recv.set_nonblocking(true)?;
+        notify_send.set_nonblocking(true)?;
+        Ok(Poller {
+            interest: Mutex::new(BTreeMap::new()),
+            notify_recv,
+            notify_send,
+        })
+    }
+
+    fn table(&self) -> std::sync::MutexGuard<'_, BTreeMap<RawFd, Event>> {
+        // The table is a plain map; a panic while holding the lock cannot
+        // leave it incoherent, so keep serving instead of wedging.
+        self.interest.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers `source` with the given interest. Fails with
+    /// `AlreadyExists` if the fd is already registered.
+    pub fn add(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        let mut table = self.table();
+        if table.contains_key(&fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!("fd {fd} already registered"),
+            ));
+        }
+        table.insert(fd, interest);
+        Ok(())
+    }
+
+    /// Replaces the interest registered for `source`. Fails with
+    /// `NotFound` if the fd is not registered.
+    pub fn modify(&self, source: &impl AsRawFd, interest: Event) -> io::Result<()> {
+        let fd = source.as_raw_fd();
+        match self.table().get_mut(&fd) {
+            Some(slot) => {
+                *slot = interest;
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("fd {fd} not registered"),
+            )),
+        }
+    }
+
+    /// Deregisters `source`. Deregistering an unknown fd is a no-op.
+    pub fn delete(&self, source: &impl AsRawFd) -> io::Result<()> {
+        self.table().remove(&source.as_raw_fd());
+        Ok(())
+    }
+
+    /// Blocks until at least one registered source is ready, [`notify`]
+    /// is called, or `timeout` elapses (`None` = wait forever). Ready
+    /// sources are appended to `events` (cleared first); returns the
+    /// number of events recorded. A notify wakeup records no event.
+    ///
+    /// [`notify`]: Poller::notify
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        // Snapshot under the lock, poll outside it, so `notify`/`modify`
+        // never block on a sleeping wait.
+        let snapshot: Vec<(RawFd, Event)> =
+            self.table().iter().map(|(fd, ev)| (*fd, *ev)).collect();
+        let mut fds: Vec<PollFd> = Vec::with_capacity(snapshot.len() + 1);
+        fds.push(PollFd {
+            fd: self.notify_recv.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        for (fd, ev) in &snapshot {
+            let mut mask = 0i16;
+            if ev.readable {
+                mask |= POLLIN;
+            }
+            if ev.writable {
+                mask |= POLLOUT;
+            }
+            fds.push(PollFd {
+                fd: *fd,
+                events: mask,
+                revents: 0,
+            });
+        }
+
+        let rc = loop {
+            // SAFETY: `fds` is a live, contiguous, repr(C) slice for the
+            // duration of the call; length is passed alongside; poll(2)
+            // only writes `revents` within those bounds.
+            let rc = unsafe {
+                poll(
+                    fds.as_mut_ptr(),
+                    fds.len() as std::ffi::c_ulong,
+                    ms_timeout(timeout),
+                )
+            };
+            if rc >= 0 {
+                break rc;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            return Err(err);
+        };
+        if rc == 0 {
+            return Ok(0);
+        }
+
+        if fds[0].revents & (POLLIN | POLLERR | POLLHUP) != 0 {
+            // Drain every pending notify byte so wakeups coalesce.
+            let mut sink = [0u8; 64];
+            while let Ok(n) = (&self.notify_recv).read(&mut sink) {
+                if n == 0 {
+                    break;
+                }
+            }
+        }
+        for (pfd, (_, ev)) in fds[1..].iter().zip(snapshot.iter()) {
+            let hup = pfd.revents & (POLLERR | POLLHUP | POLLNVAL) != 0;
+            let readable = pfd.revents & POLLIN != 0 || hup;
+            let writable = pfd.revents & POLLOUT != 0 || (ev.writable && hup);
+            if readable || writable {
+                events.list.push(Event {
+                    key: ev.key,
+                    readable,
+                    writable,
+                });
+            }
+        }
+        Ok(events.len())
+    }
+
+    /// Wakes a concurrent (or the next) [`Poller::wait`] early. Wakeups
+    /// coalesce; calling this many times costs one wakeup.
+    pub fn notify(&self) -> io::Result<()> {
+        match (&self.notify_send).write(&[1u8]) {
+            Ok(_) => Ok(()),
+            // A full pipe already guarantees a pending wakeup.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Duration;
+
+    #[test]
+    fn timeout_expires_with_no_events() {
+        let poller = Poller::new().unwrap();
+        let mut events = Events::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn notify_wakes_wait_without_events() {
+        let poller = Poller::new().unwrap();
+        poller.notify().unwrap();
+        poller.notify().unwrap();
+        let mut events = Events::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 0, "notify wakes but records no event");
+        // The wakeup was drained: the next wait times out.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(5)))
+            .unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn readable_socket_reports_its_key() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&listener, Event::readable(7)).unwrap();
+
+        let mut events = Events::new();
+        let _client = TcpStream::connect(addr).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        let ev = events.iter().next().unwrap();
+        assert_eq!(ev.key, 7);
+        assert!(ev.readable);
+    }
+
+    #[test]
+    fn interest_none_suppresses_readability() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&listener, Event::none(1)).unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let mut events = Events::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0, "masked interest must not report readiness");
+        // Re-arm and the pending connection surfaces.
+        poller.modify(&listener, Event::readable(1)).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn add_twice_fails_and_delete_is_idempotent() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(&listener, Event::readable(1)).unwrap();
+        assert_eq!(
+            poller
+                .add(&listener, Event::readable(2))
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::AlreadyExists
+        );
+        poller.delete(&listener).unwrap();
+        poller.delete(&listener).unwrap();
+        assert_eq!(
+            poller
+                .modify(&listener, Event::readable(1))
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::NotFound
+        );
+    }
+}
