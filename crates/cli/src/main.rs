@@ -8,6 +8,7 @@
 //! cpgan eval     --observed graph.txt --generated out.txt
 //! cpgan serve    --model model.json [--addr HOST:PORT] [--workers N]
 //! cpgan shard    --input graph.txt --output out.txt [--max-shard-size N] [--budget-mb N]
+//! cpgan data     list | fetch <name> | verify <name> | stats <name> | ingest <name>
 //! ```
 //!
 //! Graphs are whitespace edge lists (`# nodes: N` header optional), the
@@ -22,6 +23,7 @@ use rand::SeedableRng;
 use std::process::ExitCode;
 
 mod args;
+mod data;
 
 use args::Args;
 
@@ -47,7 +49,10 @@ fn usage() -> &'static str {
      cpgan serve    --model <model.json>[,<model.json>...] [--addr HOST:PORT] [--workers N]\n                 \
      [--queue-depth N] [--deadline-ms N] [--idle-ms N] [--cache-mb N] [--max-conns N]\n  \
      cpgan shard    --input <edge-list> --output <edge-list> [--max-shard-size N] [--budget-mb N]\n                 \
-     [--epochs N] [--sample-size N] [--seed S]\n\n\
+     [--epochs N] [--sample-size N] [--seed S]\n  \
+     cpgan data     list | fetch <name> | verify <name> [--report PATH] | stats <name>\n                 \
+     | ingest <name> --output <edge-list>   (all: [--data-dir DIR] [--offline];\n                 \
+     synthetic entries: [--scale S] [--seed S]; see DESIGN.md \u{a7}15)\n\n\
      any subcommand also accepts:\n  \
      --threads N     worker threads for parallel kernels (same as CPGAN_THREADS=N;\n                  \
      for serve: threads per in-flight generation, see DESIGN.md \u{a7}11)\n  \
@@ -57,6 +62,12 @@ fn usage() -> &'static str {
 
 fn run(argv: &[String]) -> Result<(), String> {
     let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
+    // `data` takes positional actions/names and bare `--offline`, which the
+    // strict `--key value` parser rejects — it owns its token parsing (and
+    // its own --threads/--obs-out glue).
+    if cmd == "data" {
+        return data::run(rest);
+    }
     let args = Args::parse(rest)?;
     // `--obs-out <path>` turns on observability collection and names the
     // JSONL sink (equivalent to CPGAN_OBS=1 CPGAN_OBS_OUT=<path>).

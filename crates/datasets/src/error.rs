@@ -1,0 +1,121 @@
+//! Typed errors for the dataset registry and the ingestion pipeline.
+
+use cpgan_graph::GraphError;
+use std::fmt;
+
+/// Everything that can go wrong between a dataset name and a verified graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// Filesystem failure, annotated with the path involved.
+    Io {
+        /// The path the operation touched.
+        path: String,
+        /// The underlying `io::Error` rendered to text (keeps `Clone`/`PartialEq`).
+        message: String,
+    },
+    /// A line of an input file does not follow its declared format.
+    Parse {
+        /// Workspace- or cache-relative file label.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// What was expected.
+        message: String,
+    },
+    /// The graph builder rejected the edge stream (endpoint out of range,
+    /// policy violation, non-replayable stream).
+    Graph(GraphError),
+    /// The name matches no registry entry.
+    UnknownDataset {
+        /// The name as given.
+        name: String,
+    },
+    /// A cached or fetched file does not hash to the manifest's SHA-256.
+    ChecksumMismatch {
+        /// Path of the offending file.
+        file: String,
+        /// Manifest checksum (lowercase hex).
+        expected: String,
+        /// Computed checksum (lowercase hex).
+        actual: String,
+    },
+    /// Offline mode forbids satisfying a remote-only file.
+    OfflineRemote {
+        /// Dataset the file belongs to.
+        dataset: String,
+        /// The missing file.
+        file: String,
+        /// Where it would have to come from.
+        url: String,
+    },
+    /// This build has no network stack; the file must be placed in the
+    /// cache by hand.
+    ManualDownload {
+        /// Canonical source URL.
+        url: String,
+        /// Destination path inside the cache dir.
+        dest: String,
+    },
+    /// A vendored fixture named by the manifest is missing from the
+    /// repository checkout.
+    MissingFixture {
+        /// The fixture path that was probed.
+        path: String,
+    },
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Io { path, message } => write!(f, "{path}: {message}"),
+            DatasetError::Parse {
+                file,
+                line,
+                message,
+            } => write!(f, "{file}:{line}: {message}"),
+            DatasetError::Graph(e) => write!(f, "graph construction failed: {e}"),
+            DatasetError::UnknownDataset { name } => {
+                write!(f, "unknown dataset '{name}' (see `cpgan data list`)")
+            }
+            DatasetError::ChecksumMismatch {
+                file,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{file}: SHA-256 mismatch (expected {expected}, got {actual}); \
+                 delete the file and re-fetch"
+            ),
+            DatasetError::OfflineRemote { dataset, file, url } => write!(
+                f,
+                "offline mode: '{dataset}' needs remote file {file} from {url}"
+            ),
+            DatasetError::ManualDownload { url, dest } => write!(
+                f,
+                "no network stack in this build: download {url} and place the \
+                 extracted file at {dest}, then re-run fetch to verify its checksum"
+            ),
+            DatasetError::MissingFixture { path } => {
+                write!(f, "vendored fixture missing from checkout: {path}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl From<GraphError> for DatasetError {
+    fn from(e: GraphError) -> Self {
+        DatasetError::Graph(e)
+    }
+}
+
+impl DatasetError {
+    /// Wraps an `io::Error` with the path it occurred on.
+    pub fn io(path: impl AsRef<std::path::Path>, e: std::io::Error) -> Self {
+        DatasetError::Io {
+            path: path.as_ref().display().to_string(),
+            message: e.to_string(),
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! String-id interning: raw dataset tokens to dense `u32` node ids.
+//!
+//! Ids are assigned in first-appearance order over the (stable) file
+//! list, so the dense numbering is deterministic for a given input set.
+//! The `HashMap` is used for lookup only — it is never iterated, which
+//! keeps the determinism contract (DESIGN.md §8) intact.
+
+use std::collections::HashMap;
+
+/// Bidirectional token <-> dense-id table.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    ids: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Returns the dense id for `token`, allocating the next id on first
+    /// sight.
+    pub fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.ids.get(token) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).unwrap_or(u32::MAX);
+        self.ids.insert(token.to_string(), id);
+        self.names.push(token.to_string());
+        id
+    }
+
+    /// Looks up an already-interned token.
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.ids.get(token).copied()
+    }
+
+    /// The original token of dense id `id`.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct tokens interned.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no token has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_appearance_order() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("b"), 0);
+        assert_eq!(i.intern("a"), 1);
+        assert_eq!(i.intern("b"), 0);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.name(1), Some("a"));
+        assert_eq!(i.get("a"), Some(1));
+        assert_eq!(i.get("c"), None);
+    }
+}

@@ -1,0 +1,38 @@
+//! Real-dataset subsystem: registry, streaming ingestion, and verified
+//! real-graph evaluation.
+//!
+//! This crate turns the paper's Table II datasets from synthetic
+//! stand-ins into real graphs the pipeline can ingest and verify:
+//!
+//! * [`registry`] — one manifest entry per dataset name, covering both
+//!   real file-backed datasets (with SHA-256 checksums and published
+//!   stats) and the six synthetic stand-ins from `cpgan_data`, so
+//!   `citeseer` and `citeseer-synthetic` resolve uniformly;
+//! * [`formats`] — streaming parsers for SNAP edge lists and linqs
+//!   `.cites`/`.content` files, layered on the two-pass
+//!   `Graph::from_edge_stream` builder so ingestion never materializes an
+//!   in-memory edge `Vec`;
+//! * [`store`] — the local cache (`$CPGAN_DATA_DIR`), checksum-verified
+//!   fetching with a strictly offline mode backed by vendored fixtures,
+//!   and the uniform [`store::load`] entry point;
+//! * [`verify`] — recomputes n/m/mean-degree/Gini/PWE/CPL and diffs them
+//!   against the published values under per-stat tolerances
+//!   (`cpgan data verify`).
+//!
+//! See DESIGN.md §15 for formats, the checksum/offline model, and the
+//! tolerance table.
+
+pub mod error;
+pub mod formats;
+pub mod interner;
+pub mod registry;
+pub mod sha256;
+pub mod store;
+pub mod verify;
+
+pub use error::DatasetError;
+pub use formats::{ingest_files, Format, IngestStats, Ingested};
+pub use interner::Interner;
+pub use registry::{registry, resolve, DatasetEntry, PublishedStats, Source, Tolerances};
+pub use store::{fetch, load, Cache, FetchAction, FetchOutcome, LoadOptions, LoadedDataset};
+pub use verify::{verify, StatCheck, VerifyReport, DEFAULT_CPL_SOURCES};

@@ -1,0 +1,382 @@
+//! The manifest-driven dataset registry.
+//!
+//! One [`DatasetEntry`] per dataset name, covering both kinds of source
+//! uniformly:
+//!
+//! * **real** datasets backed by files (vendored fixtures or remote
+//!   downloads) with SHA-256 checksums, a license note, and published
+//!   statistics to verify the ingested graph against;
+//! * the six **synthetic Table II stand-ins** from
+//!   `cpgan_data::datasets`, registered under `<name>-synthetic` so CLI
+//!   and eval resolve `citeseer` vs `citeseer-synthetic` through the same
+//!   interface instead of special-casing `PAPER_DATASETS`.
+//!
+//! Published numbers come from two sources, recorded per entry: the
+//! paper's Table II row where the dataset appears there (citeseer,
+//! pubmed, google and every stand-in), and the exemplar repos' published
+//! measurement table (SNIPPETS.md §Data Description) for cora and
+//! epinions. Per-stat tolerances live next to the numbers — see
+//! DESIGN.md §15 for how each bound was chosen.
+
+use crate::{DatasetError, Format};
+use cpgan_data::datasets::{DatasetSpec, PAPER_DATASETS};
+use std::sync::OnceLock;
+
+/// Published summary statistics for one dataset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishedStats {
+    /// Node count.
+    pub n: usize,
+    /// Undirected edge count.
+    pub m: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Gini coefficient of the degree distribution.
+    pub gini: f64,
+    /// Power-law exponent of the degree distribution.
+    pub pwe: f64,
+    /// Characteristic path length, when the source reports one.
+    pub cpl: Option<f64>,
+}
+
+/// Per-stat absolute tolerances for [`crate::verify`] (relative for `m`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    /// Relative tolerance on the edge count (dedup/symmetrization drift).
+    pub m_rel: f64,
+    /// Absolute tolerance on mean degree.
+    pub mean_degree: f64,
+    /// Absolute tolerance on the Gini coefficient.
+    pub gini: f64,
+    /// Absolute tolerance on the power-law exponent.
+    pub pwe: f64,
+    /// Absolute tolerance on the characteristic path length.
+    pub cpl: f64,
+}
+
+/// Where a registry file comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Provenance {
+    /// Shipped with the repository under `crates/datasets/fixtures/`.
+    Vendored(&'static str),
+    /// Must be downloaded from this URL (no network stack in this build —
+    /// fetch prints manual instructions).
+    Remote(&'static str),
+}
+
+/// One file of a real dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct FileSpec {
+    /// File name inside the dataset's cache directory.
+    pub name: &'static str,
+    /// Parser to apply.
+    pub format: Format,
+    /// Lowercase-hex SHA-256 of the file; `None` when unknown (remote
+    /// files we cannot download to hash — verified stats still gate them).
+    pub sha256: Option<&'static str>,
+    /// Where the file comes from.
+    pub provenance: Provenance,
+}
+
+/// How a dataset's graph is obtained.
+#[derive(Debug, Clone)]
+pub enum Source {
+    /// Ingested from files.
+    Real {
+        /// Ordered file list (order fixes the dense node numbering).
+        files: Vec<FileSpec>,
+    },
+    /// Synthesized by the Table II stand-in generator.
+    Synthetic {
+        /// The stand-in's spec (published stats + synthesizer knobs).
+        spec: &'static DatasetSpec,
+    },
+}
+
+/// One registry entry.
+#[derive(Debug, Clone)]
+pub struct DatasetEntry {
+    /// Registry name (lowercase; what the CLI and eval resolve).
+    pub name: String,
+    /// Display name as printed in the paper's tables (for paper-reference
+    /// lookups).
+    pub title: String,
+    /// License / terms-of-use note.
+    pub license: &'static str,
+    /// Canonical home page of the dataset.
+    pub home: &'static str,
+    /// Published statistics to verify against.
+    pub published: PublishedStats,
+    /// Per-stat verification tolerances.
+    pub tol: Tolerances,
+    /// Files or synthesizer.
+    pub source: Source,
+}
+
+impl DatasetEntry {
+    /// Whether this entry is a synthetic stand-in.
+    pub fn is_synthetic(&self) -> bool {
+        matches!(self.source, Source::Synthetic { .. })
+    }
+}
+
+/// SHA-256 of the vendored `citeseer.cites` fixture.
+pub const CITESEER_FIXTURE_SHA256: &str = FIXTURE_SHA256_CITESEER;
+/// SHA-256 of the vendored `cora-edges.txt` fixture.
+pub const CORA_FIXTURE_SHA256: &str = FIXTURE_SHA256_CORA;
+
+// Filled in by `cargo run -p cpgan-datasets --bin gen_fixtures`, which
+// regenerates the fixtures deterministically and prints their digests.
+const FIXTURE_SHA256_CITESEER: &str =
+    "05e171669320022a9fd6c59c692bdc0bba4bcd46a191add73b404f2d4852d6bb";
+const FIXTURE_SHA256_CORA: &str =
+    "af57d12ac00be977c36c47a517abe9878ae840f349ee7c5764b0e7496bb9397b";
+
+static REGISTRY: OnceLock<Vec<DatasetEntry>> = OnceLock::new();
+
+/// Every registered dataset, real entries first, then the six synthetic
+/// stand-ins, each list alphabetical.
+pub fn registry() -> &'static [DatasetEntry] {
+    REGISTRY.get_or_init(build)
+}
+
+/// Resolves a dataset by (case-insensitive) name.
+pub fn resolve(name: &str) -> Result<&'static DatasetEntry, DatasetError> {
+    registry()
+        .iter()
+        .find(|e| e.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| DatasetError::UnknownDataset {
+            name: name.to_string(),
+        })
+}
+
+fn build() -> Vec<DatasetEntry> {
+    let mut entries = vec![
+        DatasetEntry {
+            name: "citeseer".to_string(),
+            title: "Citeseer".to_string(),
+            license: "linqs.org CiteSeer collection — free for research use",
+            home: "https://linqs.org/datasets/",
+            // Paper Table II row.
+            published: PublishedStats {
+                n: 3327,
+                m: 4732,
+                mean_degree: 2.8446,
+                gini: 0.6769,
+                pwe: 2.8757,
+                cpl: Some(5.9389),
+            },
+            tol: Tolerances {
+                m_rel: 0.0,
+                mean_degree: 0.01,
+                gini: 0.05,
+                pwe: 0.45,
+                cpl: 2.5,
+            },
+            source: Source::Real {
+                files: vec![FileSpec {
+                    name: "citeseer.cites",
+                    format: Format::LinqsCites,
+                    sha256: Some(FIXTURE_SHA256_CITESEER),
+                    provenance: Provenance::Vendored("citeseer.cites"),
+                }],
+            },
+        },
+        DatasetEntry {
+            name: "cora".to_string(),
+            title: "Cora".to_string(),
+            license: "linqs.org Cora collection — free for research use",
+            home: "https://linqs.org/datasets/",
+            // Exemplar measurement table (SNIPPETS.md §Data Description);
+            // cora is not in the paper's Table II.
+            published: PublishedStats {
+                n: 2708,
+                m: 5429,
+                mean_degree: 3.898,
+                gini: 0.405,
+                pwe: 1.932,
+                cpl: None,
+            },
+            tol: Tolerances {
+                m_rel: 0.0,
+                mean_degree: 0.15,
+                gini: 0.05,
+                pwe: 0.45,
+                cpl: 0.0,
+            },
+            source: Source::Real {
+                files: vec![FileSpec {
+                    name: "cora-edges.txt",
+                    format: Format::SnapEdges,
+                    sha256: Some(FIXTURE_SHA256_CORA),
+                    provenance: Provenance::Vendored("cora-edges.txt"),
+                }],
+            },
+        },
+        DatasetEntry {
+            name: "epinions".to_string(),
+            title: "Epinions".to_string(),
+            license: "SNAP soc-Epinions1 — open web data",
+            home: "https://snap.stanford.edu/data/soc-Epinions1.html",
+            published: PublishedStats {
+                n: 75879,
+                m: 508837,
+                mean_degree: 10.694,
+                gini: 0.805,
+                pwe: 2.026,
+                cpl: None,
+            },
+            tol: Tolerances {
+                // The SNAP file is directed; symmetrization merges mutual
+                // arcs, so the undirected edge count lands below 508837.
+                m_rel: 0.25,
+                mean_degree: 3.0,
+                gini: 0.1,
+                pwe: 0.6,
+                cpl: 0.0,
+            },
+            source: Source::Real {
+                files: vec![FileSpec {
+                    name: "soc-Epinions1.txt",
+                    format: Format::SnapEdges,
+                    sha256: None,
+                    provenance: Provenance::Remote(
+                        "https://snap.stanford.edu/data/soc-Epinions1.txt.gz",
+                    ),
+                }],
+            },
+        },
+        DatasetEntry {
+            name: "google".to_string(),
+            title: "Google".to_string(),
+            license: "SNAP web-Google — released for the 2002 Google programming contest",
+            home: "https://snap.stanford.edu/data/web-Google.html",
+            // Paper Table II row.
+            published: PublishedStats {
+                n: 875713,
+                m: 4322051,
+                mean_degree: 9.871,
+                gini: 0.6729,
+                pwe: 1.8251,
+                cpl: Some(6.3780),
+            },
+            tol: Tolerances {
+                m_rel: 0.02,
+                mean_degree: 0.2,
+                gini: 0.1,
+                pwe: 0.6,
+                cpl: 1.5,
+            },
+            source: Source::Real {
+                files: vec![FileSpec {
+                    name: "web-Google.txt",
+                    format: Format::SnapEdges,
+                    sha256: None,
+                    provenance: Provenance::Remote(
+                        "https://snap.stanford.edu/data/web-Google.txt.gz",
+                    ),
+                }],
+            },
+        },
+        DatasetEntry {
+            name: "pubmed".to_string(),
+            title: "PubMed".to_string(),
+            license: "linqs.org Pubmed-Diabetes collection — free for research use",
+            home: "https://linqs.org/datasets/",
+            // Paper Table II row.
+            published: PublishedStats {
+                n: 19717,
+                m: 44338,
+                mean_degree: 4.4974,
+                gini: 0.8844,
+                pwe: 1.4743,
+                cpl: Some(6.3369),
+            },
+            tol: Tolerances {
+                m_rel: 0.02,
+                mean_degree: 0.2,
+                gini: 0.1,
+                pwe: 0.6,
+                cpl: 1.5,
+            },
+            source: Source::Real {
+                files: vec![FileSpec {
+                    name: "Pubmed-Diabetes.DIRECTED.cites.tab",
+                    format: Format::LinqsCites,
+                    sha256: None,
+                    provenance: Provenance::Remote(
+                        "https://linqs-data.soe.ucsc.edu/public/Pubmed-Diabetes.tgz",
+                    ),
+                }],
+            },
+        },
+    ];
+
+    // The six Table II stand-ins, registered under `<slug>-synthetic`.
+    for spec in &PAPER_DATASETS {
+        entries.push(DatasetEntry {
+            name: format!("{}-synthetic", slug(spec.name)),
+            title: spec.name.to_string(),
+            license: "synthesized in-repo (no external data)",
+            home: "crates/data/src/datasets.rs",
+            published: PublishedStats {
+                n: spec.n,
+                m: spec.m,
+                mean_degree: spec.mean_degree,
+                gini: spec.gini,
+                pwe: spec.pwe,
+                cpl: Some(spec.cpl),
+            },
+            // Stand-in fidelity bounds: the synthesizer pins sizes and the
+            // tail *ordering*, not each scalar — see DESIGN.md §15.
+            tol: Tolerances {
+                m_rel: 0.12,
+                mean_degree: 1.0,
+                gini: 0.35,
+                pwe: 1.6,
+                cpl: 30.0,
+            },
+            source: Source::Synthetic { spec },
+        });
+    }
+    entries
+}
+
+/// Lowercase, dash-separated form of a display name.
+fn slug(name: &str) -> String {
+    name.to_ascii_lowercase().replace(' ', "-")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_real_and_synthetic_uniformly() {
+        assert!(!resolve("citeseer").unwrap().is_synthetic());
+        assert!(resolve("Citeseer").unwrap().name == "citeseer");
+        assert!(resolve("citeseer-synthetic").unwrap().is_synthetic());
+        assert!(resolve("3d-point-cloud-synthetic").unwrap().is_synthetic());
+        assert!(resolve("nope").is_err());
+    }
+
+    #[test]
+    fn every_paper_dataset_has_a_synthetic_entry() {
+        for spec in &PAPER_DATASETS {
+            let name = format!("{}-synthetic", slug(spec.name));
+            let e = resolve(&name).unwrap();
+            assert_eq!(e.published.n, spec.n);
+            assert_eq!(e.title, spec.name);
+        }
+    }
+
+    #[test]
+    fn registry_names_are_unique_and_lowercase() {
+        let names: Vec<&str> = registry().iter().map(|e| e.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate names: {names:?}");
+        assert!(names.iter().all(|n| *n == n.to_ascii_lowercase()));
+    }
+}

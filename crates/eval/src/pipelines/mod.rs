@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod community;
 pub mod efficiency;
 pub mod quality;
+pub mod real;
 pub mod reconstruction;
 pub mod robustness;
 pub mod sensitivity;

@@ -76,6 +76,9 @@ pub enum Rule {
     /// `thread::sleep` or `set_read_timeout` inside a loop body — a
     /// sleep-poll standing in for a blocking primitive.
     SleepPoll,
+    /// `fs::read_dir` results consumed without sorting — directory order
+    /// is filesystem-dependent.
+    UnsortedDirWalk,
 }
 
 /// Severity attached to each rule: `Error` rules protect a hard invariant
@@ -103,7 +106,7 @@ impl Severity {
 impl Rule {
     /// Every rule, in registry order (used by `--explain` and the doc-sync
     /// test; keep in step with the `DESIGN.md` §12 catalog).
-    pub const ALL: [Rule; 15] = [
+    pub const ALL: [Rule; 16] = [
         Rule::NoUnwrap,
         Rule::NoExpect,
         Rule::NoPanic,
@@ -116,6 +119,7 @@ impl Rule {
         Rule::HashIter,
         Rule::UnseededRng,
         Rule::UnboundedCollect,
+        Rule::UnsortedDirWalk,
         Rule::HashFloatAccum,
         Rule::LossyCast,
         Rule::BoxedErrorPub,
@@ -139,6 +143,7 @@ impl Rule {
             Rule::LossyCast => "lossy-cast",
             Rule::BoxedErrorPub => "boxed-error-pub",
             Rule::UnboundedCollect => "unbounded-collect",
+            Rule::UnsortedDirWalk => "unsorted-dir-walk",
         }
     }
 
@@ -156,7 +161,9 @@ impl Rule {
             Rule::FloatEq | Rule::HashFloatAccum => "float-order",
             Rule::WorkspaceDeps => "manifest",
             Rule::AdHocThreading | Rule::AdHocTiming | Rule::SleepPoll => "runtime-gates",
-            Rule::HashIter | Rule::UnseededRng | Rule::UnboundedCollect => "determinism",
+            Rule::HashIter | Rule::UnseededRng | Rule::UnboundedCollect | Rule::UnsortedDirWalk => {
+                "determinism"
+            }
             Rule::LossyCast | Rule::BoxedErrorPub => "cast-safety",
         }
     }

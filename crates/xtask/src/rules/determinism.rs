@@ -1,6 +1,7 @@
 //! Determinism family: `hash-iter` (iteration over hash-seeded
-//! collections), `unseeded-rng` (environment-derived entropy) and
-//! `unbounded-collect` (hash iteration frozen into a `Vec` unsorted).
+//! collections), `unseeded-rng` (environment-derived entropy),
+//! `unbounded-collect` (hash iteration frozen into a `Vec` unsorted) and
+//! `unsorted-dir-walk` (`fs::read_dir` consumed without sorting).
 
 use super::float_order::ITER_METHODS;
 use super::violation;
@@ -56,6 +57,20 @@ pub fn check(ctx: &FileCtx, claimed: &mut BTreeSet<usize>, out: &mut Vec<Violati
                     out.push(hash_iter(ctx, site, name));
                 }
             }
+        }
+        // `fs::read_dir(..)` whose results are consumed without a sort in
+        // the sorted-context window. Directory iteration order is
+        // filesystem-dependent (DESIGN.md §8): any walk that feeds file
+        // contents into deterministic processing must sort the entries.
+        if text == "read_dir" && ctx.is_punct(i + 1, "(") && !ctx.sorted_context(i) {
+            out.push(violation(
+                ctx,
+                i,
+                Rule::UnsortedDirWalk,
+                "`read_dir` order is filesystem-dependent — sort the entries \
+                 (or their paths) before consuming them (DESIGN.md §8)"
+                    .to_string(),
+            ));
         }
     }
 }

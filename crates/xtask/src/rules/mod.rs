@@ -178,6 +178,21 @@ pub fn doc(rule: Rule) -> RuleDoc {
             suppression: "A Vec that is provably consumed order-insensitively before \
                           any RNG or output touches it — document why.",
         },
+        Rule::UnsortedDirWalk => RuleDoc {
+            rule,
+            summary: "`fs::read_dir` results consumed without sorting",
+            rationale: "Directory iteration order is filesystem-dependent (inode \
+                        order on ext4, insertion order on tmpfs, name order on \
+                        some network mounts), so any walk feeding file contents \
+                        into processing produces machine-dependent results unless \
+                        the entries are sorted first (DESIGN.md §8).",
+            example_bad: "for entry in fs::read_dir(dir)? { visit(entry?); }",
+            example_good: "let mut paths: Vec<_> = fs::read_dir(dir)?\n    \
+                           .map(|e| e.map(|e| e.path())).collect::<Result<_, _>>()?;\n\
+                           paths.sort();",
+            suppression: "A walk whose consumer is provably order-insensitive \
+                          (e.g. counting files, deleting everything) — document why.",
+        },
         Rule::HashFloatAccum => RuleDoc {
             rule,
             summary: "float reduction (`sum`/`fold`) fed by a hash-ordered iterator",

@@ -1,0 +1,49 @@
+//! Fixture: `fs::read_dir` consumed without sorting (`unsorted-dir-walk`).
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Line 9: entries iterated directly, no sort anywhere — fires.
+pub fn walk_unsorted(dir: &str) -> std::io::Result<usize> {
+    let mut count = 0;
+    for entry in fs::read_dir(dir)? {
+        let _ = entry?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Line 18: collected into a Vec but never sorted — fires.
+pub fn collect_unsorted(dir: &str) -> std::io::Result<Vec<PathBuf>> {
+    let paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    Ok(paths)
+}
+
+/// Negative: sorted within the window before use.
+pub fn walk_sorted(dir: &str) -> std::io::Result<Vec<PathBuf>> {
+    let mut paths: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// Negative: masked inside a string literal.
+pub fn doc_string() -> &'static str {
+    "for entry in fs::read_dir(dir)? { .. }"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Negative: test code is exempt.
+    #[test]
+    fn in_test_walk() {
+        let _ = fs::read_dir(".").map(|it| it.count());
+    }
+}

@@ -157,6 +157,19 @@ fn unbounded_collect_fixture() {
 }
 
 #[test]
+fn unsorted_dir_walk_fixture() {
+    let v = scan_fixture("unsorted_dir_walk.rs");
+    // The bare for-loop walk and the unsorted collect fire; the
+    // collect-then-sort walk, the string-masked call, and the in-test walk
+    // stay clean.
+    assert_eq!(
+        v.iter().map(|v| (v.rule, v.line)).collect::<Vec<_>>(),
+        vec![(Rule::UnsortedDirWalk, 9), (Rule::UnsortedDirWalk, 18),],
+        "{v:?}"
+    );
+}
+
+#[test]
 fn unseeded_rng_fixture() {
     let v = scan_fixture("unseeded_rng.rs");
     assert!(v.iter().all(|v| v.rule == Rule::UnseededRng), "{v:?}");
