@@ -1,6 +1,7 @@
-//! Runs the Table III/IV metrics on an *ingested real* registry dataset
-//! (default: the vendored citeseer fixture) instead of a synthetic
-//! stand-in, printing the published-stat verification report first.
+//! Runs the Table III/IV metrics on an *ingested* registry dataset
+//! (default: the vendored `citeseer-fixture` synthetic surrogate; pass an
+//! upstream name once its real files are in the cache), printing the
+//! reference-stat verification report first.
 //!
 //! Usage: `cargo run --release -p bench --bin table_real -- \
 //!     [DATASET] [--offline] [--data-dir DIR] [--seeds K] [--fast] [--json FILE]`
@@ -32,7 +33,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "--json",
         "--data-dir",
     ];
-    let mut name = "citeseer";
+    let mut name = "citeseer-fixture";
     let mut i = 0;
     while i < args.len() {
         let a = args[i].as_str();

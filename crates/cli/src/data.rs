@@ -13,7 +13,7 @@
 //! instead of going through `args::Args`. `--threads N` and
 //! `--obs-out PATH` work here like everywhere else.
 
-use cpgan_datasets::{fetch, load, registry, verify, Cache, FetchAction, LoadOptions, Source};
+use cpgan_datasets::{fetch, load, registry, verify, Cache, FetchAction, LoadOptions};
 use cpgan_graph::io;
 use std::path::PathBuf;
 
@@ -130,14 +130,12 @@ fn list(args: &DataArgs) -> Result<(), String> {
     let cached = cache.scan().map_err(|e| e.to_string())?;
     println!(
         "{:<26} {:>8} {:>9}  {:<10} cached",
-        "name", "nodes", "edges", "source"
+        "name", "nodes", "edges", "data"
     );
     for entry in registry::registry() {
-        let source = match &entry.source {
-            Source::Real { .. } => "real",
-            Source::Synthetic { .. } => "synthetic",
-        };
-        let cached = if entry.is_synthetic() {
+        // `data` is the provenance class: real upstream files, an
+        // in-repo surrogate fixture, or a load-time synthesizer.
+        let cached = if !entry.is_file_backed() {
             "-"
         } else if cached.iter().any(|c| c == &entry.name) {
             "yes"
@@ -146,7 +144,11 @@ fn list(args: &DataArgs) -> Result<(), String> {
         };
         println!(
             "{:<26} {:>8} {:>9}  {:<10} {}",
-            entry.name, entry.published.n, entry.published.m, source, cached
+            entry.name,
+            entry.reference.n,
+            entry.reference.m,
+            entry.data.label(),
+            cached
         );
     }
     Ok(())
@@ -158,7 +160,7 @@ fn do_fetch(args: &DataArgs) -> Result<(), String> {
         let entry = registry::resolve(name).map_err(|e| e.to_string())?;
         let outcomes = fetch(entry, &cache, args.offline).map_err(|e| e.to_string())?;
         if outcomes.is_empty() {
-            println!("{name}: synthetic (nothing to fetch)");
+            println!("{name}: synthesized at load time (nothing to fetch)");
         }
         for o in outcomes {
             let what = match o.action {
@@ -215,8 +217,8 @@ fn do_stats(args: &DataArgs) -> Result<(), String> {
         println!("  power-law exp:    {:.4}", s.pwe);
         if let Some(ing) = &loaded.ingest {
             println!(
-                "  ingest:           {} raw edges, {} self-loops dropped, {} duplicates merged",
-                ing.raw_edges, ing.self_loops_dropped, ing.duplicates_merged
+                "  ingest:           {} raw edges, {} self-loops seen ({} dropped), {} duplicates merged",
+                ing.raw_edges, ing.self_loops_seen, ing.self_loops_dropped, ing.duplicates_merged
             );
         }
         if let Some(labels) = &loaded.node_labels {

@@ -1,16 +1,21 @@
-//! Regenerates the vendored citeseer/cora fixtures deterministically.
+//! Regenerates the vendored *synthetic surrogate* fixtures
+//! (`citeseer-fixture`, `cora-fixture`) deterministically.
 //!
 //! Usage: `cargo run --release -p cpgan-datasets --bin gen_fixtures`
 //!
-//! For each fixture this designs a degree sequence hitting the registry's
-//! published n/m/Gini/PWE targets (head of low-degree nodes plus a
-//! power-law tail sampled by the CSN quantile recipe), realizes it as a
-//! simple graph via Havel–Hakimi, randomizes the wiring with
-//! degree-preserving double-edge swaps, writes the file in its native
-//! on-disk format (linqs `.cites` with string ids for citeseer, SNAP
-//! numeric edge list for cora), then re-ingests and verifies it against
-//! the registry entry. Prints the SHA-256 digests to paste into
-//! `registry.rs`.
+//! The fixtures are generated graphs, not the real linqs datasets: for
+//! each one this designs a degree sequence aimed at the upstream entry's
+//! published n/m/Gini/PWE (head of low-degree nodes plus a power-law
+//! tail sampled by the CSN quantile recipe), realizes it as a simple
+//! graph via Havel–Hakimi, randomizes the wiring with degree-preserving
+//! double-edge swaps, and writes the file in its native on-disk format
+//! (linqs `.cites` with string ids for citeseer, SNAP numeric edge list
+//! for cora). It then re-ingests each file and prints its measured
+//! reference stats and SHA-256 digest — after regenerating, pin both
+//! into the `-fixture` entries of `registry.rs` (the registry records
+//! the fixture's *own* measurements, so `cpgan data verify` gates
+//! ingestion fidelity rather than pretending the surrogate is real
+//! data).
 //!
 //! Everything is seeded; re-running reproduces the files byte-for-byte.
 
@@ -54,14 +59,16 @@ fn run() -> Result<(), String> {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
     std::fs::create_dir_all(&dir).map_err(|e| format!("mkdir {}: {e}", dir.display()))?;
 
+    // Design targets come from the upstream entries' published rows; the
+    // written files are verified against the `-fixture` entries.
     let citeseer = registry::resolve("citeseer").map_err(|e| e.to_string())?;
     let cora = registry::resolve("cora").map_err(|e| e.to_string())?;
 
     let cs_target = Target {
-        n: citeseer.published.n,
-        m: citeseer.published.m,
-        gini: citeseer.published.gini,
-        pwe: citeseer.published.pwe,
+        n: citeseer.reference.n,
+        m: citeseer.reference.m,
+        gini: citeseer.reference.gini,
+        pwe: citeseer.reference.pwe,
         zeros: (0, 900),
         tail_range: (100, 1200),
         bases: (1, 2),
@@ -71,13 +78,13 @@ fn run() -> Result<(), String> {
     let cs_path = dir.join("citeseer.cites");
     write_cites(&cs_path, cs_target.n, &cs_edges, 0xC17E_5EE9)
         .map_err(|e| format!("write {}: {e}", cs_path.display()))?;
-    report("citeseer", &cs_path, Format::LinqsCites).map_err(|e| e.to_string())?;
+    report("citeseer-fixture", &cs_path, Format::LinqsCites).map_err(|e| e.to_string())?;
 
     let cora_target = Target {
-        n: cora.published.n,
-        m: cora.published.m,
-        gini: cora.published.gini,
-        pwe: cora.published.pwe,
+        n: cora.reference.n,
+        m: cora.reference.m,
+        gini: cora.reference.gini,
+        pwe: cora.reference.pwe,
         zeros: (0, 300),
         tail_range: (100, 1200),
         bases: (1, 3),
@@ -87,7 +94,7 @@ fn run() -> Result<(), String> {
     let cora_path = dir.join("cora-edges.txt");
     write_snap(&cora_path, cora_target.n, &cora_edges, 0x0C0A_0002)
         .map_err(|e| format!("write {}: {e}", cora_path.display()))?;
-    report("cora", &cora_path, Format::SnapEdges).map_err(|e| e.to_string())?;
+    report("cora-fixture", &cora_path, Format::SnapEdges).map_err(|e| e.to_string())?;
 
     Ok(())
 }
@@ -303,7 +310,9 @@ fn write_snap(
     }
     lines.shuffle(&mut rng);
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    f.write_all(b"# Undirected citation graph (vendored fixture)\n")?;
+    f.write_all(
+        b"# Synthetic surrogate graph (generated in-repo by gen_fixtures; not real data)\n",
+    )?;
     f.write_all(format!("# Nodes: {} Edges: {}\n", n, edges.len()).as_bytes())?;
     for line in lines {
         f.write_all(line.as_bytes())?;
@@ -320,13 +329,15 @@ fn paper_ids(n: usize, rng: &mut StdRng) -> Vec<String> {
         .collect()
 }
 
-/// Re-ingests the written file and verifies it against the registry.
+/// Re-ingests the written file, diffs it against the `-fixture` registry
+/// entry, and prints the measured stats + digest to pin in `registry.rs`.
 fn report(name: &str, path: &Path, format: Format) -> Result<(), DatasetError> {
     let entry = registry::resolve(name)?;
     let files: Vec<(PathBuf, Format)> = vec![(path.to_path_buf(), format)];
     let ingested = formats::ingest_files(&files, SelfLoopPolicy::Drop, DuplicatePolicy::Merge)?;
     let report = verify::verify(entry, &ingested.graph, verify::DEFAULT_CPL_SOURCES);
     println!("{}", report.render());
+    println!("  pin the measured column above as `{name}`'s recorded reference stats");
     let digest = sha256::hex_digest_file(path)?;
     println!("  sha256(\"{}\") = {digest}\n", path.display());
     Ok(())

@@ -62,6 +62,9 @@ pub enum DatasetError {
         /// The fixture path that was probed.
         path: String,
     },
+    /// More than `u32::MAX` distinct node ids in one input set — the
+    /// dense id space is exhausted.
+    IdSpaceExhausted,
 }
 
 impl fmt::Display for DatasetError {
@@ -98,6 +101,11 @@ impl fmt::Display for DatasetError {
             DatasetError::MissingFixture { path } => {
                 write!(f, "vendored fixture missing from checkout: {path}")
             }
+            DatasetError::IdSpaceExhausted => write!(
+                f,
+                "dense node-id space exhausted (more than {} distinct ids)",
+                u32::MAX
+            ),
         }
     }
 }

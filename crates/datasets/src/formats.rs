@@ -121,9 +121,15 @@ pub struct IngestStats {
     pub nodes: usize,
     /// Edge records parsed (before any policy).
     pub raw_edges: usize,
-    /// Self-loop records dropped (`SelfLoopPolicy::Drop`).
+    /// Self-loop records seen in the raw input, whatever the policy did
+    /// with them.
+    pub self_loops_seen: usize,
+    /// Self-loop records the active [`SelfLoopPolicy`] actually removed
+    /// (equal to `self_loops_seen` under `Drop`; a policy that keeps or
+    /// rejects loops removes none).
     pub self_loops_dropped: usize,
-    /// Records merged away as duplicates or reverse duplicates.
+    /// Records merged away as duplicates or reverse duplicates:
+    /// `raw_edges - self_loops_dropped - m`.
     pub duplicates_merged: usize,
     /// Wall-clock nanoseconds spent in the validation scan plus both
     /// builder passes.
@@ -176,15 +182,15 @@ pub fn ingest_files(
             match record {
                 Record::Skip => {}
                 Record::Edge(u, v) => {
-                    let ui = interner.intern(u);
-                    let vi = interner.intern(v);
+                    let ui = interner.intern(u)?;
+                    let vi = interner.intern(v)?;
                     raw_edges += 1;
                     if ui == vi {
                         self_loops += 1;
                     }
                 }
                 Record::Node(id, label) => {
-                    let i = interner.intern(id);
+                    let i = interner.intern(id)?;
                     labeled.push((i, label.to_string()));
                 }
             }
@@ -196,17 +202,27 @@ pub fn ingest_files(
     let n = interner.len();
     let graph = Graph::from_edge_stream(n, || EdgeStream::new(files, &interner), loops, dups)?;
 
+    // Loops the policy removed: all of them under `Drop`; a policy that
+    // errors on loops only reaches this point when none were seen.
+    let self_loops_dropped = match loops {
+        SelfLoopPolicy::Drop => self_loops,
+        SelfLoopPolicy::Error => 0,
+    };
     let stats = IngestStats {
         nodes: n,
         raw_edges,
-        self_loops_dropped: self_loops,
+        self_loops_seen: self_loops,
+        self_loops_dropped,
         duplicates_merged: raw_edges
-            .saturating_sub(self_loops)
+            .saturating_sub(self_loops_dropped)
             .saturating_sub(graph.m()),
         parse_ns: watch.elapsed_ns(),
     };
     cpgan_obs::counter_add("data.ingest.edges", graph.m() as u64);
-    cpgan_obs::counter_add("data.ingest.dropped_self_loop", self_loops as u64);
+    cpgan_obs::counter_add(
+        "data.ingest.dropped_self_loop",
+        stats.self_loops_dropped as u64,
+    );
     cpgan_obs::counter_add("data.ingest.dropped_dup", stats.duplicates_merged as u64);
     cpgan_obs::hist_record("data.ingest.parse_ns", stats.parse_ns as f64);
 

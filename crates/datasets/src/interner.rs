@@ -7,6 +7,8 @@
 
 use std::collections::HashMap;
 
+use crate::error::DatasetError;
+
 /// Bidirectional token <-> dense-id table.
 #[derive(Debug, Clone, Default)]
 pub struct Interner {
@@ -22,14 +24,19 @@ impl Interner {
 
     /// Returns the dense id for `token`, allocating the next id on first
     /// sight.
-    pub fn intern(&mut self, token: &str) -> u32 {
+    ///
+    /// # Errors
+    ///
+    /// [`DatasetError::IdSpaceExhausted`] once `u32::MAX` distinct tokens
+    /// have been interned — the dense id space cannot represent more.
+    pub fn intern(&mut self, token: &str) -> Result<u32, DatasetError> {
         if let Some(&id) = self.ids.get(token) {
-            return id;
+            return Ok(id);
         }
-        let id = u32::try_from(self.names.len()).unwrap_or(u32::MAX);
+        let id = u32::try_from(self.names.len()).map_err(|_| DatasetError::IdSpaceExhausted)?;
         self.ids.insert(token.to_string(), id);
         self.names.push(token.to_string());
-        id
+        Ok(id)
     }
 
     /// Looks up an already-interned token.
@@ -60,9 +67,9 @@ mod tests {
     #[test]
     fn first_appearance_order() {
         let mut i = Interner::new();
-        assert_eq!(i.intern("b"), 0);
-        assert_eq!(i.intern("a"), 1);
-        assert_eq!(i.intern("b"), 0);
+        assert_eq!(i.intern("b").unwrap(), 0);
+        assert_eq!(i.intern("a").unwrap(), 1);
+        assert_eq!(i.intern("b").unwrap(), 0);
         assert_eq!(i.len(), 2);
         assert_eq!(i.name(1), Some("a"));
         assert_eq!(i.get("a"), Some(1));

@@ -1,23 +1,28 @@
-//! Real-dataset subsystem: registry, streaming ingestion, and verified
-//! real-graph evaluation.
+//! Dataset subsystem: registry, streaming ingestion, and reference-stat
+//! verification.
 //!
-//! This crate turns the paper's Table II datasets from synthetic
-//! stand-ins into real graphs the pipeline can ingest and verify:
+//! One manifest interface covers three provenance classes — real
+//! upstream datasets (files supplied by hand in this network-less
+//! build), vendored *synthetic surrogate* fixtures generated in-repo,
+//! and the six synthetic Table II stand-ins — with the class recorded on
+//! every entry so nothing downstream can present generated data as real:
 //!
-//! * [`registry`] — one manifest entry per dataset name, covering both
-//!   real file-backed datasets (with SHA-256 checksums and published
-//!   stats) and the six synthetic stand-ins from `cpgan_data`, so
-//!   `citeseer` and `citeseer-synthetic` resolve uniformly;
+//! * [`registry`] — one manifest entry per dataset name with an explicit
+//!   [`registry::DataProvenance`], SHA-256 checksums for vendored files,
+//!   and reference stats (published values for upstream entries,
+//!   recorded fixture measurements for surrogates), so `citeseer`,
+//!   `citeseer-fixture` and `citeseer-synthetic` resolve uniformly;
 //! * [`formats`] — streaming parsers for SNAP edge lists and linqs
 //!   `.cites`/`.content` files, layered on the two-pass
 //!   `Graph::from_edge_stream` builder so ingestion never materializes an
 //!   in-memory edge `Vec`;
 //! * [`store`] — the local cache (`$CPGAN_DATA_DIR`), checksum-verified
-//!   fetching with a strictly offline mode backed by vendored fixtures,
-//!   and the uniform [`store::load`] entry point;
+//!   fetching with a strictly offline mode backed by the vendored
+//!   surrogate fixtures, and the uniform [`store::load`] entry point;
 //! * [`verify`] — recomputes n/m/mean-degree/Gini/PWE/CPL and diffs them
-//!   against the published values under per-stat tolerances
-//!   (`cpgan data verify`).
+//!   against the entry's reference values under per-stat tolerances
+//!   (`cpgan data verify`): a real-graph fidelity check for upstream
+//!   entries, an ingestion-fidelity gate for the surrogates.
 //!
 //! See DESIGN.md §15 for formats, the checksum/offline model, and the
 //! tolerance table.
@@ -33,6 +38,8 @@ pub mod verify;
 pub use error::DatasetError;
 pub use formats::{ingest_files, Format, IngestStats, Ingested};
 pub use interner::Interner;
-pub use registry::{registry, resolve, DatasetEntry, PublishedStats, Source, Tolerances};
+pub use registry::{
+    registry, resolve, DataProvenance, DatasetEntry, ReferenceStats, Source, Tolerances,
+};
 pub use store::{fetch, load, Cache, FetchAction, FetchOutcome, LoadOptions, LoadedDataset};
 pub use verify::{verify, StatCheck, VerifyReport, DEFAULT_CPL_SOURCES};

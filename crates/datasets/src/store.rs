@@ -7,9 +7,11 @@
 //!
 //! This build has no network stack, so remote files are never downloaded:
 //! in offline mode they are a typed [`DatasetError::OfflineRemote`], and
-//! online they produce [`DatasetError::ManualDownload`] instructions. The
-//! vendored citeseer/cora fixtures make the offline path fully
-//! self-contained for tests and CI.
+//! online they produce [`DatasetError::ManualDownload`] instructions.
+//! The vendored `citeseer-fixture`/`cora-fixture` surrogates (synthetic
+//! graphs generated in-repo — not linqs data) make the offline path
+//! fully self-contained for tests and CI; the real upstream entries
+//! require manually downloaded files.
 
 use crate::registry::{DatasetEntry, Provenance, Source};
 use crate::{formats, sha256, DatasetError, IngestStats};
@@ -102,7 +104,7 @@ pub fn fetch(
     cache: &Cache,
     offline: bool,
 ) -> Result<Vec<FetchOutcome>, DatasetError> {
-    let Source::Real { files } = &entry.source else {
+    let Source::Files { files } = &entry.source else {
         return Ok(Vec::new());
     };
     let mut outcomes = Vec::with_capacity(files.len());
@@ -204,19 +206,20 @@ pub struct LoadedDataset {
     pub title: String,
     /// The graph.
     pub graph: Graph,
-    /// Ground-truth community labels (synthetic entries only).
+    /// Ground-truth community labels (stand-in entries only).
     pub communities: Option<Vec<usize>>,
-    /// Class label per node from a `.content` file (real entries only).
+    /// Class label per node from a `.content` file (file-backed entries only).
     pub node_labels: Option<Vec<String>>,
-    /// Ingestion counters (real entries only).
+    /// Ingestion counters (file-backed entries only).
     pub ingest: Option<IngestStats>,
 }
 
 /// Loads `entry` into a graph: fetch + checksum + streaming ingest for
-/// real datasets, deterministic synthesis for stand-ins.
+/// file-backed datasets (upstream or surrogate), deterministic synthesis
+/// for stand-ins.
 pub fn load(entry: &DatasetEntry, opts: &LoadOptions) -> Result<LoadedDataset, DatasetError> {
     match &entry.source {
-        Source::Real { files } => {
+        Source::Files { files } => {
             let cache = Cache::resolve(opts.data_dir.as_deref());
             fetch(entry, &cache, opts.offline)?;
             let paths: Vec<(PathBuf, crate::Format)> = files

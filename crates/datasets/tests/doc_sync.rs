@@ -47,6 +47,8 @@ fn design_section_documents_the_checksum_and_offline_model() {
         "crates/datasets/fixtures/",
         "gen_fixtures",
         "data-verify",
+        "DataProvenance",
+        "FixtureSurrogate",
     ] {
         assert!(s.contains(item), "DESIGN.md §15 must mention `{item}`");
     }
@@ -57,24 +59,38 @@ fn design_section_carries_the_tolerance_table() {
     let s = section_15();
     for item in [
         "powerlaw_exponent_ks",
-        "| `citeseer` (vendored) | exact | exact |",
-        "| `cora` (vendored) | exact | exact |",
-        "| `<name>-synthetic` stand-ins |",
+        "| `citeseer` (upstream, manual) | published Table II | exact | exact |",
+        "| `citeseer-fixture` / `cora-fixture` (vendored surrogates) | recorded fixture stats |",
+        "| `<name>-synthetic` stand-ins | spec targets |",
         "Havel–Hakimi",
     ] {
         assert!(s.contains(item), "DESIGN.md §15 must keep `{item}`");
     }
-    // The documented citeseer tolerances must match the registry.
-    let entry = cpgan_datasets::resolve("citeseer").unwrap();
+    // The documented tolerances must match the registry: upstream
+    // citeseer's published-row bounds, and the fixtures' tight
+    // recorded-reference bounds.
+    let upstream = cpgan_datasets::resolve("citeseer").unwrap();
     for tol in [
-        entry.tol.mean_degree,
-        entry.tol.gini,
-        entry.tol.pwe,
-        entry.tol.cpl,
+        upstream.tol.mean_degree,
+        upstream.tol.gini,
+        upstream.tol.pwe,
+        upstream.tol.cpl,
     ] {
         assert!(
             s.contains(&format!("{tol}")),
             "§15 tolerance table must list {tol} for citeseer"
+        );
+    }
+    let fixture = cpgan_datasets::resolve("citeseer-fixture").unwrap();
+    for tol in [
+        fixture.tol.mean_degree,
+        fixture.tol.gini,
+        fixture.tol.pwe,
+        fixture.tol.cpl,
+    ] {
+        assert!(
+            s.contains(&format!("{tol}")),
+            "§15 tolerance table must list {tol} for citeseer-fixture"
         );
     }
 }

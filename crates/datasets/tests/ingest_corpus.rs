@@ -86,9 +86,26 @@ fn drops_and_counts_self_loops() {
     let path = tmp.file("edges.txt", "0 0\n0 1\n1 1\n");
     let ing = default_ingest(path, Format::SnapEdges).unwrap();
     assert_eq!(ing.graph.m(), 1);
+    assert_eq!(ing.stats.self_loops_seen, 2);
     assert_eq!(ing.stats.self_loops_dropped, 2);
+    // Dropped loops must not be double-counted as merges.
+    assert_eq!(ing.stats.duplicates_merged, 0);
     // Self-loop-only ids still intern as (isolated) nodes.
     assert_eq!(ing.graph.n(), 2);
+}
+
+#[test]
+fn counters_separate_dropped_loops_from_merged_duplicates() {
+    let tmp = Scratch::new("loops-and-dups");
+    // 5 records: one loop (dropped), (0,1) twice + reversed once (two
+    // merges), one distinct edge.
+    let path = tmp.file("edges.txt", "0 0\n0 1\n0 1\n1 0\n1 2\n");
+    let ing = default_ingest(path, Format::SnapEdges).unwrap();
+    assert_eq!(ing.graph.m(), 2);
+    assert_eq!(ing.stats.raw_edges, 5);
+    assert_eq!(ing.stats.self_loops_seen, 1);
+    assert_eq!(ing.stats.self_loops_dropped, 1);
+    assert_eq!(ing.stats.duplicates_merged, 2);
 }
 
 #[test]
